@@ -1,0 +1,48 @@
+//! Thread-scaling ablation — GEMM and the fused tridiagonal product under
+//! 1/2/4 kernel threads.
+//!
+//! The paper measures single-threaded; this ablation exercises the
+//! row-partitioned parallel path (crossbeam scoped threads). On a
+//! single-core host the extra threads only add spawn overhead — the
+//! interesting shape appears on multi-core machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laab_dense::gen::OperandGen;
+use laab_kernels::{matmul, set_num_threads, tridiag_matmul, Trans};
+
+fn bench(c: &mut Criterion) {
+    let n = laab_bench::bench_n();
+    let mut g = OperandGen::new(11);
+    let a = g.matrix::<f32>(n, n);
+    let b = g.matrix::<f32>(n, n);
+    let t = g.tridiagonal::<f32>(n);
+
+    let mut group = c.benchmark_group(format!("ablation_threads/n{n}"));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("gemm", threads), &threads, |bch, &th| {
+            set_num_threads(th);
+            bch.iter(|| matmul(&a, Trans::No, &b, Trans::No));
+            set_num_threads(1);
+        });
+        group.bench_with_input(
+            BenchmarkId::new("tridiag_matmul", threads),
+            &threads,
+            |bch, &th| {
+                set_num_threads(th);
+                bch.iter(|| tridiag_matmul(&t, &b));
+                set_num_threads(1);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

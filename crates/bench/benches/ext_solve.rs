@@ -1,0 +1,58 @@
+//! Extension — property-aware `solve(A, b)` vs the structure-blind LU path.
+//!
+//! Expected shape: triangular/diagonal/orthogonal systems beat blind LU by
+//! growing factors; SPD saves the 2× factorization FLOPs via Cholesky;
+//! general systems tie (nothing to exploit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_n;
+use laab_dense::gen::OperandGen;
+use laab_expr::Props;
+use laab_rewrite::solve_aware;
+
+fn bench(c: &mut Criterion) {
+    let n = bench_n();
+    let mut g = OperandGen::new(31);
+    let b = g.matrix::<f32>(n, 1);
+    let mut general = g.matrix::<f32>(n, n);
+    for i in 0..n {
+        general[(i, i)] += 4.0;
+    }
+    let mut lower = g.lower_triangular::<f32>(n);
+    for i in 0..n {
+        lower[(i, i)] = lower[(i, i)].abs() + 1.0;
+    }
+    let spd = g.spd::<f32>(n);
+    let diag = g.diagonal::<f32>(n).to_dense();
+
+    let mut group = c.benchmark_group(format!("ext_solve/n{n}"));
+    group.bench_function("general/blind_lu", |bch| {
+        bch.iter(|| solve_aware(&general, Props::NONE, &b).unwrap())
+    });
+    group.bench_function("triangular/aware_trsm", |bch| {
+        bch.iter(|| solve_aware(&lower, Props::LOWER_TRIANGULAR, &b).unwrap())
+    });
+    group.bench_function("triangular/blind_lu", |bch| {
+        bch.iter(|| solve_aware(&lower, Props::NONE, &b).unwrap())
+    });
+    group.bench_function("spd/aware_cholesky", |bch| {
+        bch.iter(|| solve_aware(&spd, Props::SPD, &b).unwrap())
+    });
+    group.bench_function("spd/blind_lu", |bch| {
+        bch.iter(|| solve_aware(&spd, Props::NONE, &b).unwrap())
+    });
+    group.bench_function("diagonal/aware_scale", |bch| {
+        bch.iter(|| solve_aware(&diag, Props::DIAGONAL, &b).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

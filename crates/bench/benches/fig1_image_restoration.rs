@@ -1,0 +1,32 @@
+//! Fig. 1 — the three image-restoration variants, graph mode.
+//!
+//! Expected shape: variant 1 (contains the O(n³) GEMM) is an order of
+//! magnitude slower than variants 2 and 3 (GEMV-only); variant 3 shaves
+//! one GEMV off variant 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_env;
+use laab_core::experiments::fig1::variants as fig1_variants;
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let (n, env, ctx) = bench_env();
+    let flow = Framework::flow();
+    let mut group = c.benchmark_group(format!("fig1/n{n}"));
+    for (label, expr) in fig1_variants(n) {
+        let f = flow.function_from_expr(&expr, &ctx);
+        let short = label.split(':').next().unwrap().replace(' ', "_");
+        group.bench_function(short, |b| b.iter(|| f.call(&env)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

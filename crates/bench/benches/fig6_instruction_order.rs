@@ -1,0 +1,55 @@
+//! Fig. 6 — `(AB)(CD)` under the two same-FLOP instruction orders.
+//!
+//! Expected shape: the orders tie on a single socket (the paper's point is
+//! that they *can* diverge when memory effects dominate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_n;
+use laab_dense::gen::OperandGen;
+use laab_expr::eval::Env;
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let n = bench_n();
+    let mut g = OperandGen::new(6);
+    let env = Env::<f32>::new()
+        .with("A", g.matrix(n, n))
+        .with("B", g.matrix(n, n))
+        .with("C", g.matrix(n, n))
+        .with("D", g.matrix(n, n));
+    let flow = Framework::flow();
+
+    let f_uv = flow.function(|fb| {
+        let a = fb.input("A", n, n);
+        let b = fb.input("B", n, n);
+        let cc = fb.input("C", n, n);
+        let d = fb.input("D", n, n);
+        let u = fb.matmul(a, b);
+        let v = fb.matmul(cc, d);
+        vec![fb.matmul(u, v)]
+    });
+    let f_vu = flow.function(|fb| {
+        let a = fb.input("A", n, n);
+        let b = fb.input("B", n, n);
+        let cc = fb.input("C", n, n);
+        let d = fb.input("D", n, n);
+        let v = fb.matmul(cc, d);
+        let u = fb.matmul(a, b);
+        vec![fb.matmul(u, v)]
+    });
+
+    let mut group = c.benchmark_group(format!("fig6/n{n}"));
+    group.bench_function("order_U_then_V", |b| b.iter(|| f_uv.call(&env)));
+    group.bench_function("order_V_then_U", |b| b.iter(|| f_vu.call(&env)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 7 — all five parenthesizations of a length-4 chain.
+//!
+//! Expected shape: measured time ranks the five orders the same way their
+//! FLOP counts do; the DP choice is the fastest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_n;
+use laab_chain::enumerate_parenthesizations;
+use laab_core::workloads::fig7_dims;
+use laab_core::ExperimentConfig;
+use laab_dense::gen::OperandGen;
+use laab_expr::eval::Env;
+use laab_expr::{var, Context};
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let n = bench_n();
+    let cfg = ExperimentConfig { n, ..Default::default() };
+    let dims = fig7_dims(&cfg);
+    let names = ["A", "B", "C", "D"];
+    let mut g = OperandGen::new(7);
+    let mut env = Env::<f32>::new();
+    let mut ctx = Context::new();
+    for (i, name) in names.iter().enumerate() {
+        env.insert(name, g.matrix(dims[i], dims[i + 1]));
+        ctx = ctx.with(name, dims[i], dims[i + 1]);
+    }
+    let factors: Vec<_> = names.iter().map(|s| var(s)).collect();
+    let flow = Framework::flow();
+
+    let mut group = c.benchmark_group(format!("fig7/n{n}"));
+    for tree in enumerate_parenthesizations(4) {
+        let expr = tree.to_expr(&factors);
+        let f = flow.function_from_expr(&expr, &ctx);
+        let label = tree
+            .render()
+            .replace(' ', "")
+            .replace('(', "L")
+            .replace(')', "R");
+        group.bench_function(format!("{label}_{}MF", tree.cost(&dims) / 1_000_000), |b| {
+            b.iter(|| f.call(&env))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

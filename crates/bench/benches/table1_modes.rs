@@ -1,0 +1,42 @@
+//! Table I — raw GEMM vs Eager vs Graph for `AᵀB` and `(AᵀB)ᵀ(AᵀB)`.
+//!
+//! Expected shape: all three back-ends tie on `AᵀB`; on the CSE expression
+//! eager costs ≈ 1.5× graph (3 GEMMs vs 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_env;
+use laab_expr::var;
+use laab_framework::{lower::eager_eval_expr, Framework};
+use laab_kernels::{matmul, Trans};
+
+fn bench(c: &mut Criterion) {
+    let (n, env, ctx) = bench_env();
+    let a = env.expect("A").clone();
+    let b = env.expect("B").clone();
+    let s = var("A").t() * var("B");
+    let e2 = s.t() * s.clone();
+    let flow = Framework::flow();
+
+    let mut group = c.benchmark_group(format!("table1/n{n}"));
+    group.bench_function("AtB/mkl_c", |bch| {
+        bch.iter(|| matmul(&a, Trans::Yes, &b, Trans::No))
+    });
+    group.bench_function("AtB/eager", |bch| bch.iter(|| eager_eval_expr(&s, &env)));
+    let f_s = flow.function_from_expr(&s, &ctx);
+    group.bench_function("AtB/graph", |bch| bch.iter(|| f_s.call(&env)));
+
+    group.bench_function("E2/eager", |bch| bch.iter(|| eager_eval_expr(&e2, &env)));
+    let f_e2 = flow.function_from_expr(&e2, &ctx);
+    group.bench_function("E2/graph", |bch| bch.iter(|| f_e2.call(&env)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

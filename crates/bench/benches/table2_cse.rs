@@ -1,0 +1,31 @@
+//! Table II — the four CSE test expressions in graph mode.
+//!
+//! Expected shape: `S ≈ E1`, `E2 ≈ 2×S`, `E3 ≈ 3×S`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_env;
+use laab_core::experiments::table2::rows;
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let (n, env, ctx) = bench_env();
+    let flow = Framework::flow();
+    let mut group = c.benchmark_group(format!("table2/n{n}"));
+    for (i, (_label, expr, gemms)) in rows().into_iter().enumerate() {
+        let f = flow.function_from_expr(&expr, &ctx);
+        group.bench_function(format!("row{}_gemms{}", i + 1, gemms), |b| {
+            b.iter(|| f.call(&env))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table III — matrix-chain evaluation: unparenthesized vs explicit vs
+//! `multi_dot`.
+//!
+//! Expected shape: unparenthesized `HᵀHx` and `HᵀyxᵀH` are O(n³);
+//! their explicit/multi_dot forms are O(n²). `yᵀHᵀH` is already optimal
+//! left-to-right.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_env;
+use laab_dense::Matrix;
+use laab_expr::var;
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let (n, env, ctx) = bench_env();
+    let flow = Framework::flow();
+    let (h, x, y) = (var("H"), var("x"), var("y"));
+
+    let cases = vec![
+        ("HtHx_matmul", h.t() * h.clone() * x.clone()),
+        ("HtHx_explicit", h.t() * (h.clone() * x.clone())),
+        ("ytHtH_matmul", y.t() * h.t() * h.clone()),
+        ("ytHtH_explicit", (y.t() * h.t()) * h.clone()),
+        ("HtyxtH_matmul", h.t() * y.clone() * x.t() * h.clone()),
+        ("HtyxtH_explicit", (h.t() * y.clone()) * (x.t() * h.clone())),
+    ];
+
+    let mut group = c.benchmark_group(format!("table3/n{n}"));
+    for (label, expr) in cases {
+        let f = flow.function_from_expr(&expr, &ctx);
+        group.bench_function(label, |b| b.iter(|| f.call(&env)));
+    }
+
+    // multi_dot over the eager API (Torch profile).
+    let torch = Framework::torch();
+    let hm = env.expect("H").clone();
+    let ht: Matrix<f32> = hm.transpose();
+    let xm = env.expect("x").clone();
+    group.bench_function("HtHx_multi_dot", |b| {
+        b.iter(|| laab_chain::multi_dot(&[&ht, &hm, &xm]))
+    });
+    let _ = torch;
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

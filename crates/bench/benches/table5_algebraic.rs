@@ -1,0 +1,48 @@
+//! Table V — algebraic manipulations: both sides of Eq. 9, Eq. 10 and the
+//! blocked Eq. 11, executed as written.
+//!
+//! Expected shape: Eq. 9 LHS ≈ 2× RHS; Eq. 10 RHS ≫ LHS; Eq. 11 LHS ≈ 2× RHS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_env;
+use laab_core::workloads::blocked_env;
+use laab_core::ExperimentConfig;
+use laab_expr::{block_diag, var, vcat};
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let (n, env, ctx) = bench_env();
+    let flow = Framework::flow();
+    let mut group = c.benchmark_group(format!("table5/n{n}"));
+
+    let cases = vec![
+        ("eq9_lhs", var("A") * var("B") + var("A") * var("C")),
+        ("eq9_rhs", var("A") * (var("B") + var("C"))),
+        ("eq10_lhs", var("A") * var("x") - var("H").t() * (var("H") * var("x"))),
+        ("eq10_rhs", (var("A") - var("H").t() * var("H")) * var("x")),
+    ];
+    for (label, expr) in cases {
+        let f = flow.function_from_expr(&expr, &ctx);
+        group.bench_function(label, |b| b.iter(|| f.call(&env)));
+    }
+
+    let cfg = ExperimentConfig { n, ..Default::default() };
+    let (benv, bctx) = blocked_env(&cfg);
+    let eq11_lhs = block_diag(var("A1"), var("A2")) * vcat(var("B1"), var("B2"));
+    let eq11_rhs = vcat(var("A1") * var("B1"), var("A2") * var("B2"));
+    let fl = flow.function_from_expr(&eq11_lhs, &bctx);
+    let fr = flow.function_from_expr(&eq11_rhs, &bctx);
+    group.bench_function("eq11_lhs", |b| b.iter(|| fl.call(&benv)));
+    group.bench_function("eq11_rhs", |b| b.iter(|| fr.call(&benv)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

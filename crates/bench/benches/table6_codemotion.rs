@@ -1,0 +1,72 @@
+//! Table VI — code motion: the unrolled loop (naive vs hoisted) and
+//! partial operand access (naive vs recommended).
+//!
+//! Expected shape: loop naive == loop recommended (LICM works via CSE);
+//! partial access naive ≫ recommended (no slicing push-down).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laab_bench::bench_n;
+use laab_core::workloads::loop_env;
+use laab_core::ExperimentConfig;
+use laab_expr::{elem, var};
+use laab_framework::Framework;
+
+fn bench(c: &mut Criterion) {
+    let n = bench_n();
+    let cfg = ExperimentConfig { n, ..Default::default() };
+    let env = loop_env(&cfg);
+    let ctx = laab_core::workloads::square_ctx(&cfg);
+    let flow = Framework::flow();
+    let mut group = c.benchmark_group(format!("table6/n{n}"));
+
+    let f_naive = flow.function(|fb| {
+        let a = fb.input("A", n, n);
+        let b = fb.input("B", n, n);
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            let ab = fb.matmul(a, b);
+            let v = fb.input(&format!("v{i}"), n, 1);
+            let vt = fb.t(v);
+            let outer = fb.matmul(v, vt);
+            outs.push(fb.add(ab, outer));
+        }
+        outs
+    });
+    let f_reco = flow.function(|fb| {
+        let a = fb.input("A", n, n);
+        let b = fb.input("B", n, n);
+        let tmp = fb.matmul(a, b);
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            let v = fb.input(&format!("v{i}"), n, 1);
+            let vt = fb.t(v);
+            let outer = fb.matmul(v, vt);
+            outs.push(fb.add(tmp, outer));
+        }
+        outs
+    });
+    group.bench_function("loop_naive", |b| b.iter(|| f_naive.call(&env)));
+    group.bench_function("loop_reco", |b| b.iter(|| f_reco.call(&env)));
+
+    let cases = vec![
+        ("partial_sum_naive", elem(var("A") + var("B"), 2, 2)),
+        ("partial_sum_reco", elem(var("A"), 2, 2) + elem(var("B"), 2, 2)),
+        ("partial_prod_naive", elem(var("A") * var("B"), 2, 2)),
+        ("partial_prod_reco", var("A").row(2) * var("B").col(2)),
+    ];
+    for (label, expr) in cases {
+        let f = flow.function_from_expr(&expr, &ctx);
+        group.bench_function(label, |b| b.iter(|| f.call(&env)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Sweep the problem size and chart how the paper's gaps grow with n.
+//!
+//! The O(n³)-vs-O(n²) findings (chains, structured products, partial
+//! access) have gaps that scale linearly in n, while the O(n³)-vs-O(n³)
+//! findings (CSE, distributivity Eq. 9) have constant ratios. This sweep
+//! makes that visible, printing one CSV-ish row per size:
+//!
+//! ```text
+//! cargo run --release -p laab-bench --bin crossover_sweep -- [--sizes 128,256,512] [--reps 10]
+//! ```
+
+use laab_core::workloads::{square_ctx, square_env};
+use laab_core::ExperimentConfig;
+use laab_expr::var;
+use laab_framework::Framework;
+use laab_stats::{time_reps, TimingConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![96, 192, 384, 768]);
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let cfg_t = TimingConfig { reps, warmup: 2 };
+
+    println!("# ratio of unoptimized/optimized time per finding, by n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "n", "chain(n/2~)", "cse(2.0)", "eq9(2.0)", "partial(n²/~)"
+    );
+    for n in sizes {
+        let cfg = ExperimentConfig {
+            n,
+            timing: cfg_t,
+            check_numerics: false,
+            ..Default::default()
+        };
+        let env = square_env(&cfg);
+        let ctx = square_ctx(&cfg);
+        let flow = Framework::flow();
+
+        // O(n) gap: chain association.
+        let f_bad = flow.function_from_expr(&(var("H").t() * var("H") * var("x")), &ctx);
+        let f_good =
+            flow.function_from_expr(&(var("H").t() * (var("H") * var("x"))), &ctx);
+        let chain =
+            time_reps(cfg_t, || f_bad.call(&env)).min() / time_reps(cfg_t, || f_good.call(&env)).min();
+
+        // Constant gap: CSE (E2 vs S).
+        let s = var("A").t() * var("B");
+        let f_s = flow.function_from_expr(&s, &ctx);
+        let f_e2 = flow.function_from_expr(&(s.t() * s.clone()), &ctx);
+        let cse =
+            time_reps(cfg_t, || f_e2.call(&env)).min() / time_reps(cfg_t, || f_s.call(&env)).min();
+
+        // Constant gap: distributivity Eq 9.
+        let f_l = flow.function_from_expr(&(var("A") * var("B") + var("A") * var("C")), &ctx);
+        let f_r = flow.function_from_expr(&(var("A") * (var("B") + var("C"))), &ctx);
+        let eq9 =
+            time_reps(cfg_t, || f_l.call(&env)).min() / time_reps(cfg_t, || f_r.call(&env)).min();
+
+        // O(n²)-ish gap: partial sum access.
+        let f_pn = flow.function_from_expr(&laab_expr::elem(var("A") + var("B"), 2, 2), &ctx);
+        let f_pr = flow.function_from_expr(
+            &(laab_expr::elem(var("A"), 2, 2) + laab_expr::elem(var("B"), 2, 2)),
+            &ctx,
+        );
+        let partial =
+            time_reps(cfg_t, || f_pn.call(&env)).min() / time_reps(cfg_t, || f_pr.call(&env)).min();
+
+        println!("{n:>6} {chain:>14.1} {cse:>14.2} {eq9:>14.2} {partial:>14.0}");
+    }
+    println!("\nexpected: column 1 and 4 grow with n; columns 2 and 3 sit near 2.0 at every n.");
+}

@@ -1,0 +1,21 @@
+use laab_dense::gen::OperandGen;
+use laab_kernels::{matmul, Trans};
+use std::time::Instant;
+
+fn main() {
+    for &n in &[256usize, 512, 768] {
+        let mut g = OperandGen::new(1);
+        let a = g.matrix::<f32>(n, n);
+        let b = g.matrix::<f32>(n, n);
+        let _ = matmul(&a, Trans::No, &b, Trans::No); // warmup
+        let reps = if n <= 256 { 5 } else { 3 };
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let c = matmul(&a, Trans::No, &b, Trans::No);
+            std::hint::black_box(&c);
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let gflops = 2.0 * (n as f64).powi(3) / dt / 1e9;
+        println!("n={n}: {:.1} ms  {gflops:.2} GFLOP/s", dt * 1e3);
+    }
+}

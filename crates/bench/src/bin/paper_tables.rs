@@ -1,0 +1,131 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p laab-bench --bin paper_tables -- [--n N] [--reps R] \
+//!     [--experiment ID]... [--markdown PATH] [--threads T]
+//! ```
+//!
+//! With no arguments: all experiments at n = 512, min of 20 repetitions,
+//! single-threaded (the paper's protocol), printed as plain-text tables.
+
+use std::io::Write;
+
+use laab_core::{experiments, ExperimentConfig, ExperimentResult};
+use laab_stats::TimingConfig;
+
+struct Args {
+    n: usize,
+    reps: usize,
+    ids: Vec<String>,
+    markdown: Option<String>,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { n: 512, reps: 20, ids: Vec::new(), markdown: None, threads: 1 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => args.n = it.next().expect("--n N").parse().expect("invalid --n"),
+            "--reps" => {
+                args.reps = it.next().expect("--reps R").parse().expect("invalid --reps")
+            }
+            "--experiment" => args.ids.push(it.next().expect("--experiment ID")),
+            "--markdown" => args.markdown = Some(it.next().expect("--markdown PATH")),
+            "--threads" => {
+                args.threads =
+                    it.next().expect("--threads T").parse().expect("invalid --threads")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "paper_tables: regenerate the paper's evaluation tables\n\
+                     \n  --n N            problem size (default 512; paper used 3000)\
+                     \n  --reps R         timing repetitions (default 20, as in the paper)\
+                     \n  --experiment ID  run only this experiment (fig1, table1..table6, fig6, fig7, ext_solve);\
+                     \n                   repeatable\
+                     \n  --markdown PATH  additionally write results as markdown\
+                     \n  --threads T      kernel threads (default 1, the paper's setting)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    laab_kernels::set_num_threads(args.threads);
+    let cfg = ExperimentConfig {
+        n: args.n,
+        timing: TimingConfig { reps: args.reps, warmup: 2 },
+        ..Default::default()
+    };
+
+    println!(
+        "LAAB paper tables — n = {}, min of {} repetitions, {} thread(s)\n",
+        cfg.n, cfg.timing.reps, args.threads
+    );
+
+    type Runner = fn(&ExperimentConfig) -> ExperimentResult;
+    let all: Vec<(&str, Runner)> = vec![
+        ("fig1", experiments::fig1 as Runner),
+        ("table1", experiments::table1),
+        ("table2", experiments::table2),
+        ("table3", experiments::table3),
+        ("fig7", experiments::fig7),
+        ("table4", experiments::table4),
+        ("table5", experiments::table5),
+        ("fig6", experiments::fig6),
+        ("table6", experiments::table6),
+        ("ext_solve", experiments::ext_solve),
+    ];
+
+    let selected: Vec<&(&str, Runner)> = if args.ids.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter().filter(|(id, _)| args.ids.iter().any(|w| w == id)).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiment matched {:?}", args.ids);
+        std::process::exit(2);
+    }
+
+    let mut md = String::from("# LAAB measured results\n\n");
+    md.push_str(&format!(
+        "Configuration: n = {}, min of {} repetitions, {} thread(s).\n\n",
+        cfg.n, cfg.timing.reps, args.threads
+    ));
+    let mut failed = 0usize;
+    for (id, run) in selected {
+        let t0 = std::time::Instant::now();
+        let result = run(&cfg);
+        println!("{}", result.table);
+        println!("{}", result.analysis);
+        println!("Findings:");
+        for c in &result.checks {
+            println!("  [{}] {} — {}", if c.passed { "ok" } else { "!!" }, c.name, c.detail);
+            if !c.passed {
+                failed += 1;
+            }
+        }
+        println!("  ({} finished in {:.1} s)\n", id, t0.elapsed().as_secs_f64());
+        md.push_str(&result.to_markdown());
+        md.push('\n');
+    }
+
+    if let Some(path) = args.markdown {
+        let mut f = std::fs::File::create(&path).expect("cannot create markdown file");
+        f.write_all(md.as_bytes()).expect("cannot write markdown file");
+        println!("markdown written to {path}");
+    }
+    if failed > 0 {
+        println!("{failed} finding(s) did NOT reproduce — see [!!] lines above");
+        std::process::exit(1);
+    }
+    println!("all paper findings reproduced.");
+}

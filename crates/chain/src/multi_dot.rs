@@ -1,0 +1,143 @@
+//! The `torch.linalg.multi_dot` analogue.
+
+use laab_dense::{Matrix, Scalar};
+use laab_kernels::{matmul_dispatch, Trans};
+
+use crate::paren::{optimal_parenthesization, ParenTree};
+
+/// The evaluation order `multi_dot` would use for these factor shapes
+/// (exposed so callers can inspect/report it, as the paper's Fig. 5
+/// discussion does).
+pub fn multi_dot_order<T: Scalar>(mats: &[&Matrix<T>]) -> (u64, ParenTree) {
+    assert!(!mats.is_empty(), "multi_dot of zero factors");
+    let mut dims = Vec::with_capacity(mats.len() + 1);
+    dims.push(mats[0].rows());
+    for (i, m) in mats.iter().enumerate() {
+        if i > 0 {
+            assert_eq!(
+                mats[i - 1].cols(),
+                m.rows(),
+                "multi_dot: factor {i} has {} rows, expected {}",
+                m.rows(),
+                mats[i - 1].cols()
+            );
+        }
+        dims.push(m.cols());
+    }
+    optimal_parenthesization(&dims)
+}
+
+/// Evaluate the chain product `mats[0] · mats[1] · … · mats[m−1]` in the
+/// FLOP-optimal order (dynamic programming), dispatching each intermediate
+/// product to the cheapest kernel for its shape.
+///
+/// This is what `torch.linalg.multi_dot` does and what the `Torch` profile
+/// of `laab-framework` exposes; TF has no equivalent (Table III's "-"
+/// entries).
+pub fn multi_dot<T: Scalar>(mats: &[&Matrix<T>]) -> Matrix<T> {
+    let (_, tree) = multi_dot_order(mats);
+    eval_tree(&tree, mats)
+}
+
+fn eval_tree<T: Scalar>(tree: &ParenTree, mats: &[&Matrix<T>]) -> Matrix<T> {
+    match tree {
+        ParenTree::Leaf(i) => mats[*i].clone(),
+        ParenTree::Node(l, r) => {
+            // Leaves feed the kernel directly (no clone); only internal
+            // results materialize.
+            let lv;
+            let lref: &Matrix<T> = match &**l {
+                ParenTree::Leaf(i) => mats[*i],
+                node => {
+                    lv = eval_tree(node, mats);
+                    &lv
+                }
+            };
+            let rv;
+            let rref: &Matrix<T> = match &**r {
+                ParenTree::Leaf(i) => mats[*i],
+                node => {
+                    rv = eval_tree(node, mats);
+                    &rv
+                }
+            };
+            matmul_dispatch(T::ONE, lref, Trans::No, rref, Trans::No)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_dense::gen::OperandGen;
+    use laab_kernels::counters::{self, Kernel};
+    use laab_kernels::reference;
+
+    fn naive_chain(mats: &[&Matrix<f64>]) -> Matrix<f64> {
+        let mut acc = mats[0].clone();
+        for m in &mats[1..] {
+            let c0 = Matrix::zeros(acc.rows(), m.cols());
+            acc = reference::gemm_naive(1.0, &acc, Trans::No, m, Trans::No, 0.0, &c0);
+        }
+        acc
+    }
+
+    #[test]
+    fn value_matches_left_to_right_reference() {
+        let mut g = OperandGen::new(55);
+        let a = g.matrix::<f64>(7, 9);
+        let b = g.matrix::<f64>(9, 3);
+        let c = g.matrix::<f64>(3, 11);
+        let d = g.matrix::<f64>(11, 5);
+        let mats = [&a, &b, &c, &d];
+        let got = multi_dot(&mats);
+        assert!(got.approx_eq(&naive_chain(&mats), 1e-12));
+    }
+
+    #[test]
+    fn vector_chain_avoids_gemm() {
+        // HᵀHx as multi_dot: the optimal order is two GEMVs (Table III).
+        let n = 32;
+        let mut g = OperandGen::new(56);
+        let h = g.matrix::<f64>(n, n);
+        let ht = h.transpose();
+        let x = g.col_vector::<f64>(n);
+        counters::reset();
+        let r = multi_dot(&[&ht, &h, &x]);
+        let s = counters::snapshot();
+        assert_eq!(s.calls(Kernel::Gemm), 0, "optimal order never runs a GEMM");
+        assert_eq!(s.calls(Kernel::Gemv), 2);
+        assert!(r.approx_eq(&naive_chain(&[&ht, &h, &x]), 1e-12));
+    }
+
+    #[test]
+    fn mixed_chain_uses_outer_product_order() {
+        // Hᵀ y xᵀ H — optimal is (Hᵀy)(xᵀH) (the paper's Expression 7).
+        let n = 16;
+        let mut g = OperandGen::new(57);
+        let ht = g.matrix::<f64>(n, n);
+        let y = g.col_vector::<f64>(n);
+        let xt = g.row_vector::<f64>(n);
+        let h = g.matrix::<f64>(n, n);
+        let (cost, tree) = multi_dot_order(&[&ht, &y, &xt, &h]);
+        assert_eq!(tree.render(), "((A0 A1) (A2 A3))");
+        assert_eq!(cost, 6 * (n as u64) * (n as u64));
+        let r = multi_dot(&[&ht, &y, &xt, &h]);
+        assert!(r.approx_eq(&naive_chain(&[&ht, &y, &xt, &h]), 1e-12));
+    }
+
+    #[test]
+    fn single_factor_is_identity_operation() {
+        let mut g = OperandGen::new(58);
+        let a = g.matrix::<f64>(4, 6);
+        assert_eq!(multi_dot(&[&a]), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor 1 has")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(3, 4);
+        let b = Matrix::<f64>::zeros(5, 6);
+        let _ = multi_dot(&[&a, &b]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Parenthesization trees, their costs, enumeration, and the DP optimum.
+
+use laab_expr::{Context, Expr};
+
+/// A parenthesization of the chain `A₀A₁…Aₘ₋₁`.
+///
+/// Leaves are factor indices; internal nodes are products. The in-order
+/// traversal of leaves is always `0, 1, …, m−1` (matrix products cannot be
+/// reordered, only re-associated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ParenTree {
+    /// The `i`-th factor of the chain.
+    Leaf(usize),
+    /// The product of two sub-chains.
+    Node(Box<ParenTree>, Box<ParenTree>),
+}
+
+impl ParenTree {
+    /// Number of leaves (factors) under this tree.
+    pub fn factors(&self) -> usize {
+        match self {
+            ParenTree::Leaf(_) => 1,
+            ParenTree::Node(l, r) => l.factors() + r.factors(),
+        }
+    }
+
+    /// `(first_dim, last_dim)` of the sub-chain, given the chain's dimension
+    /// vector (`dims.len() == m + 1`; factor `i` has shape
+    /// `dims[i] × dims[i+1]`).
+    fn span(&self) -> (usize, usize) {
+        match self {
+            ParenTree::Leaf(i) => (*i, *i + 1),
+            ParenTree::Node(l, r) => (l.span().0, r.span().1),
+        }
+    }
+
+    /// FLOPs to evaluate the chain in this order: every product of an
+    /// `a×b` by `b×c` intermediate costs `2abc` (the dense-kernel pricing
+    /// used throughout the suite; with unit dimensions this collapses to
+    /// the GEMV/DOT counts automatically).
+    pub fn cost(&self, dims: &[usize]) -> u64 {
+        match self {
+            ParenTree::Leaf(_) => 0,
+            ParenTree::Node(l, r) => {
+                let (i, k) = l.span();
+                let (_, j) = r.span();
+                l.cost(dims)
+                    + r.cost(dims)
+                    + 2 * dims[i] as u64 * dims[k] as u64 * dims[j] as u64
+            }
+        }
+    }
+
+    /// Build the [`Expr`] product tree applying this parenthesization to
+    /// the given factors.
+    ///
+    /// # Panics
+    /// If the factor count differs from the leaf count.
+    pub fn to_expr(&self, factors: &[Expr]) -> Expr {
+        assert_eq!(
+            self.factors(),
+            factors.len(),
+            "parenthesization is over {} factors, got {}",
+            self.factors(),
+            factors.len()
+        );
+        self.build(factors)
+    }
+
+    fn build(&self, factors: &[Expr]) -> Expr {
+        match self {
+            ParenTree::Leaf(i) => factors[*i].clone(),
+            ParenTree::Node(l, r) => {
+                Expr::Mul(Box::new(l.build(factors)), Box::new(r.build(factors)))
+            }
+        }
+    }
+
+    /// Render with explicit parentheses and generic factor names, e.g.
+    /// `((A0 A1) A2)`.
+    pub fn render(&self) -> String {
+        match self {
+            ParenTree::Leaf(i) => format!("A{i}"),
+            ParenTree::Node(l, r) => format!("({} {})", l.render(), r.render()),
+        }
+    }
+}
+
+/// The left-to-right order `((A₀A₁)A₂)…` — the frameworks' default
+/// (Experiment 2's finding).
+pub fn left_to_right(m: usize) -> ParenTree {
+    assert!(m >= 1);
+    let mut t = ParenTree::Leaf(0);
+    for i in 1..m {
+        t = ParenTree::Node(Box::new(t), Box::new(ParenTree::Leaf(i)));
+    }
+    t
+}
+
+/// The right-to-left order `…(Aₘ₋₂(Aₘ₋₁))`.
+pub fn right_to_left(m: usize) -> ParenTree {
+    assert!(m >= 1);
+    let mut t = ParenTree::Leaf(m - 1);
+    for i in (0..m - 1).rev() {
+        t = ParenTree::Node(Box::new(ParenTree::Leaf(i)), Box::new(t));
+    }
+    t
+}
+
+/// All `Cₘ₋₁` parenthesizations of an `m`-factor chain (Catalan many —
+/// keep `m` small; the paper's Fig. 7 uses `m = 4`, giving 5).
+pub fn enumerate_parenthesizations(m: usize) -> Vec<ParenTree> {
+    assert!(m >= 1, "empty chain");
+    assert!(m <= 12, "enumeration is Catalan-exponential; refusing m > 12");
+    fn rec(lo: usize, hi: usize) -> Vec<ParenTree> {
+        if hi - lo == 1 {
+            return vec![ParenTree::Leaf(lo)];
+        }
+        let mut out = Vec::new();
+        for split in lo + 1..hi {
+            for l in rec(lo, split) {
+                for r in rec(split, hi) {
+                    out.push(ParenTree::Node(Box::new(l.clone()), Box::new(r)));
+                }
+            }
+        }
+        out
+    }
+    rec(0, m)
+}
+
+/// The classic O(m³) dynamic program: the minimum-FLOP parenthesization of
+/// a chain with dimension vector `dims` (factor `i` is `dims[i]×dims[i+1]`).
+/// Returns `(FLOPs, order)`.
+pub fn optimal_parenthesization(dims: &[usize]) -> (u64, ParenTree) {
+    let m = dims.len().checked_sub(1).expect("dims must have length m+1 >= 2");
+    assert!(m >= 1, "dims must describe at least one factor");
+    if m == 1 {
+        return (0, ParenTree::Leaf(0));
+    }
+    // cost[i][j]: min FLOPs for the subchain [i, j) (j exclusive).
+    let mut cost = vec![vec![0u64; m + 1]; m];
+    let mut split = vec![vec![0usize; m + 1]; m];
+    for len in 2..=m {
+        for i in 0..=m - len {
+            let j = i + len;
+            let mut best = u64::MAX;
+            let mut best_k = i + 1;
+            for k in i + 1..j {
+                let c = cost[i][k]
+                    + cost[k][j]
+                    + 2 * dims[i] as u64 * dims[k] as u64 * dims[j] as u64;
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = best_k;
+        }
+    }
+    fn build(split: &[Vec<usize>], i: usize, j: usize) -> ParenTree {
+        if j - i == 1 {
+            ParenTree::Leaf(i)
+        } else {
+            let k = split[i][j];
+            ParenTree::Node(Box::new(build(split, i, k)), Box::new(build(split, k, j)))
+        }
+    }
+    (cost[0][m], build(&split, 0, m))
+}
+
+/// Dimension vector of a product chain written as an [`Expr`]: flattens the
+/// product tree into factors and reads their shapes from `ctx`. Returns
+/// `None` when the expression is not a plain product of ≥ 2 factors.
+pub fn chain_dims(expr: &Expr, ctx: &Context) -> Option<Vec<usize>> {
+    let factors = expr.product_factors();
+    if factors.len() < 2 {
+        return None;
+    }
+    let mut dims = Vec::with_capacity(factors.len() + 1);
+    for (i, f) in factors.iter().enumerate() {
+        let s = f.try_shape(ctx).ok()?;
+        if i == 0 {
+            dims.push(s.rows);
+        }
+        dims.push(s.cols);
+    }
+    Some(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::var;
+
+    /// Catalan numbers C₀..C₅ = 1, 1, 2, 5, 14, 42.
+    #[test]
+    fn enumeration_counts_are_catalan() {
+        for (m, want) in [(1, 1), (2, 1), (3, 2), (4, 5), (5, 14), (6, 42)] {
+            assert_eq!(enumerate_parenthesizations(m).len(), want, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        // Deterministic pseudo-random dimension vectors.
+        let mut state = 0x9E37u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 40 + 1) as usize
+        };
+        for m in 2..=6 {
+            for _ in 0..20 {
+                let dims: Vec<usize> = (0..=m).map(|_| next()).collect();
+                let (dp_cost, dp_tree) = optimal_parenthesization(&dims);
+                assert_eq!(dp_tree.cost(&dims), dp_cost, "tree cost consistent");
+                let brute = enumerate_parenthesizations(m)
+                    .into_iter()
+                    .map(|t| t.cost(&dims))
+                    .min()
+                    .unwrap();
+                assert_eq!(dp_cost, brute, "dims = {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_right_to_left_case() {
+        // HᵀHx with n = 3000: dims [n, n, n, 1].
+        let n = 3000;
+        let dims = [n, n, n, 1];
+        let (cost, tree) = optimal_parenthesization(&dims);
+        assert_eq!(tree, right_to_left(3));
+        // 2n² + 2n² FLOPs, as the paper states for Expression 5.
+        assert_eq!(cost, 4 * (n as u64) * (n as u64));
+        let ltr = left_to_right(3).cost(&dims);
+        assert_eq!(ltr, 2 * (n as u64).pow(3) + 2 * (n as u64).pow(2));
+    }
+
+    #[test]
+    fn paper_left_to_right_case() {
+        // yᵀHᵀH: dims [1, n, n, n] — optimum is left-to-right.
+        let n = 3000;
+        let dims = [1, n, n, n];
+        let (cost, tree) = optimal_parenthesization(&dims);
+        assert_eq!(tree, left_to_right(3));
+        assert_eq!(cost, 4 * (n as u64) * (n as u64));
+    }
+
+    #[test]
+    fn paper_mixed_case() {
+        // Hᵀ y xᵀ H: dims [n, n, 1, n, n] — optimum is (Hᵀy)(xᵀH).
+        let n = 3000;
+        let dims = [n, n, 1, n, n];
+        let (cost, tree) = optimal_parenthesization(&dims);
+        let want = ParenTree::Node(
+            Box::new(ParenTree::Node(
+                Box::new(ParenTree::Leaf(0)),
+                Box::new(ParenTree::Leaf(1)),
+            )),
+            Box::new(ParenTree::Node(
+                Box::new(ParenTree::Leaf(2)),
+                Box::new(ParenTree::Leaf(3)),
+            )),
+        );
+        assert_eq!(tree, want);
+        // 2n² (Hᵀy) + 2n² (xᵀH) + 2n² (outer product) = 6n².
+        assert_eq!(cost, 6 * (n as u64) * (n as u64));
+    }
+
+    #[test]
+    fn to_expr_preserves_factor_order() {
+        let t = right_to_left(3);
+        let e = t.to_expr(&[var("A"), var("B"), var("x")]);
+        assert_eq!(e.to_string(), "A (B x)");
+        let l = left_to_right(3).to_expr(&[var("A"), var("B"), var("x")]);
+        assert_eq!(l.to_string(), "A B x");
+    }
+
+    #[test]
+    fn render_shows_parens() {
+        assert_eq!(left_to_right(3).render(), "((A0 A1) A2)");
+        assert_eq!(right_to_left(3).render(), "(A0 (A1 A2))");
+    }
+
+    #[test]
+    fn chain_dims_reads_context() {
+        let ctx = laab_expr::Context::new().with("A", 3, 4).with("B", 4, 5).with("x", 5, 1);
+        let e = var("A") * var("B") * var("x");
+        assert_eq!(chain_dims(&e, &ctx), Some(vec![3, 4, 5, 1]));
+        assert_eq!(chain_dims(&var("A"), &ctx), None);
+        // Transposed factors are opaque (their shape is still read).
+        let e2 = var("B").t() * var("A").t();
+        assert_eq!(chain_dims(&e2, &ctx), Some(vec![5, 4, 3]));
+    }
+
+    #[test]
+    fn fig7_five_orders_of_a_4_chain() {
+        // The paper's Fig. 7 lists the 5 parenthesizations of ABCD with
+        // costs 2·(…) each; check our enumeration covers exactly the five
+        // and that cost formulas match the figure's structure.
+        let trees = enumerate_parenthesizations(4);
+        assert_eq!(trees.len(), 5);
+        let renders: Vec<String> = trees.iter().map(|t| t.render()).collect();
+        for want in [
+            "(((A0 A1) A2) A3)",
+            "((A0 A1) (A2 A3))",
+            "((A0 (A1 A2)) A3)",
+            "(A0 ((A1 A2) A3))",
+            "(A0 (A1 (A2 A3)))",
+        ] {
+            assert!(renders.contains(&want.to_string()), "missing {want}: {renders:?}");
+        }
+        // (AB)(CD) on dims [a,b,c,d,e]: 2abc + 2cde + 2ace.
+        let dims = [2u64, 3, 4, 5, 6];
+        let udims: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
+        let abcd = ParenTree::Node(
+            Box::new(ParenTree::Node(
+                Box::new(ParenTree::Leaf(0)),
+                Box::new(ParenTree::Leaf(1)),
+            )),
+            Box::new(ParenTree::Node(
+                Box::new(ParenTree::Leaf(2)),
+                Box::new(ParenTree::Leaf(3)),
+            )),
+        );
+        let want = 2 * dims[0] * dims[1] * dims[2]
+            + 2 * dims[2] * dims[3] * dims[4]
+            + 2 * dims[0] * dims[2] * dims[4];
+        assert_eq!(abcd.cost(&udims), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn enumeration_refuses_huge_chains() {
+        let _ = enumerate_parenthesizations(13);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 7 — all five parenthesizations of a length-4 chain.
+//!
+//! The figure lists the five orders of `A·B·C·D` with their FLOP formulas;
+//! the dynamic program picks the minimum. This experiment regenerates the
+//! figure: every order is enumerated, priced analytically, executed, and
+//! timed; the checks assert that the DP choice has the minimum FLOP count
+//! and is (within noise) the fastest measured order.
+
+use laab_chain::{enumerate_parenthesizations, optimal_parenthesization};
+use laab_dense::gen::OperandGen;
+use laab_expr::eval::{eval, Env};
+use laab_expr::{var, Context};
+use laab_framework::Framework;
+use laab_stats::{fmt_secs, Table};
+
+use crate::workloads::fig7_dims;
+use crate::{CheckOutcome, ExperimentConfig, ExperimentResult};
+
+use super::{check_value, counted, describe_counts, time};
+
+/// Run the Fig. 7 experiment.
+pub fn fig7(cfg: &ExperimentConfig) -> ExperimentResult {
+    let dims = fig7_dims(cfg);
+    let names = ["A", "B", "C", "D"];
+    let mut g = OperandGen::new(cfg.seed.wrapping_add(7));
+    let mut env = Env::<f32>::new();
+    let mut ctx = Context::new();
+    for (i, name) in names.iter().enumerate() {
+        env.insert(name, g.matrix(dims[i], dims[i + 1]));
+        ctx = ctx.with(name, dims[i], dims[i + 1]);
+    }
+    let factors: Vec<_> = names.iter().map(|n| var(n)).collect();
+    let mut checks: Vec<CheckOutcome> = Vec::new();
+
+    let flow = Framework::flow();
+    let (dp_cost, dp_tree) = optimal_parenthesization(&dims);
+
+    let mut table = Table::new(
+        format!(
+            "Fig 7: the 5 parenthesizations of ABCD, shapes {}x{} {}x{} {}x{} {}x{}",
+            dims[0], dims[1], dims[1], dims[2], dims[2], dims[3], dims[3], dims[4]
+        ),
+        &["Order", "FLOPs", "Flow [s]", "DP choice"],
+    );
+    let mut analysis = Table::new("Fig 7 analysis", &["Order", "Kernels"]);
+
+    let oracle = eval(&laab_chain::left_to_right(4).to_expr(&factors), &env);
+    let mut best_flops = u64::MAX;
+    let mut dp_time = f64::NAN;
+    let mut min_time = f64::INFINITY;
+
+    for tree in enumerate_parenthesizations(4) {
+        let expr = tree.to_expr(&factors);
+        let flops = tree.cost(&dims);
+        best_flops = best_flops.min(flops);
+        let f = flow.function_from_expr(&expr, &ctx);
+        let (out, counts) = counted(|| f.call(&env));
+        check_value(cfg, &mut checks, &tree.render(), &out[0], &oracle);
+        let t = time(cfg, || f.call(&env));
+        let is_dp = tree == dp_tree;
+        if is_dp {
+            dp_time = t.min();
+        }
+        min_time = min_time.min(t.min());
+        table.push_row(vec![
+            tree.render(),
+            format!("{:.1} MFLOP", flops as f64 / 1e6),
+            fmt_secs(t.min()),
+            if is_dp { "◀ optimal".into() } else { String::new() },
+        ]);
+        analysis.push_row(vec![tree.render(), describe_counts(&counts)]);
+    }
+
+    checks.push(CheckOutcome {
+        name: "DP picks the minimum-FLOP order".into(),
+        passed: dp_cost == best_flops,
+        detail: format!("DP {dp_cost} vs enumerated minimum {best_flops}"),
+    });
+    checks.push(CheckOutcome {
+        name: "the DP order is (near-)fastest in wall-clock".into(),
+        passed: dp_time <= min_time * 1.30,
+        detail: format!("DP {:.2e} s vs fastest {:.2e} s", dp_time, min_time),
+    });
+    table.note(format!("dynamic program selects {} at {:.1} MFLOP", dp_tree.render(), dp_cost as f64 / 1e6));
+
+    ExperimentResult {
+        id: "fig7".into(),
+        title: "Variants for a matrix chain of length 4 (Fig 7)".into(),
+        table,
+        analysis,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_reproduces_paper_shape() {
+        let cfg = ExperimentConfig::quick(128);
+        let r = fig7(&cfg);
+        assert_eq!(r.table.rows.len(), 5);
+        for c in &r.checks {
+            assert!(c.passed, "failed check: {} — {}", c.name, c.detail);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The experiments, one module per paper artifact.
+
+pub mod ext_solve;
+pub mod fig1;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+pub use ext_solve::ext_solve;
+pub use fig1::fig1;
+pub use fig6::fig6;
+pub use fig7::fig7;
+pub use table1::table1;
+pub use table2::table2;
+pub use table3::table3;
+pub use table4::table4;
+pub use table5::table5;
+pub use table6::table6;
+
+use laab_dense::Matrix;
+use laab_kernels::counters::{self, Snapshot};
+use laab_stats::{bootstrap_compare, time_reps, Samples, Verdict};
+
+use crate::{CheckOutcome, ExperimentConfig};
+
+/// Numerical tolerance for cross-validating variants in `f32` at benchmark
+/// sizes (different evaluation orders reassociate sums).
+pub(crate) const F32_TOL: f64 = 1e-2;
+
+/// Time a closure under the experiment's protocol.
+pub(crate) fn time<R>(cfg: &ExperimentConfig, f: impl FnMut() -> R) -> Samples {
+    time_reps(cfg.timing, f)
+}
+
+/// Run once, returning the value and the kernel counters it recorded.
+pub(crate) fn counted<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
+    counters::measure(f)
+}
+
+/// Format a counter snapshot for the analysis tables: kernel calls plus
+/// total MFLOPs.
+pub(crate) fn describe_counts(s: &Snapshot) -> String {
+    format!("{} | {:.1} MFLOP", s.describe(), s.total_flops() as f64 / 1e6)
+}
+
+/// Add a numerical-equivalence check (when `cfg.check_numerics`).
+pub(crate) fn check_value(
+    cfg: &ExperimentConfig,
+    checks: &mut Vec<CheckOutcome>,
+    label: &str,
+    got: &Matrix<f32>,
+    want: &Matrix<f32>,
+) {
+    if !cfg.check_numerics {
+        return;
+    }
+    let dist = if got.shape() == want.shape() { got.rel_dist(want) } else { f64::INFINITY };
+    checks.push(CheckOutcome {
+        name: format!("{label}: numerically equivalent"),
+        passed: dist <= F32_TOL,
+        detail: format!("relative distance {dist:.2e}"),
+    });
+}
+
+/// Add a bootstrap-indistinguishability check ("no statistically
+/// significant difference", Table I).
+pub(crate) fn check_indistinguishable(
+    cfg: &ExperimentConfig,
+    checks: &mut Vec<CheckOutcome>,
+    name: &str,
+    a: &Samples,
+    b: &Samples,
+) {
+    let c = bootstrap_compare(a, b, 2000, cfg.seed);
+    // Treat "within 15% either way" as reproducing an ≈ claim even when the
+    // bootstrap resolves a tiny-but-consistent difference (single-machine
+    // timings are far less noisy than cross-machine ones).
+    let close = c.speedup > 0.85 && c.speedup < 1.18;
+    checks.push(CheckOutcome {
+        name: name.to_string(),
+        passed: matches!(c.verdict, Verdict::Indistinguishable) || close,
+        detail: format!(
+            "min ratio {:.3}, CI of diff [{:+.2e}, {:+.2e}] s, verdict {:?}",
+            c.speedup, c.diff_ci.0, c.diff_ci.1, c.verdict
+        ),
+    });
+}
+
+/// Add a check that `slow` takes at least `lo`× and at most `hi`× the time
+/// of `fast` (paper claims like "approximately 2× higher").
+pub(crate) fn check_ratio(
+    checks: &mut Vec<CheckOutcome>,
+    name: &str,
+    slow: &Samples,
+    fast: &Samples,
+    lo: f64,
+    hi: f64,
+) {
+    let r = slow.min() / fast.min();
+    checks.push(CheckOutcome::ratio(name, r, lo, hi));
+}
+
+/// Add a check that `slow` is significantly slower than `fast` by at least
+/// `min_ratio`× (claims like "significantly greater").
+pub(crate) fn check_slower(
+    checks: &mut Vec<CheckOutcome>,
+    name: &str,
+    slow: &Samples,
+    fast: &Samples,
+    min_ratio: f64,
+) {
+    let r = slow.min() / fast.min();
+    checks.push(CheckOutcome {
+        name: name.to_string(),
+        passed: r >= min_ratio,
+        detail: format!("min ratio {r:.1} (expected ≥ {min_ratio:.1})"),
+    });
+}

@@ -1,0 +1,160 @@
+//! Table I — raw kernel ("MKL-C") vs Eager vs Graph mode.
+//!
+//! Row 1 (`AᵀB`) confirms the frameworks link to the optimized kernels:
+//! all three columns must be statistically indistinguishable. Row 2
+//! (`(AᵀB)ᵀ(AᵀB)`) exposes the mode gap: eager recomputes the common
+//! subexpression (3 GEMMs), graph mode deduplicates it (2 GEMMs), giving
+//! the paper's ≈1.5× eager/graph ratio.
+
+use laab_expr::eval::eval;
+use laab_expr::var;
+use laab_framework::{lower::eager_eval_expr, Framework};
+use laab_kernels::counters::Kernel;
+use laab_kernels::{matmul, Trans};
+use laab_stats::{fmt_secs, Table};
+
+use crate::workloads::{square_ctx, square_env};
+use crate::{CheckOutcome, ExperimentConfig, ExperimentResult};
+
+use super::{check_indistinguishable, check_ratio, check_value, counted, describe_counts, time};
+
+/// Run the Table I experiment.
+pub fn table1(cfg: &ExperimentConfig) -> ExperimentResult {
+    let env = square_env(cfg);
+    let ctx = square_ctx(cfg);
+    let mut checks: Vec<CheckOutcome> = Vec::new();
+
+    let a = env.expect("A").clone();
+    let b = env.expect("B").clone();
+
+    let s = var("A").t() * var("B");
+    let e2 = s.t() * s.clone();
+
+    let flow = Framework::flow();
+    let torch = Framework::torch();
+
+    let mut table = Table::new(
+        format!("Table I: execution time [s] for n = {}", cfg.n),
+        &["Expression", "MKL-C", "Eager (Flow/Torch)", "Graph (Flow/Torch)"],
+    );
+    let mut analysis = Table::new(
+        "Table I analysis: kernel traffic",
+        &["Expression", "Mode", "Kernels"],
+    );
+
+    // ---- Row 1: AᵀB ----
+    let t_raw = time(cfg, || matmul(&a, Trans::Yes, &b, Trans::No));
+    let t_eager = time(cfg, || eager_eval_expr(&s, &env));
+    let f_flow = flow.function_from_expr(&s, &ctx);
+    let f_torch = torch.function_from_expr(&s, &ctx);
+    let t_graph_flow = time(cfg, || f_flow.call(&env));
+    let t_graph_torch = time(cfg, || f_torch.call(&env));
+
+    let oracle_s = eval(&s, &env);
+    let (eager_out, eager_counts) = counted(|| eager_eval_expr(&s, &env));
+    check_value(cfg, &mut checks, "AᵀB eager", &eager_out, &oracle_s);
+    let (graph_out, graph_counts) = counted(|| f_flow.call(&env));
+    check_value(cfg, &mut checks, "AᵀB graph", &graph_out[0], &oracle_s);
+
+    table.push_row(vec![
+        "AᵀB".into(),
+        fmt_secs(t_raw.min()),
+        format!("{} / {}", fmt_secs(t_eager.min()), fmt_secs(t_eager.min())),
+        format!("{} / {}", fmt_secs(t_graph_flow.min()), fmt_secs(t_graph_torch.min())),
+    ]);
+    analysis.push_row(vec!["AᵀB".into(), "eager".into(), describe_counts(&eager_counts)]);
+    analysis.push_row(vec!["AᵀB".into(), "graph".into(), describe_counts(&graph_counts)]);
+
+    check_indistinguishable(cfg, &mut checks, "AᵀB: eager == raw GEMM (frameworks link to the kernels)", &t_raw, &t_eager);
+    check_indistinguishable(cfg, &mut checks, "AᵀB: graph == raw GEMM", &t_raw, &t_graph_flow);
+    checks.push(CheckOutcome {
+        name: "AᵀB is a single GEMM in both modes (transpose folded)".into(),
+        passed: eager_counts.calls(Kernel::Gemm) == 1
+            && graph_counts.calls(Kernel::Gemm) == 1
+            && eager_counts.calls(Kernel::Transpose) == 0
+            && graph_counts.calls(Kernel::Transpose) == 0,
+        detail: format!(
+            "eager: {}; graph: {}",
+            eager_counts.describe(),
+            graph_counts.describe()
+        ),
+    });
+
+    // ---- Row 2: (AᵀB)ᵀ(AᵀB) ----
+    let t_eager2 = time(cfg, || eager_eval_expr(&e2, &env));
+    let f2_flow = flow.function_from_expr(&e2, &ctx);
+    let f2_torch = torch.function_from_expr(&e2, &ctx);
+    let t_graph2_flow = time(cfg, || f2_flow.call(&env));
+    let t_graph2_torch = time(cfg, || f2_torch.call(&env));
+
+    let oracle2 = eval(&e2, &env);
+    let (eager2_out, eager2_counts) = counted(|| eager_eval_expr(&e2, &env));
+    check_value(cfg, &mut checks, "E2 eager", &eager2_out, &oracle2);
+    let (graph2_out, graph2_counts) = counted(|| f2_flow.call(&env));
+    check_value(cfg, &mut checks, "E2 graph", &graph2_out[0], &oracle2);
+
+    table.push_row(vec![
+        "(AᵀB)ᵀ(AᵀB)".into(),
+        "-".into(),
+        format!("{} / {}", fmt_secs(t_eager2.min()), fmt_secs(t_eager2.min())),
+        format!("{} / {}", fmt_secs(t_graph2_flow.min()), fmt_secs(t_graph2_torch.min())),
+    ]);
+    analysis.push_row(vec![
+        "(AᵀB)ᵀ(AᵀB)".into(),
+        "eager".into(),
+        describe_counts(&eager2_counts),
+    ]);
+    analysis.push_row(vec![
+        "(AᵀB)ᵀ(AᵀB)".into(),
+        "graph".into(),
+        describe_counts(&graph2_counts),
+    ]);
+
+    checks.push(CheckOutcome {
+        name: "E2: eager runs 3 GEMMs, graph runs 2 (CSE)".into(),
+        passed: eager2_counts.calls(Kernel::Gemm) == 3
+            && graph2_counts.calls(Kernel::Gemm) == 2,
+        detail: format!(
+            "eager {} / graph {}",
+            eager2_counts.calls(Kernel::Gemm),
+            graph2_counts.calls(Kernel::Gemm)
+        ),
+    });
+    check_ratio(
+        &mut checks,
+        "E2: eager ≈ 1.5× graph (paper: 1.25 s vs 0.78 s)",
+        &t_eager2,
+        &t_graph2_flow,
+        1.25,
+        1.8,
+    );
+
+    table.note(format!(
+        "decorator (trace+optimize) overhead: Flow {:.1e} s, Torch {:.1e} s",
+        f2_flow.build_time().as_secs_f64(),
+        f2_torch.build_time().as_secs_f64()
+    ));
+
+    ExperimentResult {
+        id: "table1".into(),
+        title: "Graph mode vs Eager mode (Table I)".into(),
+        table,
+        analysis,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_paper_shape() {
+        let cfg = ExperimentConfig::quick(128);
+        let r = table1(&cfg);
+        assert_eq!(r.table.rows.len(), 2);
+        for c in &r.checks {
+            assert!(c.passed, "failed check: {} — {}", c.name, c.detail);
+        }
+    }
+}

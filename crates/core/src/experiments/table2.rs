@@ -1,0 +1,107 @@
+//! Table II — common-subexpression elimination (Experiment 1).
+//!
+//! `S = AᵀB` occurs twice in each test expression. The paper's findings,
+//! all reproduced as checks here:
+//!
+//! * `E1 = AᵀB + AᵀB` costs the same as `S` (CSE + scaling fused into the
+//!   GEMM's alpha);
+//! * `E2 = (AᵀB)ᵀ(AᵀB)` costs ≈ 2× `S` (CSE finds the duplicate subtree);
+//! * `E3 = (AᵀB)ᵀAᵀB` costs ≈ 3× `S` (the flat chain has no duplicate
+//!   *subtree*, so DAG-based CSE fails — the paper's central observation).
+
+use laab_expr::eval::eval;
+use laab_expr::{var, Expr};
+use laab_framework::Framework;
+use laab_kernels::counters::Kernel;
+use laab_stats::{fmt_secs, Table};
+
+use crate::workloads::{square_ctx, square_env};
+use crate::{CheckOutcome, ExperimentConfig, ExperimentResult};
+
+use super::{check_ratio, check_value, counted, describe_counts, time};
+
+/// The four rows of Table II: (label, expression, expected GEMM count in
+/// graph mode).
+pub fn rows() -> Vec<(&'static str, Expr, u64)> {
+    let s = var("A").t() * var("B");
+    vec![
+        ("AᵀB", s.clone(), 1),
+        ("AᵀB + AᵀB", s.clone() + s.clone(), 1),
+        ("(AᵀB)ᵀ(AᵀB)", s.t() * s.clone(), 2),
+        ("(AᵀB)ᵀAᵀB", s.t() * var("A").t() * var("B"), 3),
+    ]
+}
+
+/// Run the Table II experiment.
+pub fn table2(cfg: &ExperimentConfig) -> ExperimentResult {
+    let env = square_env(cfg);
+    let ctx = square_ctx(cfg);
+    let mut checks: Vec<CheckOutcome> = Vec::new();
+
+    let flow = Framework::flow();
+    let torch = Framework::torch();
+
+    let mut table = Table::new(
+        format!("Table II: CSE test expressions, graph mode, n = {}", cfg.n),
+        &["#", "Expression", "Flow [s]", "Torch [s]"],
+    );
+    let mut analysis = Table::new(
+        "Table II analysis: kernel traffic (graph mode)",
+        &["Expression", "Kernels", "GEMMs expected"],
+    );
+
+    let mut samples = Vec::new();
+    for (i, (label, expr, want_gemms)) in rows().into_iter().enumerate() {
+        let f_flow = flow.function_from_expr(&expr, &ctx);
+        let f_torch = torch.function_from_expr(&expr, &ctx);
+        let (out, counts) = counted(|| f_flow.call(&env));
+        check_value(cfg, &mut checks, label, &out[0], &eval(&expr, &env));
+        checks.push(CheckOutcome {
+            name: format!("{label}: {want_gemms} GEMM(s) after graph optimization"),
+            passed: counts.calls(Kernel::Gemm) == want_gemms,
+            detail: counts.describe(),
+        });
+        let t_flow = time(cfg, || f_flow.call(&env));
+        let t_torch = time(cfg, || f_torch.call(&env));
+        table.push_row(vec![
+            (i + 1).to_string(),
+            label.to_string(),
+            fmt_secs(t_flow.min()),
+            fmt_secs(t_torch.min()),
+        ]);
+        analysis.push_row(vec![
+            label.to_string(),
+            describe_counts(&counts),
+            want_gemms.to_string(),
+        ]);
+        samples.push(t_flow);
+    }
+
+    // Timing-level findings.
+    check_ratio(&mut checks, "E1 ≈ S (scaling absorbed)", &samples[1], &samples[0], 0.85, 1.25);
+    check_ratio(&mut checks, "E2 ≈ 2× S (CSE catches the parenthesized form)", &samples[2], &samples[0], 1.6, 2.5);
+    check_ratio(&mut checks, "E3 ≈ 3× S (CSE misses the flat chain)", &samples[3], &samples[0], 2.5, 3.6);
+
+    ExperimentResult {
+        id: "table2".into(),
+        title: "Common Sub-expression Elimination (Table II)".into(),
+        table,
+        analysis,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_paper_shape() {
+        let cfg = ExperimentConfig::quick(128);
+        let r = table2(&cfg);
+        assert_eq!(r.table.rows.len(), 4);
+        for c in &r.checks {
+            assert!(c.passed, "failed check: {} — {}", c.name, c.detail);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Operand environments for the experiments.
+//!
+//! Every experiment draws its operands from a seeded generator so that runs
+//! are reproducible and the eager/graph/hand-coded columns all see the same
+//! data. Precision is `f32`, the frameworks' default (paper, footnote 3).
+
+use laab_dense::gen::OperandGen;
+use laab_dense::{Diagonal, Tridiagonal};
+use laab_expr::eval::Env;
+use laab_expr::{Context, Props};
+
+use crate::ExperimentConfig;
+
+/// The standard square workload: `A, B, C, H ∈ Rⁿˣⁿ`, `x, y ∈ Rⁿ`.
+pub fn square_env(cfg: &ExperimentConfig) -> Env<f32> {
+    let n = cfg.n;
+    let mut g = OperandGen::new(cfg.seed);
+    Env::new()
+        .with("A", g.matrix(n, n))
+        .with("B", g.matrix(n, n))
+        .with("C", g.matrix(n, n))
+        .with("H", g.matrix(n, n))
+        .with("x", g.matrix(n, 1))
+        .with("y", g.matrix(n, 1))
+}
+
+/// Context for [`square_env`] (no properties — general matrices).
+pub fn square_ctx(cfg: &ExperimentConfig) -> Context {
+    let n = cfg.n;
+    Context::new()
+        .with("A", n, n)
+        .with("B", n, n)
+        .with("C", n, n)
+        .with("H", n, n)
+        .with("x", n, 1)
+        .with("y", n, 1)
+}
+
+/// Structured operands for Experiment 3 (Table IV): a lower-triangular `L`,
+/// a tridiagonal `T`, a diagonal `D` (compact forms returned alongside the
+/// dense environment bindings).
+pub struct StructuredWorkload {
+    /// Environment binding `A`, `B`, `L`, `T`, `D` (all dense).
+    pub env: Env<f32>,
+    /// Context declaring the structures.
+    pub ctx: Context,
+    /// Compact tridiagonal form of `T`.
+    pub tri: Tridiagonal<f32>,
+    /// Compact diagonal form of `D`.
+    pub diag: Diagonal<f32>,
+}
+
+/// Build the Table IV workload.
+pub fn structured(cfg: &ExperimentConfig) -> StructuredWorkload {
+    let n = cfg.n;
+    let mut g = OperandGen::new(cfg.seed.wrapping_add(1));
+    let a = g.matrix::<f32>(n, n);
+    let b = g.matrix::<f32>(n, n);
+    let l = g.lower_triangular::<f32>(n);
+    let tri = g.tridiagonal::<f32>(n);
+    let diag = g.diagonal::<f32>(n);
+    let env = Env::new()
+        .with("A", a)
+        .with("B", b)
+        .with("L", l)
+        .with("T", tri.to_dense())
+        .with("D", diag.to_dense());
+    let ctx = Context::new()
+        .with("A", n, n)
+        .with("B", n, n)
+        .with_props("L", n, n, Props::LOWER_TRIANGULAR)
+        .with_props("T", n, n, Props::TRIDIAGONAL)
+        .with_props("D", n, n, Props::DIAGONAL);
+    StructuredWorkload { env, ctx, tri, diag }
+}
+
+/// Blocked operands for Table V / Eq. 11: `A1, A2 ∈ R^(n/2×n/2)`,
+/// `B1, B2 ∈ R^(n/2×n)`.
+pub fn blocked_env(cfg: &ExperimentConfig) -> (Env<f32>, Context) {
+    let n = cfg.n & !1; // even
+    let h = n / 2;
+    let mut g = OperandGen::new(cfg.seed.wrapping_add(2));
+    let (a1, a2, b1, b2) = g.blocked_operands::<f32>(n);
+    let env = Env::new().with("A1", a1).with("A2", a2).with("B1", b1).with("B2", b2);
+    let ctx = Context::new()
+        .with("A1", h, h)
+        .with("A2", h, h)
+        .with("B1", h, n)
+        .with("B2", h, n);
+    (env, ctx)
+}
+
+/// Loop-workload vectors for Table VI: `v1, v2, v3 ∈ Rⁿ` on top of
+/// [`square_env`].
+pub fn loop_env(cfg: &ExperimentConfig) -> Env<f32> {
+    let mut env = square_env(cfg);
+    let mut g = OperandGen::new(cfg.seed.wrapping_add(3));
+    for i in 0..3 {
+        env.insert(&format!("v{i}"), g.matrix(cfg.n, 1));
+    }
+    env
+}
+
+/// The mixed-size 4-chain of Fig. 7: sizes chosen so that all five
+/// parenthesizations have clearly distinct FLOP counts and the optimum is
+/// the mixed order.
+pub fn fig7_dims(cfg: &ExperimentConfig) -> Vec<usize> {
+    let n = cfg.n;
+    // A: n×n, B: n×n/4, C: n/4×n, D: n×n/8  →  dims [n, n, n/4, n, n/8]
+    vec![n, n, n / 4, n, n / 8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environments_are_reproducible() {
+        let cfg = ExperimentConfig::quick(16);
+        let e1 = square_env(&cfg);
+        let e2 = square_env(&cfg);
+        assert_eq!(e1.expect("A"), e2.expect("A"));
+        assert_eq!(e1.expect("x").shape(), (16, 1));
+    }
+
+    #[test]
+    fn structured_bindings_match_compact_forms() {
+        let cfg = ExperimentConfig::quick(12);
+        let w = structured(&cfg);
+        assert_eq!(w.env.expect("T"), &w.tri.to_dense());
+        assert_eq!(w.env.expect("D"), &w.diag.to_dense());
+        assert!(w.ctx.expect("L").props.contains(Props::LOWER_TRIANGULAR));
+        assert!(w.ctx.expect("T").props.contains(Props::TRIDIAGONAL));
+        assert!(w.ctx.expect("D").props.contains(Props::DIAGONAL));
+    }
+
+    #[test]
+    fn blocked_shapes_are_conformal() {
+        let cfg = ExperimentConfig::quick(10);
+        let (env, ctx) = blocked_env(&cfg);
+        assert_eq!(env.expect("A1").shape(), (5, 5));
+        assert_eq!(env.expect("B1").shape(), (5, 10));
+        assert_eq!(ctx.expect("A2").shape.rows, 5);
+    }
+
+    #[test]
+    fn fig7_dims_are_distinct() {
+        let cfg = ExperimentConfig::quick(64);
+        let dims = fig7_dims(&cfg);
+        assert_eq!(dims.len(), 5);
+        let trees = laab_chain::enumerate_parenthesizations(4);
+        let costs: Vec<u64> = trees.iter().map(|t| t.cost(&dims)).collect();
+        let mut unique = costs.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() >= 3, "orders should have distinct costs: {costs:?}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Compact storage for structured matrices.
+//!
+//! The paper's Experiment 3 probes whether frameworks exploit tridiagonal and
+//! diagonal structure. Frameworks receive the operands as ordinary dense
+//! matrices (and ignore the structure); the specialized kernels — like
+//! `tf.linalg.tridiagonal_matmul` — receive these compact forms instead.
+
+use crate::{Matrix, Scalar};
+
+/// A tridiagonal matrix stored as its three diagonals.
+///
+/// For an `n×n` matrix: `sub` has length `n-1` (entries `(i+1, i)`), `main`
+/// has length `n` (entries `(i, i)`), `sup` has length `n-1` (entries
+/// `(i, i+1)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal<T: Scalar> {
+    /// Sub-diagonal, length `n-1`.
+    pub sub: Vec<T>,
+    /// Main diagonal, length `n`.
+    pub main: Vec<T>,
+    /// Super-diagonal, length `n-1`.
+    pub sup: Vec<T>,
+}
+
+impl<T: Scalar> Tridiagonal<T> {
+    /// Construct from the three diagonals.
+    ///
+    /// # Panics
+    /// If the lengths are inconsistent.
+    pub fn new(sub: Vec<T>, main: Vec<T>, sup: Vec<T>) -> Self {
+        let n = main.len();
+        assert!(n > 0, "tridiagonal matrix must be non-empty");
+        assert_eq!(sub.len(), n - 1, "sub-diagonal must have length n-1");
+        assert_eq!(sup.len(), n - 1, "super-diagonal must have length n-1");
+        Self { sub, main, sup }
+    }
+
+    /// Matrix dimension `n`.
+    pub fn n(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Expand to a dense `n×n` matrix (what the frameworks are handed).
+    pub fn to_dense(&self) -> Matrix<T> {
+        let n = self.n();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = self.main[i];
+            if i + 1 < n {
+                m[(i + 1, i)] = self.sub[i];
+                m[(i, i + 1)] = self.sup[i];
+            }
+        }
+        m
+    }
+
+    /// Extract the compact form from a dense matrix, ignoring entries outside
+    /// the three central diagonals.
+    pub fn from_dense(m: &Matrix<T>) -> Self {
+        assert!(m.is_square(), "tridiagonal extraction requires a square matrix");
+        let n = m.rows();
+        let main = (0..n).map(|i| m[(i, i)]).collect();
+        let sub = (0..n - 1).map(|i| m[(i + 1, i)]).collect();
+        let sup = (0..n - 1).map(|i| m[(i, i + 1)]).collect();
+        Self { sub, main, sup }
+    }
+}
+
+/// A diagonal matrix stored as its main diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagonal<T: Scalar> {
+    /// The main diagonal, length `n`.
+    pub d: Vec<T>,
+}
+
+impl<T: Scalar> Diagonal<T> {
+    /// Construct from the diagonal entries.
+    pub fn new(d: Vec<T>) -> Self {
+        assert!(!d.is_empty(), "diagonal matrix must be non-empty");
+        Self { d }
+    }
+
+    /// Matrix dimension `n`.
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Expand to a dense `n×n` matrix.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let n = self.n();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = self.d[i];
+        }
+        m
+    }
+
+    /// Extract the main diagonal of a dense matrix.
+    pub fn from_dense(m: &Matrix<T>) -> Self {
+        assert!(m.is_square(), "diagonal extraction requires a square matrix");
+        Self { d: (0..m.rows()).map(|i| m[(i, i)]).collect() }
+    }
+
+    /// View as a tridiagonal matrix with zero off-diagonals (a diagonal
+    /// matrix is the special case the paper calls out in Experiment 3).
+    pub fn to_tridiagonal(&self) -> Tridiagonal<T> {
+        let n = self.n();
+        Tridiagonal::new(vec![T::ZERO; n - 1], self.d.clone(), vec![T::ZERO; n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiagonal_dense_roundtrip() {
+        let t = Tridiagonal::new(vec![1.0f64, 2.0], vec![10.0, 20.0, 30.0], vec![4.0, 5.0]);
+        let d = t.to_dense();
+        assert_eq!(d[(0, 0)], 10.0);
+        assert_eq!(d[(1, 0)], 1.0);
+        assert_eq!(d[(0, 1)], 4.0);
+        assert_eq!(d[(2, 0)], 0.0);
+        assert_eq!(Tridiagonal::from_dense(&d), t);
+    }
+
+    #[test]
+    fn diagonal_dense_roundtrip() {
+        let dg = Diagonal::new(vec![1.0f32, 2.0, 3.0]);
+        let d = dg.to_dense();
+        assert_eq!(d[(2, 2)], 3.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(Diagonal::from_dense(&d), dg);
+    }
+
+    #[test]
+    fn diagonal_as_tridiagonal() {
+        let dg = Diagonal::new(vec![1.0f64, 2.0, 3.0]);
+        let t = dg.to_tridiagonal();
+        assert_eq!(t.to_dense(), dg.to_dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "length n-1")]
+    fn tridiagonal_bad_lengths_panic() {
+        let _ = Tridiagonal::new(vec![1.0f64], vec![1.0, 2.0, 3.0], vec![1.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the storage layer: structural operations are
+//! involutive/consistent on arbitrary shapes.
+
+use laab_dense::gen::OperandGen;
+use laab_dense::{Diagonal, Matrix, Tridiagonal};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_an_involution(r in 1usize..40, c in 1usize..40, seed in any::<u64>()) {
+        let m = OperandGen::new(seed).matrix::<f64>(r, c);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_elements(r in 1usize..20, c in 1usize..20, seed in any::<u64>()) {
+        let m = OperandGen::new(seed).matrix::<f64>(r, c);
+        let t = m.transpose();
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_set_roundtrip(
+        r in 2usize..30,
+        c in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        let m = OperandGen::new(seed).matrix::<f64>(r, c);
+        let (r0, r1) = (r / 4, r / 4 + r / 2);
+        let (c0, c1) = (c / 4, c / 4 + c / 2);
+        let block = m.submatrix(r0, r1, c0, c1);
+        let mut z = Matrix::<f64>::zeros(r, c);
+        z.set_submatrix(r0, c0, &block);
+        for i in r0..r1 {
+            for j in c0..c1 {
+                prop_assert_eq!(z[(i, j)], m[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn vcat_then_submatrix_recovers_parts(
+        r1 in 1usize..15,
+        r2 in 1usize..15,
+        c in 1usize..15,
+        seed in any::<u64>(),
+    ) {
+        let mut g = OperandGen::new(seed);
+        let a = g.matrix::<f64>(r1, c);
+        let b = g.matrix::<f64>(r2, c);
+        let v = a.vcat(&b);
+        prop_assert_eq!(v.submatrix(0, r1, 0, c), a);
+        prop_assert_eq!(v.submatrix(r1, r1 + r2, 0, c), b);
+    }
+
+    #[test]
+    fn hcat_then_submatrix_recovers_parts(
+        r in 1usize..15,
+        c1 in 1usize..15,
+        c2 in 1usize..15,
+        seed in any::<u64>(),
+    ) {
+        let mut g = OperandGen::new(seed);
+        let a = g.matrix::<f64>(r, c1);
+        let b = g.matrix::<f64>(r, c2);
+        let h = a.hcat(&b);
+        prop_assert_eq!(h.submatrix(0, r, 0, c1), a);
+        prop_assert_eq!(h.submatrix(0, r, c1, c1 + c2), b);
+    }
+
+    #[test]
+    fn block_diag_transpose_commutes(
+        n1 in 1usize..10,
+        n2 in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut g = OperandGen::new(seed);
+        let a = g.matrix::<f64>(n1, n1);
+        let b = g.matrix::<f64>(n2, n2);
+        // blkdiag(A,B)ᵀ == blkdiag(Aᵀ,Bᵀ)
+        let lhs = Matrix::block_diag(&a, &b).transpose();
+        let rhs = Matrix::block_diag(&a.transpose(), &b.transpose());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn compact_forms_roundtrip(n in 1usize..40, seed in any::<u64>()) {
+        let mut g = OperandGen::new(seed);
+        let t = g.tridiagonal::<f64>(n);
+        prop_assert_eq!(Tridiagonal::from_dense(&t.to_dense()), t);
+        let d = g.diagonal::<f64>(n);
+        prop_assert_eq!(Diagonal::from_dense(&d.to_dense()), d);
+    }
+
+    #[test]
+    fn norms_are_scale_homogeneous(r in 1usize..20, c in 1usize..20, seed in any::<u64>()) {
+        let m = OperandGen::new(seed).matrix::<f64>(r, c);
+        let s = m.scale(3.0);
+        prop_assert!((s.fro_norm() - 3.0 * m.fro_norm()).abs() < 1e-9 * (1.0 + m.fro_norm()));
+        prop_assert!((s.max_abs() - 3.0 * m.max_abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_dist_is_zero_iff_equal(r in 1usize..15, c in 1usize..15, seed in any::<u64>()) {
+        let m = OperandGen::new(seed).matrix::<f64>(r, c);
+        prop_assert_eq!(m.rel_dist(&m), 0.0);
+        let mut other = m.clone();
+        other[(0, 0)] += 1.0;
+        prop_assert!(m.rel_dist(&other) > 0.0);
+    }
+}

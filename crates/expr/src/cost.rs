@@ -1,0 +1,265 @@
+//! FLOP cost models.
+//!
+//! Two pricings of the same expression:
+//!
+//! * [`naive_cost`] — what TF/PyT pay: every product is a dense
+//!   GEMM/GEMV (`2·m·k·n`), structure ignored. Transposes fold into kernel
+//!   flags (0 FLOPs), matching the MKL dispatch the paper confirms in
+//!   Table I.
+//! * [`aware_cost`] — what a linear-algebra-aware compiler could pay:
+//!   identity products are free, diagonal/tridiagonal products are O(n²),
+//!   triangular products and `X·Xᵀ` (SYRK) cost half a GEMM.
+//!
+//! The models price the expression *as written* — they do not search for
+//! rewrites (that is `laab-rewrite`'s job, which uses these functions as
+//! its objective).
+
+use crate::expr::is_transpose_pair;
+use crate::{Context, Expr, Props};
+
+/// Cost of one product `l·r` with result `m×n` and inner dimension `k`,
+/// given the factors' properties. `syrk_pattern` marks structural `X·Xᵀ`.
+///
+/// Shared by both models ([`naive_cost`] passes empty properties).
+pub fn mul_cost(
+    m: usize,
+    k: usize,
+    n: usize,
+    lp: Props,
+    rp: Props,
+    syrk_pattern: bool,
+) -> u64 {
+    let (m64, k64, n64) = (m as u64, k as u64, n as u64);
+    // Most specific structure first.
+    if lp.contains(Props::IDENTITY) || rp.contains(Props::IDENTITY) {
+        return 0;
+    }
+    if lp.contains(Props::DIAGONAL) {
+        return k64 * n64; // row scaling of r
+    }
+    if rp.contains(Props::DIAGONAL) {
+        return m64 * k64; // column scaling of l
+    }
+    if lp.contains(Props::TRIDIAGONAL) {
+        return laab_kernels::flops::tridiag_matmul(k, n);
+    }
+    if rp.contains(Props::TRIDIAGONAL) {
+        return laab_kernels::flops::tridiag_matmul(k, m);
+    }
+    if lp.intersects(Props::LOWER_TRIANGULAR.union(Props::UPPER_TRIANGULAR))
+        || rp.intersects(Props::LOWER_TRIANGULAR.union(Props::UPPER_TRIANGULAR))
+    {
+        return m64 * k64 * n64; // TRMM: half of GEMM
+    }
+    if syrk_pattern && m == n {
+        return m64 * k64 * n64; // SYRK: half of GEMM
+    }
+    // Dense GEMM/GEMV/DOT — the `2·m·k·n` formula covers all three
+    // (m == 1 or n == 1 reduce it to the GEMV/DOT counts).
+    2 * m64 * k64 * n64
+}
+
+/// FLOPs to evaluate `expr` exactly as written, pricing every product as a
+/// dense kernel (the frameworks' behaviour).
+pub fn naive_cost(expr: &Expr, ctx: &Context) -> u64 {
+    cost_rec(expr, ctx, false)
+}
+
+/// FLOPs to evaluate `expr` exactly as written, but dispatching each node to
+/// the cheapest kernel its operands' (inferred) properties allow.
+pub fn aware_cost(expr: &Expr, ctx: &Context) -> u64 {
+    cost_rec(expr, ctx, true)
+}
+
+/// FLOPs to evaluate `expr` pricing *structurally identical subexpressions
+/// once* — the cost a back-end with common-subexpression elimination pays.
+///
+/// This is the objective the rewriter minimizes: it is what makes the
+/// re-association `(AᵀB)ᵀAᵀB → (AᵀB)ᵀ(AᵀB)` profitable (the duplicated
+/// `AᵀB` is then shared, Table II's E2-vs-E3 finding).
+pub fn shared_cost(expr: &Expr, ctx: &Context, aware: bool) -> u64 {
+    use std::collections::HashSet;
+    let mut seen: HashSet<&Expr> = HashSet::new();
+    let mut total = 0u64;
+    fn walk<'e>(
+        e: &'e Expr,
+        ctx: &Context,
+        aware: bool,
+        seen: &mut HashSet<&'e Expr>,
+        total: &mut u64,
+    ) {
+        if seen.contains(e) {
+            return;
+        }
+        // A subtree proven to *be* the identity is never computed at all.
+        if aware && e.props(ctx).contains(Props::IDENTITY) {
+            seen.insert(e);
+            return;
+        }
+        seen.insert(e);
+        for c in e.children() {
+            walk(c, ctx, aware, seen, total);
+        }
+        *total += own_cost(e, ctx, aware);
+    }
+    walk(expr, ctx, aware, &mut seen, &mut total);
+    total
+}
+
+/// The FLOPs attributable to evaluating `expr`'s root node alone (children
+/// priced separately).
+fn own_cost(expr: &Expr, ctx: &Context, aware: bool) -> u64 {
+    match expr {
+        Expr::Mul(a, b) => {
+            let (sa, sb) = (a.shape(ctx), b.shape(ctx));
+            let (lp, rp, syrk) = if aware {
+                (a.props(ctx), b.props(ctx), is_transpose_pair(a, b))
+            } else {
+                (Props::NONE, Props::NONE, false)
+            };
+            mul_cost(sa.rows, sa.cols, sb.cols, lp, rp, syrk)
+        }
+        Expr::Add(a, _) | Expr::Sub(a, _) => a.shape(ctx).len() as u64,
+        Expr::Scale(_, x) => x.shape(ctx).len() as u64,
+        _ => 0,
+    }
+}
+
+fn cost_rec(expr: &Expr, ctx: &Context, aware: bool) -> u64 {
+    // If inference proves the value *is* the identity (e.g. QᵀQ for
+    // orthogonal Q — the paper's Experiment 3 discussion), nothing needs
+    // computing: the node and its entire subtree are free.
+    if aware && expr.props(ctx).contains(Props::IDENTITY) {
+        return 0;
+    }
+    let children: u64 = expr.children().iter().map(|c| cost_rec(c, ctx, aware)).sum();
+    // Transposes fold into kernel flags; slicing and concatenation are data
+    // movement, not FLOPs (consistent with the paper's counting) — those
+    // cases contribute zero in `own_cost`.
+    children + own_cost(expr, ctx, aware)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{identity, var};
+
+    fn ctx(n: usize) -> Context {
+        Context::new()
+            .with("A", n, n)
+            .with("B", n, n)
+            .with("H", n, n)
+            .with("x", n, 1)
+            .with("y", n, 1)
+            .with_props("L", n, n, Props::LOWER_TRIANGULAR)
+            .with_props("D", n, n, Props::DIAGONAL)
+            .with_props("T", n, n, Props::TRIDIAGONAL)
+    }
+
+    const N: usize = 100;
+    const N3: u64 = (N as u64) * (N as u64) * (N as u64);
+    const N2: u64 = (N as u64) * (N as u64);
+
+    #[test]
+    fn chain_parenthesization_costs_differ() {
+        // Experiment 2: HᵀHx left-to-right is O(n³), right-to-left O(n²).
+        let c = ctx(N);
+        let ltr = var("H").t() * var("H") * var("x");
+        let rtl = var("H").t() * (var("H") * var("x"));
+        assert_eq!(naive_cost(&ltr, &c), 2 * N3 + 2 * N2);
+        assert_eq!(naive_cost(&rtl, &c), 2 * N2 + 2 * N2);
+    }
+
+    #[test]
+    fn mixed_chain_costs_match_paper() {
+        // Experiment 2, Expression 7: Hᵀ y xᵀ H.
+        let c = ctx(N);
+        let naive = Expr::chain(&[var("H").t(), var("y"), var("x").t(), var("H")]);
+        // ((Hᵀ y) xᵀ) H: 2n² + 2n² + 2n³.
+        assert_eq!(naive_cost(&naive, &c), 2 * N2 + 2 * N2 + 2 * N3);
+        let opt = (var("H").t() * var("y")) * (var("x").t() * var("H"));
+        // 2n² + 2n² + 2n² (outer product).
+        assert_eq!(naive_cost(&opt, &c), 6 * N2);
+    }
+
+    #[test]
+    fn aware_cost_uses_structure() {
+        let c = ctx(N);
+        let lb = var("L") * var("B");
+        assert_eq!(naive_cost(&lb, &c), 2 * N3);
+        assert_eq!(aware_cost(&lb, &c), N3); // TRMM: half
+
+        let aat = var("A") * var("A").t();
+        assert_eq!(aware_cost(&aat, &c), N3); // SYRK: half
+
+        let tb = var("T") * var("B");
+        assert_eq!(aware_cost(&tb, &c), 6 * N2);
+
+        let db = var("D") * var("B");
+        assert_eq!(aware_cost(&db, &c), N2);
+
+        let ib = identity(N) * var("B");
+        assert_eq!(aware_cost(&ib, &c), 0);
+    }
+
+    #[test]
+    fn distributivity_eq9_costs() {
+        // Table V, Eq 9: AB + AC vs A(B+C); here C := H for brevity.
+        let c = ctx(N);
+        let lhs = var("A") * var("B") + var("A") * var("H");
+        let rhs = var("A") * (var("B") + var("H"));
+        assert_eq!(naive_cost(&lhs, &c), 4 * N3 + N2);
+        assert_eq!(naive_cost(&rhs, &c), 2 * N3 + N2);
+    }
+
+    #[test]
+    fn distributivity_eq10_rhs_more_expensive() {
+        // Table V, Eq 10: Ax − Hᵀ(Hx) [O(n²)] vs (A − HᵀH)x [O(n³)].
+        let c = ctx(N);
+        let lhs = var("A") * var("x") - var("H").t() * (var("H") * var("x"));
+        let rhs = (var("A") - var("H").t() * var("H")) * var("x");
+        assert!(naive_cost(&lhs, &c) < naive_cost(&rhs, &c));
+        assert_eq!(naive_cost(&lhs, &c), 6 * N2 + N as u64 * 1);
+        assert_eq!(naive_cost(&rhs, &c), 2 * N3 + N2 + 2 * N2);
+    }
+
+    #[test]
+    fn identity_makes_orthogonal_product_free() {
+        let c = Context::new().with_props("Q", N, N, Props::ORTHOGONAL).with("B", N, N);
+        let qtq_b = (var("Q").t() * var("Q")) * var("B");
+        // QᵀQ infers to identity, so the outer product is free too.
+        assert_eq!(aware_cost(&qtq_b, &c), 0);
+        assert_eq!(naive_cost(&qtq_b, &c), 4 * N3);
+    }
+
+    #[test]
+    fn scale_and_add_are_quadratic() {
+        let c = ctx(N);
+        assert_eq!(naive_cost(&(var("A") + var("B")), &c), N2);
+        assert_eq!(naive_cost(&crate::scale(2.0, var("A")), &c), N2);
+    }
+
+    #[test]
+    fn shared_cost_prices_duplicates_once() {
+        let c = ctx(N);
+        let s = var("A").t() * var("B");
+        // E1 = AᵀB + AᵀB: tree cost 2 GEMMs + add; shared cost 1 GEMM + add.
+        let e1 = s.clone() + s.clone();
+        assert_eq!(naive_cost(&e1, &c), 4 * N3 + N2);
+        assert_eq!(shared_cost(&e1, &c, false), 2 * N3 + N2);
+        // E2 = (AᵀB)ᵀ(AᵀB): shared cost 2 GEMMs.
+        let e2 = s.t() * s.clone();
+        assert_eq!(shared_cost(&e2, &c, false), 2 * N3 + 2 * N3);
+        // E3 (flat chain) shares nothing: 3 GEMMs.
+        let e3 = s.t() * var("A").t() * var("B");
+        assert_eq!(shared_cost(&e3, &c, false), 3 * 2 * N3);
+    }
+
+    #[test]
+    fn shared_cost_skips_identity_subtrees_in_aware_mode() {
+        let c = Context::new().with_props("Q", N, N, Props::ORTHOGONAL).with("B", N, N);
+        let e = (var("Q").t() * var("Q")) * var("B");
+        assert_eq!(shared_cost(&e, &c, true), 0);
+        assert_eq!(shared_cost(&e, &c, false), 4 * N3);
+    }
+}

@@ -1,0 +1,528 @@
+//! The expression AST and its static analyses.
+
+use crate::{Context, Props, Shape};
+
+/// A scalar factor with `Eq`/`Hash` over the IEEE bit pattern, so whole
+/// expressions can be hashed and structurally compared (required by the
+/// DAG hash-consing and the rewriter's visited-set).
+#[derive(Debug, Clone, Copy)]
+pub struct Factor(pub f64);
+
+impl PartialEq for Factor {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for Factor {}
+impl std::hash::Hash for Factor {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+/// A symbolic linear algebra expression.
+///
+/// The AST mirrors what a user can type in TF/PyT's Python front-end:
+/// named operands, `@`-products (binary, and therefore carrying the user's
+/// parenthesization), `+`/`-`, transposition, scalar scaling, slicing, and
+/// the concatenations used to assemble blocked matrices. There is no `Dot`
+/// variant: an inner product is a `1×k · k×1` product, and back-ends decide
+/// which kernel that maps to — exactly the dispatch question the paper
+/// probes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A named operand, declared in the [`Context`].
+    Var(String),
+    /// The `n×n` identity matrix (`Iₙ` in the paper's Expression 1).
+    Identity(usize),
+    /// Transposition `Xᵀ`.
+    Transpose(Box<Expr>),
+    /// Matrix product `X·Y` (binary; chains are nested left-associatively
+    /// by the builders unless explicitly parenthesized).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Elementwise sum `X + Y`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Elementwise difference `X − Y`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Scalar scaling `c·X`.
+    Scale(Factor, Box<Expr>),
+    /// Single-element extraction `X[i, j]` (a `1×1` result).
+    Elem(Box<Expr>, usize, usize),
+    /// Row extraction `X[i, :]` (a `1×n` result).
+    Row(Box<Expr>, usize),
+    /// Column extraction `X[:, j]` (an `m×1` result).
+    Col(Box<Expr>, usize),
+    /// Vertical concatenation `[X; Y]`.
+    VCat(Box<Expr>, Box<Expr>),
+    /// Horizontal concatenation `[X, Y]`.
+    HCat(Box<Expr>, Box<Expr>),
+    /// Block-diagonal assembly `blkdiag(X, Y)`.
+    BlockDiag(Box<Expr>, Box<Expr>),
+}
+
+/// A named operand.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string())
+}
+
+/// The `n×n` identity.
+pub fn identity(n: usize) -> Expr {
+    Expr::Identity(n)
+}
+
+/// Scalar scaling `c·x`.
+pub fn scale(c: f64, x: Expr) -> Expr {
+    Expr::Scale(Factor(c), Box::new(x))
+}
+
+/// Single element `x[i, j]`.
+pub fn elem(x: Expr, i: usize, j: usize) -> Expr {
+    Expr::Elem(Box::new(x), i, j)
+}
+
+/// Vertical concatenation `[a; b]`.
+pub fn vcat(a: Expr, b: Expr) -> Expr {
+    Expr::VCat(Box::new(a), Box::new(b))
+}
+
+/// Block-diagonal assembly `blkdiag(a, b)`.
+pub fn block_diag(a: Expr, b: Expr) -> Expr {
+    Expr::BlockDiag(Box::new(a), Box::new(b))
+}
+
+impl Expr {
+    /// Transposition `selfᵀ`.
+    pub fn t(&self) -> Expr {
+        Expr::Transpose(Box::new(self.clone()))
+    }
+
+    /// Row extraction `self[i, :]`.
+    pub fn row(&self, i: usize) -> Expr {
+        Expr::Row(Box::new(self.clone()), i)
+    }
+
+    /// Column extraction `self[:, j]`.
+    pub fn col(&self, j: usize) -> Expr {
+        Expr::Col(Box::new(self.clone()), j)
+    }
+
+    /// Left-associative product of a non-empty sequence — the shape the
+    /// Python `@` operator produces for an unparenthesized chain.
+    pub fn chain(parts: &[Expr]) -> Expr {
+        assert!(!parts.is_empty(), "chain of zero factors");
+        let mut it = parts.iter().cloned();
+        let first = it.next().unwrap();
+        it.fold(first, |acc, x| acc * x)
+    }
+
+    /// Flatten a product tree into its ordered factors:
+    /// `Mul(Mul(a,b),c)` → `[a, b, c]`. Non-product expressions are a
+    /// single factor. Transposes and other nodes are opaque factors.
+    pub fn product_factors(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+            match e {
+                Expr::Mul(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Immediate children, for generic traversals.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Var(_) | Expr::Identity(_) => vec![],
+            Expr::Transpose(x)
+            | Expr::Scale(_, x)
+            | Expr::Elem(x, _, _)
+            | Expr::Row(x, _)
+            | Expr::Col(x, _) => vec![x],
+            Expr::Mul(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::VCat(a, b)
+            | Expr::HCat(a, b)
+            | Expr::BlockDiag(a, b) => vec![a, b],
+        }
+    }
+
+    /// Rebuild this node with new children (must match the arity of
+    /// [`Expr::children`]). Used by the rewriter to apply rules at depth.
+    pub fn with_children(&self, mut kids: Vec<Expr>) -> Expr {
+        let mut next = || Box::new(kids.remove(0));
+        match self {
+            Expr::Var(_) | Expr::Identity(_) => self.clone(),
+            Expr::Transpose(_) => Expr::Transpose(next()),
+            Expr::Scale(c, _) => Expr::Scale(*c, next()),
+            Expr::Elem(_, i, j) => Expr::Elem(next(), *i, *j),
+            Expr::Row(_, i) => Expr::Row(next(), *i),
+            Expr::Col(_, j) => Expr::Col(next(), *j),
+            Expr::Mul(_, _) => Expr::Mul(next(), next()),
+            Expr::Add(_, _) => Expr::Add(next(), next()),
+            Expr::Sub(_, _) => Expr::Sub(next(), next()),
+            Expr::VCat(_, _) => Expr::VCat(next(), next()),
+            Expr::HCat(_, _) => Expr::HCat(next(), next()),
+            Expr::BlockDiag(_, _) => Expr::BlockDiag(next(), next()),
+        }
+    }
+
+    /// Total number of AST nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Shape of the expression under `ctx`.
+    ///
+    /// # Panics
+    /// On shape mismatches or undeclared operands (with a descriptive
+    /// message); use [`Expr::try_shape`] for a fallible version.
+    pub fn shape(&self, ctx: &Context) -> Shape {
+        self.try_shape(ctx).unwrap_or_else(|e| panic!("{e} in `{self}`"))
+    }
+
+    /// Fallible shape inference.
+    pub fn try_shape(&self, ctx: &Context) -> Result<Shape, String> {
+        Ok(match self {
+            Expr::Var(name) => {
+                ctx.get(name).ok_or_else(|| format!("operand `{name}` undeclared"))?.shape
+            }
+            Expr::Identity(n) => Shape::new(*n, *n),
+            Expr::Transpose(x) => x.try_shape(ctx)?.t(),
+            Expr::Mul(a, b) => {
+                let (sa, sb) = (a.try_shape(ctx)?, b.try_shape(ctx)?);
+                if sa.cols != sb.rows {
+                    return Err(format!(
+                        "product dimension mismatch: {sa} · {sb} (inner {} vs {})",
+                        sa.cols, sb.rows
+                    ));
+                }
+                Shape::new(sa.rows, sb.cols)
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                let (sa, sb) = (a.try_shape(ctx)?, b.try_shape(ctx)?);
+                if sa != sb {
+                    return Err(format!("elementwise shape mismatch: {sa} vs {sb}"));
+                }
+                sa
+            }
+            Expr::Scale(_, x) => x.try_shape(ctx)?,
+            Expr::Elem(x, i, j) => {
+                let s = x.try_shape(ctx)?;
+                if *i >= s.rows || *j >= s.cols {
+                    return Err(format!("element ({i},{j}) out of bounds for {s}"));
+                }
+                Shape::new(1, 1)
+            }
+            Expr::Row(x, i) => {
+                let s = x.try_shape(ctx)?;
+                if *i >= s.rows {
+                    return Err(format!("row {i} out of bounds for {s}"));
+                }
+                Shape::new(1, s.cols)
+            }
+            Expr::Col(x, j) => {
+                let s = x.try_shape(ctx)?;
+                if *j >= s.cols {
+                    return Err(format!("column {j} out of bounds for {s}"));
+                }
+                Shape::new(s.rows, 1)
+            }
+            Expr::VCat(a, b) => {
+                let (sa, sb) = (a.try_shape(ctx)?, b.try_shape(ctx)?);
+                if sa.cols != sb.cols {
+                    return Err(format!("vcat column mismatch: {sa} vs {sb}"));
+                }
+                Shape::new(sa.rows + sb.rows, sa.cols)
+            }
+            Expr::HCat(a, b) => {
+                let (sa, sb) = (a.try_shape(ctx)?, b.try_shape(ctx)?);
+                if sa.rows != sb.rows {
+                    return Err(format!("hcat row mismatch: {sa} vs {sb}"));
+                }
+                Shape::new(sa.rows, sa.cols + sb.cols)
+            }
+            Expr::BlockDiag(a, b) => {
+                let (sa, sb) = (a.try_shape(ctx)?, b.try_shape(ctx)?);
+                Shape::new(sa.rows + sb.rows, sa.cols + sb.cols)
+            }
+        })
+    }
+
+    /// Inferred properties of the expression's value under `ctx`.
+    pub fn props(&self, ctx: &Context) -> Props {
+        match self {
+            Expr::Var(name) => ctx.expect(name).props,
+            Expr::Identity(_) => Props::IDENTITY.normalize(),
+            Expr::Transpose(x) => x.props(ctx).transpose(),
+            Expr::Mul(a, b) => {
+                let p = a.props(ctx).mul(b.props(ctx));
+                // Structural rule the bit-lattice cannot see: X·Xᵀ is
+                // symmetric (the SYRK pattern of Experiment 3), and QᵀQ for
+                // orthogonal Q is the identity.
+                let p = if is_transpose_pair(a, b) { p.union(Props::SYMMETRIC) } else { p };
+                if is_transpose_pair(a, b)
+                    && a.props(ctx).contains(Props::ORTHOGONAL)
+                    && matches!(&**a, Expr::Transpose(_))
+                {
+                    // Aᵀ·A with A orthogonal ⇒ identity.
+                    return Props::IDENTITY.normalize();
+                }
+                p.normalize()
+            }
+            Expr::Add(a, b) => a.props(ctx).add(b.props(ctx)),
+            Expr::Sub(a, b) => a.props(ctx).add(b.props(ctx)).remove(Props::SPD),
+            Expr::Scale(c, x) => x.props(ctx).scale(c.0),
+            Expr::Elem(_, _, _) | Expr::Row(_, _) | Expr::Col(_, _) => Props::NONE,
+            Expr::VCat(_, _) | Expr::HCat(_, _) => Props::NONE,
+            Expr::BlockDiag(a, b) => a.props(ctx).intersect(b.props(ctx)).normalize(),
+        }
+    }
+
+    /// `true` if the named operand occurs anywhere in the expression.
+    pub fn uses_var(&self, name: &str) -> bool {
+        match self {
+            Expr::Var(v) => v == name,
+            _ => self.children().iter().any(|c| c.uses_var(name)),
+        }
+    }
+}
+
+/// `true` when `(a, b)` form the pattern `X·Xᵀ` or `Xᵀ·X` (structurally).
+pub fn is_transpose_pair(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (x, Expr::Transpose(inner)) if **inner == *x => true,
+        (Expr::Transpose(inner), x) if **inner == *x => true,
+        _ => false,
+    }
+}
+
+// ---- operator overloads (consuming; clone at the call-site to reuse) ----
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        scale(-1.0, self)
+    }
+}
+
+// ---- pretty-printing ----
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn needs_parens_in_product(e: &Expr) -> bool {
+            matches!(e, Expr::Add(_, _) | Expr::Sub(_, _) | Expr::Scale(_, _))
+        }
+        fn fmt_factor(e: &Expr, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            if needs_parens_in_product(e) {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        }
+        match self {
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Identity(_) => write!(f, "I"),
+            Expr::Transpose(x) => {
+                if matches!(**x, Expr::Var(_) | Expr::Identity(_)) {
+                    write!(f, "{x}^T")
+                } else {
+                    write!(f, "({x})^T")
+                }
+            }
+            Expr::Mul(a, b) => {
+                fmt_factor(a, f)?;
+                write!(f, " ")?;
+                // Parenthesize a product on the right to make the user's
+                // association visible: `A (B C)` vs `A B C`.
+                if matches!(**b, Expr::Mul(_, _)) || needs_parens_in_product(b) {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Expr::Add(a, b) => write!(f, "{a} + {b}"),
+            Expr::Sub(a, b) => {
+                if matches!(**b, Expr::Add(_, _) | Expr::Sub(_, _)) {
+                    write!(f, "{a} - ({b})")
+                } else {
+                    write!(f, "{a} - {b}")
+                }
+            }
+            Expr::Scale(c, x) => {
+                if matches!(**x, Expr::Var(_) | Expr::Identity(_)) {
+                    write!(f, "{}*{x}", c.0)
+                } else {
+                    write!(f, "{}*({x})", c.0)
+                }
+            }
+            Expr::Elem(x, i, j) => {
+                if matches!(**x, Expr::Var(_)) {
+                    write!(f, "{x}[{i},{j}]")
+                } else {
+                    write!(f, "({x})[{i},{j}]")
+                }
+            }
+            Expr::Row(x, i) => {
+                if matches!(**x, Expr::Var(_)) {
+                    write!(f, "{x}[{i},:]")
+                } else {
+                    write!(f, "({x})[{i},:]")
+                }
+            }
+            Expr::Col(x, j) => {
+                if matches!(**x, Expr::Var(_)) {
+                    write!(f, "{x}[:,{j}]")
+                } else {
+                    write!(f, "({x})[:,{j}]")
+                }
+            }
+            Expr::VCat(a, b) => write!(f, "[{a}; {b}]"),
+            Expr::HCat(a, b) => write!(f, "[{a}, {b}]"),
+            Expr::BlockDiag(a, b) => write!(f, "blkdiag({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_n(n: usize) -> Context {
+        Context::new().with("A", n, n).with("B", n, n).with("x", n, 1).with("y", n, 1)
+    }
+
+    #[test]
+    fn chain_is_left_associative() {
+        let c = Expr::chain(&[var("A"), var("B"), var("A")]);
+        // ((A B) A)
+        match &c {
+            Expr::Mul(l, r) => {
+                assert!(matches!(**l, Expr::Mul(_, _)));
+                assert!(matches!(**r, Expr::Var(_)));
+            }
+            _ => panic!("expected product"),
+        }
+        assert_eq!(c.product_factors().len(), 3);
+    }
+
+    #[test]
+    fn shape_inference_products_and_vectors() {
+        let ctx = ctx_n(8);
+        let e = var("A").t() * var("B") * var("x");
+        assert_eq!(e.shape(&ctx), Shape::new(8, 1));
+        let outer = var("x") * var("y").t();
+        assert_eq!(outer.shape(&ctx), Shape::new(8, 8));
+        let dot = var("x").t() * var("y");
+        assert_eq!(dot.shape(&ctx), Shape::new(1, 1));
+    }
+
+    #[test]
+    fn shape_errors_are_descriptive() {
+        let ctx = ctx_n(8);
+        let bad = var("x") * var("A");
+        let err = bad.try_shape(&ctx).unwrap_err();
+        assert!(err.contains("dimension mismatch"), "{err}");
+        let undeclared = var("Z").try_shape(&ctx).unwrap_err();
+        assert!(undeclared.contains("undeclared"));
+        let oob = elem(var("A"), 99, 0).try_shape(&ctx).unwrap_err();
+        assert!(oob.contains("out of bounds"));
+    }
+
+    #[test]
+    fn concat_shapes() {
+        let ctx = Context::new().with("P", 2, 3).with("Q", 4, 3).with("R", 2, 5);
+        assert_eq!(vcat(var("P"), var("Q")).shape(&ctx), Shape::new(6, 3));
+        let h = Expr::HCat(Box::new(var("P")), Box::new(var("R")));
+        assert_eq!(h.shape(&ctx), Shape::new(2, 8));
+        assert_eq!(block_diag(var("P"), var("Q")).shape(&ctx), Shape::new(6, 6));
+        assert!(vcat(var("P"), var("R")).try_shape(&ctx).is_err());
+    }
+
+    #[test]
+    fn props_flow_through_operators() {
+        let ctx = Context::new()
+            .with_props("L", 4, 4, Props::LOWER_TRIANGULAR)
+            .with_props("D", 4, 4, Props::DIAGONAL)
+            .with_props("Q", 4, 4, Props::ORTHOGONAL)
+            .with("A", 4, 4);
+        assert!((var("L") * var("L")).props(&ctx).contains(Props::LOWER_TRIANGULAR));
+        assert!(var("L").t().props(&ctx).contains(Props::UPPER_TRIANGULAR));
+        assert!((var("D") * var("D")).props(&ctx).contains(Props::DIAGONAL));
+        assert!((var("A") * var("A")).props(&ctx).is_none());
+        // QᵀQ is the identity.
+        let qtq = var("Q").t() * var("Q");
+        assert!(qtq.props(&ctx).contains(Props::IDENTITY));
+        // A·Aᵀ is symmetric even for general A (the SYRK pattern).
+        let aat = var("A") * var("A").t();
+        assert!(aat.props(&ctx).contains(Props::SYMMETRIC));
+    }
+
+    #[test]
+    fn display_shows_association() {
+        let left = Expr::chain(&[var("A"), var("B"), var("x")]);
+        assert_eq!(left.to_string(), "A B x");
+        let right = var("A") * (var("B") * var("x"));
+        assert_eq!(right.to_string(), "A (B x)");
+        let e2 = (var("A").t() * var("B")).t() * (var("A").t() * var("B"));
+        assert_eq!(e2.to_string(), "(A^T B)^T (A^T B)");
+        let dist = var("A") * (var("B") + var("A"));
+        assert_eq!(dist.to_string(), "A (B + A)");
+        assert_eq!(elem(var("A") + var("B"), 2, 2).to_string(), "(A + B)[2,2]");
+    }
+
+    #[test]
+    fn with_children_roundtrips() {
+        let e = (var("A") + var("B")) * var("x").t();
+        let kids: Vec<Expr> = e.children().into_iter().cloned().collect();
+        assert_eq!(e.with_children(kids), e);
+    }
+
+    #[test]
+    fn transpose_pair_detection() {
+        let a = var("A");
+        assert!(is_transpose_pair(&a, &a.t()));
+        assert!(is_transpose_pair(&a.t(), &a));
+        assert!(!is_transpose_pair(&a, &var("B").t()));
+        let s = var("A").t() * var("B");
+        assert!(is_transpose_pair(&s.t(), &s));
+    }
+
+    #[test]
+    fn uses_var_walks_tree() {
+        let e = (var("A") * var("B")).t() + identity(4);
+        assert!(e.uses_var("A"));
+        assert!(!e.uses_var("C"));
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let e = var("A") * var("B") + var("A");
+        assert_eq!(e.node_count(), 5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Memory-traffic model.
+//!
+//! The paper's Fig. 6 discussion (after Peise & Bientinesi [34]) notes that
+//! variants with identical FLOP counts can differ in execution time because
+//! of memory overheads, and that "minimizing FLOP count does not always
+//! minimize execution time, especially when the overheads due to memory
+//! references dominate". This module provides the complementary metric: a
+//! static estimate of the bytes each node moves, under the standard
+//! streaming model (each operand read once, each result written once —
+//! packed/blocked kernels approximate this for cache-resident panels).
+//!
+//! Combined with the FLOP models in [`crate::cost`], it yields the
+//! arithmetic intensity (FLOPs/byte) that separates compute-bound
+//! expressions (GEMM-dominated, intensity ~n/2) from memory-bound ones
+//! (GEMV/elementwise chains, intensity < 1) — the regime distinction the
+//! paper uses to justify FLOPs as its primary cost indicator for dense
+//! chains.
+
+use crate::{Context, Expr};
+
+/// Bytes moved and FLOPs performed by an expression, plus derived ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficEstimate {
+    /// Bytes read from operands and intermediates.
+    pub bytes_read: u64,
+    /// Bytes written to intermediates and the result.
+    pub bytes_written: u64,
+    /// FLOPs under the naive (as-written, dense-kernel) model.
+    pub flops: u64,
+}
+
+impl TrafficEstimate {
+    /// Total bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (0 when no traffic).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes_total() == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes_total() as f64
+        }
+    }
+
+    /// `true` when the expression sits in the compute-bound regime for a
+    /// machine with the given balance point (FLOPs per byte at which
+    /// compute and bandwidth cost the same — ~10 for current CPUs).
+    pub fn is_compute_bound(&self, machine_balance: f64) -> bool {
+        self.intensity() >= machine_balance
+    }
+}
+
+/// Estimate the traffic of evaluating `expr` as written, for element size
+/// `elem_bytes` (4 for `f32`, 8 for `f64`).
+///
+/// Model: every node reads each operand once and writes its result once;
+/// transposes that feed products are folded (no traffic), other transposes
+/// copy. This is the same per-kernel convention the FLOP model uses, so the
+/// two compose into a consistent intensity estimate.
+pub fn traffic(expr: &Expr, ctx: &Context, elem_bytes: u64) -> TrafficEstimate {
+    let mut t = TrafficEstimate { bytes_read: 0, bytes_written: 0, flops: 0 };
+    walk(expr, ctx, elem_bytes, &mut t, true);
+    t.flops = crate::cost::naive_cost(expr, ctx);
+    t
+}
+
+fn bytes_of(e: &Expr, ctx: &Context, elem_bytes: u64) -> u64 {
+    e.shape(ctx).len() as u64 * elem_bytes
+}
+
+fn walk(e: &Expr, ctx: &Context, eb: u64, t: &mut TrafficEstimate, transpose_folds: bool) {
+    // Children first (intermedates are materialized bottom-up).
+    for c in e.children() {
+        // A transpose directly under a product is a kernel flag: its child
+        // is what actually gets read.
+        let folds = matches!(e, Expr::Mul(_, _));
+        walk(c, ctx, eb, t, folds);
+    }
+    match e {
+        Expr::Var(_) | Expr::Identity(_) => {
+            // Leaves are read by their consumers; counted at the consumer.
+        }
+        Expr::Transpose(x) => {
+            if !transpose_folds {
+                // Materialized transpose: read + write the full operand.
+                let b = bytes_of(x, ctx, eb);
+                t.bytes_read += b;
+                t.bytes_written += b;
+            }
+        }
+        Expr::Mul(a, b) => {
+            t.bytes_read += bytes_of(a, ctx, eb) + bytes_of(b, ctx, eb);
+            t.bytes_written += bytes_of(e, ctx, eb);
+        }
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            t.bytes_read += bytes_of(a, ctx, eb) + bytes_of(b, ctx, eb);
+            t.bytes_written += bytes_of(e, ctx, eb);
+        }
+        Expr::Scale(_, x) => {
+            t.bytes_read += bytes_of(x, ctx, eb);
+            t.bytes_written += bytes_of(e, ctx, eb);
+        }
+        Expr::Elem(_, _, _) => {
+            t.bytes_read += eb;
+            t.bytes_written += eb;
+        }
+        Expr::Row(x, _) | Expr::Col(x, _) => {
+            let s = x.shape(ctx);
+            let len = match e {
+                Expr::Row(_, _) => s.cols,
+                _ => s.rows,
+            } as u64;
+            t.bytes_read += len * eb;
+            t.bytes_written += len * eb;
+        }
+        Expr::VCat(a, b) | Expr::HCat(a, b) | Expr::BlockDiag(a, b) => {
+            t.bytes_read += bytes_of(a, ctx, eb) + bytes_of(b, ctx, eb);
+            t.bytes_written += bytes_of(e, ctx, eb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var;
+
+    fn ctx(n: usize) -> Context {
+        Context::new().with("A", n, n).with("B", n, n).with("x", n, 1)
+    }
+
+    const N: usize = 100;
+    const NB: u64 = (N * N * 4) as u64; // bytes of one n×n f32 matrix
+
+    #[test]
+    fn gemm_traffic_and_intensity() {
+        let c = ctx(N);
+        let e = var("A") * var("B");
+        let t = traffic(&e, &c, 4);
+        assert_eq!(t.bytes_read, 2 * NB);
+        assert_eq!(t.bytes_written, NB);
+        assert_eq!(t.flops, 2 * (N as u64).pow(3));
+        // Intensity ≈ 2n³ / 3n²·4 = n/6 ≫ 1: compute bound.
+        assert!(t.intensity() > 10.0);
+        assert!(t.is_compute_bound(10.0));
+    }
+
+    #[test]
+    fn gemv_is_memory_bound() {
+        let c = ctx(N);
+        let e = var("A") * var("x");
+        let t = traffic(&e, &c, 4);
+        // Reads the matrix + vector, writes a vector: intensity ≈ 0.5.
+        assert_eq!(t.bytes_read, NB + (N as u64) * 4);
+        assert!(t.intensity() < 1.0);
+        assert!(!t.is_compute_bound(10.0));
+    }
+
+    #[test]
+    fn folded_transpose_is_free_materialized_is_not() {
+        let c = ctx(N);
+        let folded = var("A").t() * var("B");
+        let t1 = traffic(&folded, &c, 4);
+        assert_eq!(t1.bytes_read, 2 * NB, "transpose folded into the product");
+        let materialized = (var("A").t() + var("B")) * var("B");
+        let t2 = traffic(&materialized, &c, 4);
+        // Aᵀ materializes (read+write) before the add.
+        assert_eq!(t2.bytes_read, 2 * NB + 2 * NB + NB);
+        assert_eq!(t2.bytes_written, NB + NB + NB);
+    }
+
+    #[test]
+    fn fig6_variants_have_identical_traffic() {
+        // Both instruction orders of (AB)(CD) move the same bytes — the
+        // static model cannot (and should not) distinguish them; only
+        // dynamic cache effects can, which is the paper's point.
+        let c = Context::new().with("A", N, N).with("B", N, N).with("C", N, N).with("D", N, N);
+        let u_first = (var("A") * var("B")) * (var("C") * var("D"));
+        let t = traffic(&u_first, &c, 4);
+        assert_eq!(t.bytes_read, 6 * NB);
+        assert_eq!(t.bytes_written, 3 * NB);
+    }
+
+    #[test]
+    fn partial_access_traffic_collapse() {
+        let c = ctx(N);
+        let naive = crate::elem(var("A") * var("B"), 2, 2);
+        let reco = var("A").row(2) * var("B").col(2);
+        let tn = traffic(&naive, &c, 4);
+        let tr = traffic(&reco, &c, 4);
+        // naive ≈ 3 n² elements vs reco ≈ 6 n: an Θ(n/2) traffic gap.
+        assert!(
+            tr.bytes_total() * 20 < tn.bytes_total(),
+            "recommended form moves a small fraction of the bytes: {} vs {}",
+            tr.bytes_total(),
+            tn.bytes_total()
+        );
+    }
+
+    #[test]
+    fn f64_doubles_traffic() {
+        let c = ctx(N);
+        let e = var("A") * var("B");
+        assert_eq!(traffic(&e, &c, 8).bytes_total(), 2 * traffic(&e, &c, 4).bytes_total());
+    }
+}

@@ -1,0 +1,507 @@
+//! A parser for the blackboard syntax.
+//!
+//! The paper's premise is that users write linear algebra "at a high level
+//! of abstraction, where the syntax closely resembles the one used on a
+//! blackboard". This module accepts exactly that notation as text:
+//!
+//! ```text
+//! H' y + (I - H' H) x          # Fig. 1, variant 1   (' = transpose)
+//! (A^T B)^T (A^T B)            # Table II, E2        (^T also accepted)
+//! A B + A C                    # Table V, Eq. 9      (juxtaposition = product)
+//! 2 A - 0.5 (B + C)            # scalar factors
+//! (A B)[2,2]                   # element access;  A[2,:] row;  A[:,2] column
+//! ```
+//!
+//! Products are parsed **left-associatively**, exactly like Python's `@` —
+//! so an unparenthesized chain carries the same (suboptimal) evaluation
+//! order the paper's Experiment 2 measures. A bare `I` takes its dimension
+//! from the surrounding expression (`I(4)` pins it explicitly).
+
+use crate::{Context, Expr, Factor};
+
+/// Parse error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the input.
+    pub at: usize,
+    /// Description of what went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Transpose, // ' or ^T
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push((i, Tok::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push((i, Tok::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                out.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                out.push((i, Tok::RBracket));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            ':' => {
+                out.push((i, Tok::Colon));
+                i += 1;
+            }
+            '\'' => {
+                out.push((i, Tok::Transpose));
+                i += 1;
+            }
+            '^' => {
+                if bytes.get(i + 1) == Some(&b'T') {
+                    out.push((i, Tok::Transpose));
+                    i += 2;
+                } else {
+                    return Err(ParseError { at: i, msg: "expected `^T`".into() });
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: f64 = text.parse().map_err(|_| ParseError {
+                    at: start,
+                    msg: format!("invalid number `{text}`"),
+                })?;
+                out.push((start, Tok::Number(v)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError { at: i, msg: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map(|(a, _)| *a).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError { at: self.at(), msg: format!("expected {what}") })
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { at: self.at(), msg: msg.into() }
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    acc = acc + self.term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    acc = acc - self.term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    // term := ['-'] factor (['*'] factor)*   — juxtaposition is product.
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let negate = if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut scale = 1.0f64;
+        let mut acc: Option<Expr> = None;
+        loop {
+            match self.peek() {
+                Some(Tok::Number(v)) => {
+                    let v = *v;
+                    self.pos += 1;
+                    scale *= v;
+                    // Allow `2 * A` as well as `2 A`.
+                    if self.peek() == Some(&Tok::Star) {
+                        self.pos += 1;
+                    }
+                }
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(_)) | Some(Tok::LParen) => {
+                    let f = self.postfix()?;
+                    acc = Some(match acc {
+                        None => f,
+                        Some(prev) => prev * f,
+                    });
+                }
+                _ => break,
+            }
+        }
+        let mut e = match acc {
+            Some(e) => e,
+            None if scale != 1.0 => {
+                return Err(self.err("a scalar must multiply a matrix expression"))
+            }
+            None => return Err(self.err("expected an operand")),
+        };
+        let total = if negate { -scale } else { scale };
+        if total != 1.0 {
+            e = Expr::Scale(Factor(total), Box::new(e));
+        }
+        Ok(e)
+    }
+
+    // postfix := primary (transpose | slice)*
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Transpose) => {
+                    self.pos += 1;
+                    e = e.t();
+                }
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    e = self.slice(e)?;
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    // slice := '[' (idx ',' idx | idx ',' ':' | ':' ',' idx) ']'
+    fn slice(&mut self, base: Expr) -> Result<Expr, ParseError> {
+        let row: Option<usize> = match self.peek() {
+            Some(Tok::Colon) => {
+                self.pos += 1;
+                None
+            }
+            Some(Tok::Number(v)) if v.fract() == 0.0 && *v >= 0.0 => {
+                let i = *v as usize;
+                self.pos += 1;
+                Some(i)
+            }
+            _ => return Err(self.err("expected a row index or `:`")),
+        };
+        self.expect(&Tok::Comma, "`,` in slice")?;
+        let col: Option<usize> = match self.peek() {
+            Some(Tok::Colon) => {
+                self.pos += 1;
+                None
+            }
+            Some(Tok::Number(v)) if v.fract() == 0.0 && *v >= 0.0 => {
+                let j = *v as usize;
+                self.pos += 1;
+                Some(j)
+            }
+            _ => return Err(self.err("expected a column index or `:`")),
+        };
+        self.expect(&Tok::RBracket, "`]`")?;
+        match (row, col) {
+            (Some(i), Some(j)) => Ok(Expr::Elem(Box::new(base), i, j)),
+            (Some(i), None) => Ok(Expr::Row(Box::new(base), i)),
+            (None, Some(j)) => Ok(Expr::Col(Box::new(base), j)),
+            (None, None) => Err(self.err("`[:,:]` is a no-op slice")),
+        }
+    }
+
+    // primary := ident | 'I' ['(' n ')'] | '(' expr ')'
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) if name == "I" => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let n = match self.bump() {
+                        Some(Tok::Number(v)) if v.fract() == 0.0 && v > 0.0 => v as usize,
+                        _ => return Err(self.err("expected a dimension in `I(n)`")),
+                    };
+                    self.expect(&Tok::RParen, "`)` after `I(n`")?;
+                    Ok(Expr::Identity(n))
+                } else {
+                    // Placeholder; resolved against the context afterwards.
+                    Ok(Expr::Identity(0))
+                }
+            }
+            Some(Tok::Ident(name)) => Ok(Expr::Var(name)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "closing `)`")?;
+                Ok(e)
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected an identifier or `(`"))
+            }
+        }
+    }
+}
+
+/// Resolve bare-`I` placeholders (`Identity(0)`) against sibling shapes.
+fn resolve_identity(e: &Expr, ctx: &Context) -> Expr {
+    fn is_placeholder(e: &Expr) -> bool {
+        matches!(e, Expr::Identity(0))
+    }
+    let kids: Vec<Expr> = e.children().iter().map(|c| resolve_identity(c, ctx)).collect();
+    let e = e.with_children(kids);
+    match &e {
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            let fix = |side: &Expr, other: &Expr| -> Expr {
+                if is_placeholder(side) {
+                    if let Ok(s) = other.try_shape(ctx) {
+                        if s.is_square() {
+                            return Expr::Identity(s.rows);
+                        }
+                    }
+                }
+                side.clone()
+            };
+            let (na, nb) = (fix(a, b), fix(b, a));
+            e.with_children(vec![na, nb])
+        }
+        Expr::Mul(a, b) => {
+            let mut na = (**a).clone();
+            let mut nb = (**b).clone();
+            if is_placeholder(&na) {
+                if let Ok(s) = b.try_shape(ctx) {
+                    na = Expr::Identity(s.rows);
+                }
+            }
+            if is_placeholder(&nb) {
+                if let Ok(s) = a.try_shape(ctx) {
+                    nb = Expr::Identity(s.cols);
+                }
+            }
+            e.with_children(vec![na, nb])
+        }
+        _ => e,
+    }
+}
+
+/// Parse blackboard syntax into an [`Expr`], resolving bare `I` against the
+/// context and type-checking the result.
+///
+/// # Errors
+/// Lexical/syntactic errors with byte offsets; shape errors from the final
+/// type check.
+pub fn parse(src: &str, ctx: &Context) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(ParseError { at: 0, msg: "empty expression".into() });
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError { at: p.at(), msg: "trailing input".into() });
+    }
+    let e = resolve_identity(&e, ctx);
+    e.try_shape(ctx).map_err(|msg| ParseError { at: 0, msg })?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var;
+
+    fn ctx(n: usize) -> Context {
+        Context::new()
+            .with("A", n, n)
+            .with("B", n, n)
+            .with("C", n, n)
+            .with("H", n, n)
+            .with("x", n, 1)
+            .with("y", n, 1)
+    }
+
+    #[test]
+    fn parses_fig1_variant1() {
+        let c = ctx(8);
+        let e = parse("H' y + (I - H' H) x", &c).unwrap();
+        let want = var("H").t() * var("y")
+            + (crate::identity(8) - var("H").t() * var("H")) * var("x");
+        assert_eq!(e, want);
+    }
+
+    #[test]
+    fn parses_table2_expressions() {
+        let c = ctx(8);
+        let s = var("A").t() * var("B");
+        assert_eq!(parse("A^T B", &c).unwrap(), s);
+        assert_eq!(parse("A^T B + A^T B", &c).unwrap(), s.clone() + s.clone());
+        assert_eq!(parse("(A^T B)^T (A^T B)", &c).unwrap(), s.t() * s.clone());
+        // The flat chain keeps left-association.
+        assert_eq!(
+            parse("(A^T B)^T A^T B", &c).unwrap(),
+            s.t() * var("A").t() * var("B")
+        );
+    }
+
+    #[test]
+    fn juxtaposition_is_left_associative() {
+        let c = ctx(8);
+        let e = parse("H' H x", &c).unwrap();
+        assert_eq!(e, var("H").t() * var("H") * var("x"));
+        let explicit = parse("H' (H x)", &c).unwrap();
+        assert_eq!(explicit, var("H").t() * (var("H") * var("x")));
+        assert_ne!(e, explicit, "association is preserved, not normalized");
+    }
+
+    #[test]
+    fn scalars_and_negation() {
+        let c = ctx(4);
+        assert_eq!(parse("2 A", &c).unwrap(), crate::scale(2.0, var("A")));
+        assert_eq!(parse("2 * A", &c).unwrap(), crate::scale(2.0, var("A")));
+        assert_eq!(parse("-A", &c).unwrap(), crate::scale(-1.0, var("A")));
+        assert_eq!(parse("0.5 A B", &c).unwrap(), crate::scale(0.5, var("A") * var("B")));
+        // a - 2 b
+        let e = parse("A - 2 B", &c).unwrap();
+        assert_eq!(e, var("A") - crate::scale(2.0, var("B")));
+    }
+
+    #[test]
+    fn slices() {
+        let c = ctx(8);
+        assert_eq!(parse("A[2,3]", &c).unwrap(), crate::elem(var("A"), 2, 3));
+        assert_eq!(parse("A[2,:]", &c).unwrap(), var("A").row(2));
+        assert_eq!(parse("A[:,3]", &c).unwrap(), var("A").col(3));
+        assert_eq!(
+            parse("(A B)[2,2]", &c).unwrap(),
+            crate::elem(var("A") * var("B"), 2, 2)
+        );
+        assert_eq!(
+            parse("A[2,:] B[:,2]", &c).unwrap(),
+            var("A").row(2) * var("B").col(2)
+        );
+    }
+
+    #[test]
+    fn identity_forms() {
+        let c = ctx(6);
+        assert_eq!(parse("I(6) A", &c).unwrap(), crate::identity(6) * var("A"));
+        // Bare I resolves from the sibling.
+        assert_eq!(parse("I - A", &c).unwrap(), crate::identity(6) - var("A"));
+        assert_eq!(parse("I A", &c).unwrap(), crate::identity(6) * var("A"));
+    }
+
+    #[test]
+    fn errors_are_located_and_described() {
+        let c = ctx(4);
+        let err = parse("A + ", &c).unwrap_err();
+        assert!(err.msg.contains("expected an operand"), "{err}");
+        let err = parse("A @ B", &c).unwrap_err();
+        assert!(err.msg.contains("unexpected character"), "{err}");
+        let err = parse("A[1]", &c).unwrap_err();
+        assert!(err.msg.contains("`,`"), "{err}");
+        let err = parse("x A", &c).unwrap_err();
+        assert!(err.msg.contains("dimension mismatch"), "{err}");
+        let err = parse("Z", &c).unwrap_err();
+        assert!(err.msg.contains("undeclared"), "{err}");
+        let err = parse("", &c).unwrap_err();
+        assert!(err.msg.contains("empty"), "{err}");
+        let err = parse("2", &c).unwrap_err();
+        assert!(err.msg.contains("scalar"), "{err}");
+    }
+
+    #[test]
+    fn parse_then_eval_matches_builders() {
+        let n = 6;
+        let c = ctx(n);
+        let mut g = laab_dense::gen::OperandGen::new(9);
+        let env = crate::eval::Env::<f64>::new()
+            .with("H", g.matrix(n, n))
+            .with("x", g.matrix(n, 1))
+            .with("y", g.matrix(n, 1));
+        let parsed = parse("H'(y - H x) + x", &c).unwrap();
+        let built = var("H").t() * (var("y") - var("H") * var("x")) + var("x");
+        assert_eq!(parsed, built);
+        let a = crate::eval::eval(&parsed, &env);
+        let b = crate::eval::eval(&built, &env);
+        assert!(a.approx_eq(&b, 1e-14));
+    }
+}

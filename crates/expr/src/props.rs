@@ -1,0 +1,305 @@
+//! The matrix-property lattice.
+//!
+//! Experiment 3 of the paper shows that TF/PyT ignore operand structure.
+//! This module is the knowledge they are missing: a small bit-lattice of
+//! properties with implication closure ("identity ⇒ diagonal ⇒ triangular ∧
+//! tridiagonal ∧ symmetric") and inference rules through each operator,
+//! used by the aware cost model and the property-dispatching evaluator.
+
+/// A set of matrix properties, represented as a bitset.
+///
+/// Properties are *claims the user made or inference derived*; the numeric
+/// kernels trust them (as BLAS trusts `uplo`). [`Props::normalize`] applies
+/// the implication closure so that, e.g., declaring [`Props::DIAGONAL`]
+/// automatically grants both triangular properties.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Props(u16);
+
+impl Props {
+    /// No known structure.
+    pub const NONE: Props = Props(0);
+    /// Zero strictly above the diagonal.
+    pub const LOWER_TRIANGULAR: Props = Props(1 << 0);
+    /// Zero strictly below the diagonal.
+    pub const UPPER_TRIANGULAR: Props = Props(1 << 1);
+    /// `A == Aᵀ`.
+    pub const SYMMETRIC: Props = Props(1 << 2);
+    /// Non-zero only on the main diagonal.
+    pub const DIAGONAL: Props = Props(1 << 3);
+    /// Non-zero only on the three central diagonals.
+    pub const TRIDIAGONAL: Props = Props(1 << 4);
+    /// The identity matrix.
+    pub const IDENTITY: Props = Props(1 << 5);
+    /// `AᵀA == I`.
+    pub const ORTHOGONAL: Props = Props(1 << 6);
+    /// Symmetric positive definite.
+    pub const SPD: Props = Props(1 << 7);
+
+    /// Properties that only make sense for square matrices.
+    pub const SQUARE_ONLY: Props = Props(
+        Self::LOWER_TRIANGULAR.0
+            | Self::UPPER_TRIANGULAR.0
+            | Self::SYMMETRIC.0
+            | Self::DIAGONAL.0
+            | Self::TRIDIAGONAL.0
+            | Self::IDENTITY.0
+            | Self::ORTHOGONAL.0
+            | Self::SPD.0,
+    );
+
+    /// Union of two property sets.
+    #[inline]
+    pub const fn union(self, other: Props) -> Props {
+        Props(self.0 | other.0)
+    }
+
+    /// Intersection of two property sets.
+    #[inline]
+    pub const fn intersect(self, other: Props) -> Props {
+        Props(self.0 & other.0)
+    }
+
+    /// `true` when every property in `other` is present.
+    #[inline]
+    pub const fn contains(self, other: Props) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` when at least one property in `other` is present.
+    #[inline]
+    pub const fn intersects(self, other: Props) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// `true` when no property is present.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Remove the properties in `other` from `self` (no re-normalization).
+    #[inline]
+    pub const fn remove(self, other: Props) -> Props {
+        Props(self.0 & !other.0)
+    }
+
+    /// Apply the implication closure:
+    ///
+    /// * identity ⇒ diagonal ∧ orthogonal ∧ SPD
+    /// * diagonal ⇒ lower ∧ upper ∧ tridiagonal ∧ symmetric
+    /// * lower ∧ upper ⇒ diagonal
+    /// * SPD ⇒ symmetric
+    pub const fn normalize(self) -> Props {
+        let mut bits = self.0;
+        // Iterate to fixpoint; the lattice is tiny so two passes suffice,
+        // but loop for clarity (const fn supports while).
+        let mut changed = true;
+        while changed {
+            let before = bits;
+            if bits & Self::IDENTITY.0 != 0 {
+                bits |= Self::DIAGONAL.0 | Self::ORTHOGONAL.0 | Self::SPD.0;
+            }
+            if bits & Self::LOWER_TRIANGULAR.0 != 0 && bits & Self::UPPER_TRIANGULAR.0 != 0 {
+                bits |= Self::DIAGONAL.0;
+            }
+            if bits & Self::DIAGONAL.0 != 0 {
+                bits |= Self::LOWER_TRIANGULAR.0
+                    | Self::UPPER_TRIANGULAR.0
+                    | Self::TRIDIAGONAL.0
+                    | Self::SYMMETRIC.0;
+            }
+            if bits & Self::SPD.0 != 0 {
+                bits |= Self::SYMMETRIC.0;
+            }
+            changed = bits != before;
+        }
+        Props(bits)
+    }
+
+    /// Properties of the transpose of a matrix with properties `self`.
+    pub fn transpose(self) -> Props {
+        let mut out = self.intersect(Props(
+            Self::SYMMETRIC.0
+                | Self::DIAGONAL.0
+                | Self::TRIDIAGONAL.0
+                | Self::IDENTITY.0
+                | Self::ORTHOGONAL.0
+                | Self::SPD.0,
+        ));
+        if self.contains(Self::LOWER_TRIANGULAR) {
+            out = out.union(Self::UPPER_TRIANGULAR);
+        }
+        if self.contains(Self::UPPER_TRIANGULAR) {
+            out = out.union(Self::LOWER_TRIANGULAR);
+        }
+        // A symmetric matrix keeps its triangles under transposition only
+        // because the triangles coincide; handled by symmetry already.
+        out.normalize()
+    }
+
+    /// Properties of `A·B` given the factors' properties.
+    ///
+    /// Conservative (sound but incomplete): only claims that hold for every
+    /// pair of matrices with the given structures.
+    pub fn mul(self, rhs: Props) -> Props {
+        let mut out = Props::NONE;
+        if self.contains(Self::IDENTITY) && rhs.contains(Self::IDENTITY) {
+            out = out.union(Self::IDENTITY);
+        }
+        if self.contains(Self::DIAGONAL) && rhs.contains(Self::DIAGONAL) {
+            out = out.union(Self::DIAGONAL);
+        }
+        if self.contains(Self::LOWER_TRIANGULAR) && rhs.contains(Self::LOWER_TRIANGULAR) {
+            out = out.union(Self::LOWER_TRIANGULAR);
+        }
+        if self.contains(Self::UPPER_TRIANGULAR) && rhs.contains(Self::UPPER_TRIANGULAR) {
+            out = out.union(Self::UPPER_TRIANGULAR);
+        }
+        if self.contains(Self::ORTHOGONAL) && rhs.contains(Self::ORTHOGONAL) {
+            out = out.union(Self::ORTHOGONAL);
+        }
+        out.normalize()
+    }
+
+    /// Properties of `A + B` (also covers subtraction).
+    pub fn add(self, rhs: Props) -> Props {
+        // Additive structure is the intersection of the shared linear
+        // subspaces; identity/orthogonality/SPD are not preserved by
+        // addition in general (SPD+SPD is SPD, which we do keep).
+        let keep = Props(
+            Self::LOWER_TRIANGULAR.0
+                | Self::UPPER_TRIANGULAR.0
+                | Self::SYMMETRIC.0
+                | Self::DIAGONAL.0
+                | Self::TRIDIAGONAL.0,
+        );
+        let mut out = self.intersect(rhs).intersect(keep);
+        if self.contains(Self::SPD) && rhs.contains(Self::SPD) {
+            out = out.union(Self::SPD);
+        }
+        out.normalize()
+    }
+
+    /// Properties of `c·A` for a scalar `c`.
+    pub fn scale(self, c: f64) -> Props {
+        let keep = Props(
+            Self::LOWER_TRIANGULAR.0
+                | Self::UPPER_TRIANGULAR.0
+                | Self::SYMMETRIC.0
+                | Self::DIAGONAL.0
+                | Self::TRIDIAGONAL.0,
+        );
+        let mut out = self.intersect(keep);
+        if c > 0.0 && self.contains(Self::SPD) {
+            out = out.union(Self::SPD);
+        }
+        if c == 1.0 {
+            out = out.union(self.intersect(Props(Self::IDENTITY.0 | Self::ORTHOGONAL.0)));
+        }
+        out.normalize()
+    }
+
+    /// Short human-readable listing, e.g. `lower|symmetric`.
+    pub fn describe(self) -> String {
+        const NAMES: [(Props, &str); 8] = [
+            (Props::LOWER_TRIANGULAR, "lower"),
+            (Props::UPPER_TRIANGULAR, "upper"),
+            (Props::SYMMETRIC, "symmetric"),
+            (Props::DIAGONAL, "diagonal"),
+            (Props::TRIDIAGONAL, "tridiagonal"),
+            (Props::IDENTITY, "identity"),
+            (Props::ORTHOGONAL, "orthogonal"),
+            (Props::SPD, "spd"),
+        ];
+        let parts: Vec<&str> =
+            NAMES.iter().filter(|(p, _)| self.contains(*p)).map(|(_, n)| *n).collect();
+        if parts.is_empty() {
+            "general".to_string()
+        } else {
+            parts.join("|")
+        }
+    }
+}
+
+impl std::fmt::Debug for Props {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Props({})", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_identity_implies_everything_diagonal_does() {
+        let p = Props::IDENTITY.normalize();
+        assert!(p.contains(Props::DIAGONAL));
+        assert!(p.contains(Props::LOWER_TRIANGULAR));
+        assert!(p.contains(Props::UPPER_TRIANGULAR));
+        assert!(p.contains(Props::TRIDIAGONAL));
+        assert!(p.contains(Props::SYMMETRIC));
+        assert!(p.contains(Props::ORTHOGONAL));
+        assert!(p.contains(Props::SPD));
+    }
+
+    #[test]
+    fn lower_and_upper_is_diagonal() {
+        let p = Props::LOWER_TRIANGULAR.union(Props::UPPER_TRIANGULAR).normalize();
+        assert!(p.contains(Props::DIAGONAL));
+    }
+
+    #[test]
+    fn transpose_swaps_triangles() {
+        let p = Props::LOWER_TRIANGULAR.transpose();
+        assert!(p.contains(Props::UPPER_TRIANGULAR));
+        assert!(!p.contains(Props::LOWER_TRIANGULAR));
+        // Symmetric survives transposition.
+        assert!(Props::SYMMETRIC.transpose().contains(Props::SYMMETRIC));
+        // Diagonal (hence both triangles) survives.
+        assert!(Props::DIAGONAL.transpose().contains(Props::DIAGONAL));
+    }
+
+    #[test]
+    fn mul_preserves_matching_structure() {
+        let l = Props::LOWER_TRIANGULAR;
+        assert!(l.mul(l).contains(Props::LOWER_TRIANGULAR));
+        assert!(l.mul(Props::NONE).is_none());
+        let d = Props::DIAGONAL.normalize();
+        assert!(d.mul(d).contains(Props::DIAGONAL));
+        let q = Props::ORTHOGONAL;
+        assert!(q.mul(q).contains(Props::ORTHOGONAL));
+        let i = Props::IDENTITY.normalize();
+        assert!(i.mul(i).contains(Props::IDENTITY));
+    }
+
+    #[test]
+    fn add_intersects_structure() {
+        let l = Props::LOWER_TRIANGULAR;
+        let u = Props::UPPER_TRIANGULAR;
+        assert!(l.add(l).contains(Props::LOWER_TRIANGULAR));
+        assert!(l.add(u).is_none());
+        let d = Props::DIAGONAL.normalize();
+        // diagonal + lower = lower (diagonal implies lower).
+        assert!(d.add(l).contains(Props::LOWER_TRIANGULAR));
+        assert!(Props::SPD.normalize().add(Props::SPD.normalize()).contains(Props::SPD));
+    }
+
+    #[test]
+    fn scale_drops_identity_but_keeps_diagonal() {
+        let i = Props::IDENTITY.normalize();
+        let s = i.scale(2.0);
+        assert!(!s.contains(Props::IDENTITY));
+        assert!(s.contains(Props::DIAGONAL));
+        assert!(i.scale(1.0).contains(Props::IDENTITY));
+        assert!(!Props::SPD.normalize().scale(-1.0).contains(Props::SPD));
+    }
+
+    #[test]
+    fn describe_lists_properties() {
+        assert_eq!(Props::NONE.describe(), "general");
+        let p = Props::LOWER_TRIANGULAR.union(Props::SYMMETRIC);
+        let d = p.describe();
+        assert!(d.contains("lower") && d.contains("symmetric"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Shapes and the typing context.
+
+use std::collections::BTreeMap;
+
+use crate::Props;
+
+/// The (static) shape of a matrix expression: `rows × cols`.
+///
+/// Vectors are shapes with one unit dimension; scalars are `1×1`. The paper's
+/// test expressions all have concrete sizes (n = 3000), so shapes here are
+/// concrete, not symbolic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Construct a shape.
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// The transposed shape.
+    pub const fn t(self) -> Self {
+        Self { rows: self.cols, cols: self.rows }
+    }
+
+    /// `true` for `1×n` or `n×1`.
+    pub const fn is_vector(self) -> bool {
+        self.rows == 1 || self.cols == 1
+    }
+
+    /// `true` for `1×1`.
+    pub const fn is_scalar(self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// `true` for square shapes.
+    pub const fn is_square(self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Total element count.
+    pub const fn len(self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the shape has no elements.
+    pub const fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Declared information about one named operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarInfo {
+    /// The operand's shape.
+    pub shape: Shape,
+    /// The operand's declared properties (normalized).
+    pub props: Props,
+}
+
+/// The typing context: a map from operand names to shape + properties.
+///
+/// Experiments declare their operands here once (`H` is `n×n` general, `L`
+/// is lower-triangular, …); shape inference, the cost models, the rewriter
+/// and the evaluators all consult the same declarations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Context {
+    vars: BTreeMap<String, VarInfo>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a general (property-free) operand. Returns `self` for
+    /// chaining.
+    pub fn with(mut self, name: &str, rows: usize, cols: usize) -> Self {
+        self.declare(name, Shape::new(rows, cols), Props::NONE);
+        self
+    }
+
+    /// Declare an operand with properties. Returns `self` for chaining.
+    pub fn with_props(mut self, name: &str, rows: usize, cols: usize, props: Props) -> Self {
+        self.declare(name, Shape::new(rows, cols), props);
+        self
+    }
+
+    /// Declare (or redeclare) an operand.
+    pub fn declare(&mut self, name: &str, shape: Shape, props: Props) {
+        assert!(
+            !props.intersects(Props::SQUARE_ONLY) || shape.is_square(),
+            "operand {name}: structural properties require a square shape, got {shape}"
+        );
+        self.vars.insert(name.to_string(), VarInfo { shape, props: props.normalize() });
+    }
+
+    /// Look up an operand.
+    pub fn get(&self, name: &str) -> Option<VarInfo> {
+        self.vars.get(name).copied()
+    }
+
+    /// Look up an operand, panicking with a clear message when undeclared.
+    pub fn expect(&self, name: &str) -> VarInfo {
+        self.get(name)
+            .unwrap_or_else(|| panic!("operand `{name}` is not declared in the context"))
+    }
+
+    /// Iterate over declared operand names (sorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.vars.keys().map(String::as_str)
+    }
+
+    /// Number of declared operands.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` when nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_predicates() {
+        let s = Shape::new(3, 1);
+        assert!(s.is_vector());
+        assert!(!s.is_scalar());
+        assert_eq!(s.t(), Shape::new(1, 3));
+        assert!(Shape::new(1, 1).is_scalar());
+        assert!(Shape::new(4, 4).is_square());
+        assert_eq!(Shape::new(2, 5).len(), 10);
+    }
+
+    #[test]
+    fn context_declare_and_lookup() {
+        let ctx = Context::new()
+            .with("A", 5, 5)
+            .with_props("L", 4, 4, Props::LOWER_TRIANGULAR);
+        assert_eq!(ctx.expect("A").shape, Shape::new(5, 5));
+        assert!(ctx.expect("L").props.contains(Props::LOWER_TRIANGULAR));
+        assert!(ctx.get("missing").is_none());
+        assert_eq!(ctx.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn expect_missing_panics() {
+        Context::new().expect("Z");
+    }
+
+    #[test]
+    #[should_panic(expected = "square shape")]
+    fn structural_props_require_square() {
+        let _ = Context::new().with_props("L", 3, 4, Props::LOWER_TRIANGULAR);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the symbolic layer: the property lattice is a proper
+//! closure system, and the cost models respect their defining inequalities.
+
+use laab_expr::cost::{aware_cost, naive_cost, shared_cost};
+use laab_expr::{var, Context, Expr, Props};
+use proptest::prelude::*;
+
+fn arb_props() -> impl Strategy<Value = Props> {
+    (0u16..256).prop_map(|bits| {
+        let all = [
+            Props::LOWER_TRIANGULAR,
+            Props::UPPER_TRIANGULAR,
+            Props::SYMMETRIC,
+            Props::DIAGONAL,
+            Props::TRIDIAGONAL,
+            Props::IDENTITY,
+            Props::ORTHOGONAL,
+            Props::SPD,
+        ];
+        let mut p = Props::NONE;
+        for (i, flag) in all.iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                p = p.union(*flag);
+            }
+        }
+        p
+    })
+}
+
+/// A deterministic small well-typed square expression.
+fn square_expr(seed: u64, depth: usize) -> Expr {
+    fn next(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+    fn rec(state: &mut u64, depth: usize) -> Expr {
+        if depth == 0 {
+            return match next(state) % 3 {
+                0 => var("A"),
+                1 => var("B"),
+                _ => var("L"),
+            };
+        }
+        match next(state) % 5 {
+            0 => rec(state, depth - 1).t(),
+            1 => rec(state, depth - 1) * rec(state, depth - 1),
+            2 => rec(state, depth - 1) + rec(state, depth - 1),
+            3 => rec(state, depth - 1) - rec(state, depth - 1),
+            _ => laab_expr::scale(2.0, rec(state, depth - 1)),
+        }
+    }
+    let mut state = seed | 1;
+    rec(&mut state, depth)
+}
+
+fn ctx() -> Context {
+    Context::new()
+        .with("A", 32, 32)
+        .with("B", 32, 32)
+        .with_props("L", 32, 32, Props::LOWER_TRIANGULAR)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normalize_is_idempotent_and_extensive(p in arb_props()) {
+        let n = p.normalize();
+        prop_assert_eq!(n.normalize(), n, "idempotent");
+        prop_assert!(n.contains(p), "extensive (only adds implied properties)");
+    }
+
+    #[test]
+    fn transpose_props_is_an_involution_after_normalize(p in arb_props()) {
+        let n = p.normalize();
+        prop_assert_eq!(n.transpose().transpose(), n);
+    }
+
+    #[test]
+    fn mul_props_is_monotone(p in arb_props(), q in arb_props()) {
+        // Adding knowledge can only add (never remove) conclusions.
+        let base = Props::NONE.mul(q.normalize());
+        let more = p.normalize().mul(q.normalize());
+        // base is NONE's product: nothing claimed.
+        prop_assert!(more.contains(base));
+    }
+
+    #[test]
+    fn add_props_subset_of_each_side_structure(p in arb_props(), q in arb_props()) {
+        let sum = p.normalize().add(q.normalize());
+        // Anything claimed for A+B that is purely structural must be
+        // claimed for both sides.
+        for flag in [
+            Props::LOWER_TRIANGULAR,
+            Props::UPPER_TRIANGULAR,
+            Props::DIAGONAL,
+            Props::TRIDIAGONAL,
+        ] {
+            if sum.contains(flag) {
+                prop_assert!(p.normalize().contains(flag));
+                prop_assert!(q.normalize().contains(flag));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_inequalities(seed in any::<u64>(), depth in 1usize..4) {
+        let e = square_expr(seed, depth);
+        let c = ctx();
+        prop_assume!(e.try_shape(&c).is_ok());
+        let naive = naive_cost(&e, &c);
+        let aware = aware_cost(&e, &c);
+        let shared = shared_cost(&e, &c, false);
+        let aware_shared = shared_cost(&e, &c, true);
+        prop_assert!(aware <= naive, "awareness never costs more");
+        prop_assert!(shared <= naive, "sharing never costs more");
+        prop_assert!(aware_shared <= shared, "aware sharing ≤ naive sharing");
+    }
+
+    #[test]
+    fn shape_inference_matches_evaluation_shape(seed in any::<u64>(), depth in 1usize..4) {
+        let e = square_expr(seed, depth);
+        let c = ctx();
+        prop_assume!(e.try_shape(&c).is_ok());
+        let shape = e.shape(&c);
+        let mut g = laab_dense::gen::OperandGen::new(seed);
+        let env = laab_expr::eval::Env::<f64>::new()
+            .with("A", g.matrix(32, 32))
+            .with("B", g.matrix(32, 32))
+            .with("L", g.lower_triangular(32));
+        let v = laab_expr::eval::eval(&e, &env);
+        prop_assert_eq!((v.rows(), v.cols()), (shape.rows, shape.cols));
+    }
+
+    #[test]
+    fn product_factors_and_chain_are_inverse(k in 1usize..6) {
+        let names: Vec<Expr> = (0..k).map(|i| var(&format!("M{i}"))).collect();
+        let chain = Expr::chain(&names);
+        let factors = chain.product_factors();
+        prop_assert_eq!(factors.len(), k);
+        for (f, n) in factors.iter().zip(&names) {
+            prop_assert_eq!(*f, n);
+        }
+    }
+}

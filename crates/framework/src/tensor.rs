@@ -1,0 +1,275 @@
+//! Eager-mode tensors.
+
+use std::sync::Arc;
+
+use laab_dense::{Matrix, Scalar};
+use laab_kernels::counters::{self, Kernel};
+use laab_kernels::{geadd, matmul_dispatch, Trans};
+
+/// An eager tensor: shared storage plus a transposed-view flag.
+///
+/// Cloning a `Tensor` is O(1) (the storage is behind an [`Arc`]), and
+/// [`Tensor::t`] only flips the view flag — mirroring how TF/PyT hand MKL a
+/// transposition flag instead of materializing `Aᵀ`. Every arithmetic
+/// method executes its kernel *immediately*; nothing is deferred, recorded,
+/// or deduplicated. That absence of bookkeeping is exactly eager mode's
+/// behaviour in the paper's Table I.
+#[derive(Clone)]
+pub struct Tensor<T: Scalar = f32> {
+    data: Arc<Matrix<T>>,
+    trans: bool,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// Wrap a matrix as an eager tensor.
+    pub fn new(m: Matrix<T>) -> Self {
+        Self { data: Arc::new(m), trans: false }
+    }
+
+    /// Logical number of rows (after the view flag).
+    pub fn rows(&self) -> usize {
+        if self.trans {
+            self.data.cols()
+        } else {
+            self.data.rows()
+        }
+    }
+
+    /// Logical number of columns.
+    pub fn cols(&self) -> usize {
+        if self.trans {
+            self.data.rows()
+        } else {
+            self.data.cols()
+        }
+    }
+
+    /// Logical `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// Transposed *view* — zero copy, O(1).
+    pub fn t(&self) -> Tensor<T> {
+        Tensor { data: Arc::clone(&self.data), trans: !self.trans }
+    }
+
+    fn flag(&self) -> Trans {
+        if self.trans {
+            Trans::Yes
+        } else {
+            Trans::No
+        }
+    }
+
+    /// Materialize the logical value (resolving a pending transposed view —
+    /// an O(n²) copy that the product kernels avoid by taking the flag).
+    pub fn to_matrix(&self) -> Matrix<T> {
+        if self.trans {
+            counters::record(Kernel::Transpose, 0);
+            self.data.transpose()
+        } else {
+            (*self.data).clone()
+        }
+    }
+
+    /// A dense reference when no view is pending (cheap path for kernels
+    /// that accept transposition flags).
+    fn raw(&self) -> &Matrix<T> {
+        &self.data
+    }
+
+    /// Borrow the storage when no transposed view is pending (`None` when a
+    /// materialization would be required). Lets kernels that take plain
+    /// dense inputs avoid an O(n²) copy.
+    pub fn dense_view(&self) -> Option<&Matrix<T>> {
+        if self.trans {
+            None
+        } else {
+            Some(&self.data)
+        }
+    }
+
+    /// Matrix product `self @ other` — one kernel call, transposition
+    /// passed as flags.
+    pub fn matmul(&self, other: &Tensor<T>) -> Tensor<T> {
+        Tensor::new(matmul_dispatch(
+            T::ONE,
+            self.raw(),
+            self.flag(),
+            other.raw(),
+            other.flag(),
+        ))
+    }
+
+    /// Elementwise sum (materializes pending views first, as the
+    /// frameworks' eltwise kernels do).
+    pub fn add(&self, other: &Tensor<T>) -> Tensor<T> {
+        let (a, b) = (self.dense_for_eltwise(), other.dense_for_eltwise());
+        Tensor::new(geadd(T::ONE, &a, T::ONE, &b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor<T>) -> Tensor<T> {
+        let (a, b) = (self.dense_for_eltwise(), other.dense_for_eltwise());
+        Tensor::new(geadd(T::ONE, &a, -T::ONE, &b))
+    }
+
+    /// Scalar scaling.
+    pub fn scale(&self, c: f64) -> Tensor<T> {
+        let a = self.dense_for_eltwise();
+        Tensor::new(geadd(T::from_f64(c), &a, T::ZERO, &a))
+    }
+
+    fn dense_for_eltwise(&self) -> Matrix<T> {
+        if self.trans {
+            counters::record(Kernel::Transpose, 0);
+            self.data.transpose()
+        } else {
+            (*self.data).clone()
+        }
+    }
+
+    /// Single element `self[i, j]` as a `1×1` tensor.
+    pub fn elem(&self, i: usize, j: usize) -> Tensor<T> {
+        counters::record(Kernel::Slice, 0);
+        let (r, c) = if self.trans { (j, i) } else { (i, j) };
+        Tensor::new(Matrix::filled(1, 1, self.data[(r, c)]))
+    }
+
+    /// Row slice `self[i, :]` as a `1×n` tensor.
+    pub fn row(&self, i: usize) -> Tensor<T> {
+        counters::record(Kernel::Slice, 0);
+        if self.trans {
+            Tensor::new(Matrix::row_vector(&self.data.col(i)))
+        } else {
+            Tensor::new(Matrix::row_vector(self.data.row(i)))
+        }
+    }
+
+    /// Column slice `self[:, j]` as an `n×1` tensor.
+    pub fn col(&self, j: usize) -> Tensor<T> {
+        counters::record(Kernel::Slice, 0);
+        if self.trans {
+            Tensor::new(Matrix::col_vector(self.data.row(j)))
+        } else {
+            Tensor::new(Matrix::col_vector(&self.data.col(j)))
+        }
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vcat(&self, other: &Tensor<T>) -> Tensor<T> {
+        counters::record(Kernel::Concat, 0);
+        Tensor::new(self.dense_for_eltwise().vcat(&other.dense_for_eltwise()))
+    }
+
+    /// Horizontal concatenation `[self, other]`.
+    pub fn hcat(&self, other: &Tensor<T>) -> Tensor<T> {
+        counters::record(Kernel::Concat, 0);
+        Tensor::new(self.dense_for_eltwise().hcat(&other.dense_for_eltwise()))
+    }
+
+    /// Block-diagonal assembly.
+    pub fn block_diag(&self, other: &Tensor<T>) -> Tensor<T> {
+        counters::record(Kernel::Concat, 0);
+        Tensor::new(Matrix::block_diag(
+            &self.dense_for_eltwise(),
+            &other.dense_for_eltwise(),
+        ))
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor({}x{}{})", self.rows(), self.cols(), if self.trans { ", view=T" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_dense::gen::OperandGen;
+    use laab_kernels::reference;
+
+    #[test]
+    fn transpose_view_is_zero_copy_and_correct() {
+        let mut g = OperandGen::new(61);
+        let a = g.matrix::<f64>(5, 7);
+        let t = Tensor::new(a.clone());
+        let tt = t.t();
+        assert_eq!(tt.shape(), (7, 5));
+        assert_eq!(tt.to_matrix(), a.transpose());
+        assert_eq!(tt.t().to_matrix(), a, "double transpose is the original");
+    }
+
+    #[test]
+    fn eager_matmul_folds_transpose_into_flags() {
+        let mut g = OperandGen::new(62);
+        let a = g.matrix::<f64>(8, 8);
+        let b = g.matrix::<f64>(8, 8);
+        let (ta, tb) = (Tensor::new(a.clone()), Tensor::new(b.clone()));
+        counters::reset();
+        let r = ta.t().matmul(&tb);
+        let s = counters::snapshot();
+        assert_eq!(s.calls(Kernel::Gemm), 1, "one GEMM");
+        assert_eq!(s.calls(Kernel::Transpose), 0, "no materialized transpose");
+        let want = reference::gemm_naive(
+            1.0,
+            &a,
+            Trans::Yes,
+            &b,
+            Trans::No,
+            0.0,
+            &Matrix::zeros(8, 8),
+        );
+        assert!(r.to_matrix().approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn eager_has_no_cse() {
+        // (AᵀB)ᵀ(AᵀB) in eager mode runs 3 GEMMs (Table I, row 2, Eager).
+        let mut g = OperandGen::new(63);
+        let a = Tensor::new(g.matrix::<f64>(8, 8));
+        let b = Tensor::new(g.matrix::<f64>(8, 8));
+        counters::reset();
+        let s1 = a.t().matmul(&b);
+        let s2 = a.t().matmul(&b);
+        let _r = s1.t().matmul(&s2);
+        assert_eq!(counters::snapshot().calls(Kernel::Gemm), 3);
+    }
+
+    #[test]
+    fn elementwise_and_scale() {
+        let mut g = OperandGen::new(64);
+        let a = g.matrix::<f64>(4, 4);
+        let b = g.matrix::<f64>(4, 4);
+        let (ta, tb) = (Tensor::new(a.clone()), Tensor::new(b.clone()));
+        assert!(ta.add(&tb).to_matrix().approx_eq(&a.add(&b), 1e-14));
+        assert!(ta.sub(&tb).to_matrix().approx_eq(&a.sub(&b), 1e-14));
+        assert!(ta.scale(2.5).to_matrix().approx_eq(&a.scale(2.5), 1e-14));
+        // Transposed views materialize for eltwise ops.
+        assert!(ta.t().add(&tb.t()).to_matrix().approx_eq(&a.transpose().add(&b.transpose()), 1e-14));
+    }
+
+    #[test]
+    fn slicing_respects_views() {
+        let mut g = OperandGen::new(65);
+        let a = g.matrix::<f64>(5, 7);
+        let t = Tensor::new(a.clone());
+        assert_eq!(t.elem(1, 2).to_matrix()[(0, 0)], a[(1, 2)]);
+        assert_eq!(t.t().elem(2, 1).to_matrix()[(0, 0)], a[(1, 2)]);
+        assert_eq!(t.row(3).to_matrix().as_slice(), a.row(3));
+        assert_eq!(t.t().col(3).to_matrix().as_slice(), a.row(3));
+        assert_eq!(t.col(4).shape(), (5, 1));
+        assert_eq!(t.t().row(4).shape(), (1, 5));
+    }
+
+    #[test]
+    fn concat_ops() {
+        let a = Tensor::new(Matrix::<f32>::filled(2, 3, 1.0));
+        let b = Tensor::new(Matrix::<f32>::filled(2, 3, 2.0));
+        assert_eq!(a.vcat(&b).shape(), (4, 3));
+        assert_eq!(a.hcat(&b).shape(), (2, 6));
+        assert_eq!(a.block_diag(&b).shape(), (4, 6));
+    }
+}

@@ -1,0 +1,346 @@
+//! The DAG executor.
+//!
+//! A single forward sweep in topological order. Every node dispatches to a
+//! `laab-kernels` entry point, so the thread-local FLOP/call counters give a
+//! faithful kernel-level trace of the graph's execution — the data behind
+//! the paper's analytical claims. Intermediate buffers are freed as soon as
+//! their last consumer has run (reference counting), bounding peak memory
+//! to the live frontier of the DAG.
+//!
+//! Vector-shaped products dispatch to Level-1/2 kernels the way the
+//! frameworks' `matmul` lowers to MKL: `1×k · k×1` → `DOT`,
+//! `m×k · k×1` → `GEMV`, `1×k · k×n` → `GEMV` on the transpose, everything
+//! else → `GEMM` (with transposition and `alpha` as kernel attributes).
+
+use laab_dense::{Matrix, Scalar, Tridiagonal};
+use laab_expr::eval::Env;
+use laab_kernels::counters::{self, Kernel};
+use laab_kernels::{matmul_dispatch, tridiag_matmul};
+
+use crate::ir::{Graph, OpKind};
+
+enum Val<'e, T: Scalar> {
+    Ref(&'e Matrix<T>),
+    Owned(Matrix<T>),
+}
+
+impl<'e, T: Scalar> Val<'e, T> {
+    fn get(&self) -> &Matrix<T> {
+        match self {
+            Val::Ref(m) => m,
+            Val::Owned(m) => m,
+        }
+    }
+    fn into_owned(self) -> Matrix<T> {
+        match self {
+            Val::Ref(m) => m.clone(),
+            Val::Owned(m) => m,
+        }
+    }
+}
+
+/// Execute the graph against the fed operands, returning the outputs in
+/// fetch order.
+///
+/// # Panics
+/// On missing feeds, feed-shape mismatches, or (in debug builds) a graph
+/// violating the topological invariant.
+pub fn execute<'e, T: Scalar>(g: &Graph, env: &'e Env<T>) -> Vec<Matrix<T>> {
+    debug_assert_eq!(g.check_topology(), Ok(()));
+    let mut remaining = g.use_counts();
+    let mut values: Vec<Option<Val<'e, T>>> = Vec::with_capacity(g.len());
+
+    for node in g.nodes.iter() {
+        let val: Val<'e, T> = match &node.kind {
+            OpKind::Input(name) => {
+                let m = env.expect(name);
+                assert_eq!(
+                    (m.rows(), m.cols()),
+                    (node.shape.rows, node.shape.cols),
+                    "feed `{name}` has shape {}x{}, graph expects {}",
+                    m.rows(),
+                    m.cols(),
+                    node.shape
+                );
+                Val::Ref(m)
+            }
+            OpKind::Identity(n) => Val::Owned(Matrix::identity(*n)),
+            OpKind::MatMul { ta, tb, alpha_bits } => {
+                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                let alpha = T::from_f64(f64::from_bits(*alpha_bits));
+                Val::Owned(matmul_dispatch(alpha, a, *ta, b, *tb))
+            }
+            OpKind::Add => {
+                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                Val::Owned(laab_kernels::geadd(T::ONE, a, T::ONE, b))
+            }
+            OpKind::Sub => {
+                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                Val::Owned(laab_kernels::geadd(T::ONE, a, -T::ONE, b))
+            }
+            OpKind::Scale(bits) => {
+                let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let c = T::from_f64(f64::from_bits(*bits));
+                Val::Owned(laab_kernels::geadd(c, x, T::ZERO, x))
+            }
+            OpKind::Transpose => {
+                let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Transpose, 0);
+                Val::Owned(x.transpose())
+            }
+            OpKind::Elem(r, c) => {
+                let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Slice, 0);
+                Val::Owned(Matrix::filled(1, 1, x[(*r, *c)]))
+            }
+            OpKind::Row(r) => {
+                let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Slice, 0);
+                Val::Owned(Matrix::row_vector(x.row(*r)))
+            }
+            OpKind::Col(c) => {
+                let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Slice, 0);
+                Val::Owned(Matrix::col_vector(&x.col(*c)))
+            }
+            OpKind::VCat => {
+                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Concat, 0);
+                Val::Owned(a.vcat(b))
+            }
+            OpKind::HCat => {
+                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Concat, 0);
+                Val::Owned(a.hcat(b))
+            }
+            OpKind::BlockDiag => {
+                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                counters::record(Kernel::Concat, 0);
+                Val::Owned(Matrix::block_diag(a, b))
+            }
+            OpKind::TridiagMatMul => {
+                let t = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                let compact = Tridiagonal::from_dense(t);
+                Val::Owned(tridiag_matmul(&compact, b))
+            }
+        };
+        values.push(Some(val));
+
+        // Free operands whose last consumer has now run.
+        for inp in &node.inputs {
+            let r = &mut remaining[inp.idx()];
+            *r -= 1;
+            if *r == 0 {
+                values[inp.idx()] = None;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(g.outputs.len());
+    for id in &g.outputs {
+        let r = &mut remaining[id.idx()];
+        *r -= 1;
+        if *r == 0 {
+            out.push(values[id.idx()].take().expect("output already freed").into_owned());
+        } else {
+            out.push(values[id.idx()].as_ref().expect("output already freed").get().clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GraphBuilder;
+    use crate::passes::{optimize, PassConfig};
+    use laab_dense::gen::OperandGen;
+    use laab_expr::eval::{eval, Env};
+    use laab_expr::var;
+
+    fn env(n: usize, seed: u64) -> Env<f64> {
+        let mut g = OperandGen::new(seed);
+        Env::new()
+            .with("A", g.matrix(n, n))
+            .with("B", g.matrix(n, n))
+            .with("x", g.matrix(n, 1))
+            .with("y", g.matrix(n, 1))
+    }
+
+    /// (AᵀB)ᵀ(AᵀB) built through the graph API.
+    fn fig3_graph(n: usize) -> Graph {
+        let mut gb = GraphBuilder::new();
+        let a = gb.input("A", n, n);
+        let b = gb.input("B", n, n);
+        let at = gb.transpose(a);
+        let t0 = gb.matmul(at, b);
+        let at2 = gb.transpose(a);
+        let t1 = gb.matmul(at2, b);
+        let t0t = gb.transpose(t0);
+        let ret = gb.matmul(t0t, t1);
+        gb.finish(vec![ret])
+    }
+
+    #[test]
+    fn unoptimized_and_optimized_agree_with_oracle() {
+        let n = 16;
+        let e = env(n, 42);
+        let oracle = {
+            let s = var("A").t() * var("B");
+            eval(&(s.t() * s.clone()), &e)
+        };
+        let g0 = fig3_graph(n);
+        let unopt = execute(&g0, &e);
+        assert!(unopt[0].approx_eq(&oracle, 1e-12));
+
+        let mut g1 = fig3_graph(n);
+        optimize(&mut g1, &PassConfig::all());
+        let opt = execute(&g1, &e);
+        assert!(opt[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn optimization_changes_gemm_count_not_value() {
+        let n = 12;
+        let e = env(n, 7);
+        let g0 = fig3_graph(n);
+        let (_r0, c0) = counters::measure(|| execute(&g0, &e));
+        assert_eq!(c0.calls(Kernel::Gemm), 3, "unoptimized graph runs 3 GEMMs");
+
+        let mut g1 = fig3_graph(n);
+        optimize(&mut g1, &PassConfig::all());
+        let (_r1, c1) = counters::measure(|| execute(&g1, &e));
+        assert_eq!(c1.calls(Kernel::Gemm), 2, "CSE saves one GEMM (Table I row 2)");
+        assert_eq!(c1.calls(Kernel::Transpose), 0, "transposes folded into flags");
+    }
+
+    #[test]
+    fn vector_products_dispatch_to_level1_and_2() {
+        let n = 10;
+        let e = env(n, 9);
+        // Hᵀ(Hx): two GEMVs, zero GEMMs.
+        let mut gb = GraphBuilder::new();
+        let h = gb.input("A", n, n);
+        let x = gb.input("x", n, 1);
+        let hx = gb.matmul(h, x);
+        let ht = gb.transpose(h);
+        let r = gb.matmul(ht, hx);
+        let mut g = gb.finish(vec![r]);
+        optimize(&mut g, &PassConfig::all());
+        let (out, c) = counters::measure(|| execute(&g, &e));
+        assert_eq!(c.calls(Kernel::Gemv), 2);
+        assert_eq!(c.calls(Kernel::Gemm), 0);
+        let oracle = eval(&(var("A").t() * (var("A") * var("x"))), &e);
+        assert!(out[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn dot_dispatch_for_scalar_product() {
+        let n = 10;
+        let e = env(n, 11);
+        let mut gb = GraphBuilder::new();
+        let x = gb.input("x", n, 1);
+        let y = gb.input("y", n, 1);
+        let xt = gb.transpose(x);
+        let d = gb.matmul(xt, y);
+        let mut g = gb.finish(vec![d]);
+        optimize(&mut g, &PassConfig::all());
+        let (out, c) = counters::measure(|| execute(&g, &e));
+        assert_eq!(c.calls(Kernel::Dot), 1);
+        let oracle = eval(&(var("x").t() * var("y")), &e);
+        assert!((out[0][(0, 0)] - oracle[(0, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_vector_times_matrix_uses_gemv() {
+        // yᵀ Hᵀ H evaluated left-to-right: two GEMVs (Table III, L→R case).
+        let n = 10;
+        let e = env(n, 13);
+        let mut gb = GraphBuilder::new();
+        let h = gb.input("A", n, n);
+        let y = gb.input("y", n, 1);
+        let yt = gb.transpose(y);
+        let ht = gb.transpose(h);
+        let m1 = gb.matmul(yt, ht);
+        let m2 = gb.matmul(m1, h);
+        let mut g = gb.finish(vec![m2]);
+        optimize(&mut g, &PassConfig::all());
+        let (out, c) = counters::measure(|| execute(&g, &e));
+        assert_eq!(c.calls(Kernel::Gemv), 2);
+        assert_eq!(c.calls(Kernel::Gemm), 0);
+        let oracle = eval(&(var("y").t() * var("A").t() * var("A")), &e);
+        assert!(out[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn alpha_fused_matmul_scales_output() {
+        let n = 8;
+        let e = env(n, 15);
+        let mut gb = GraphBuilder::new();
+        let a = gb.input("A", n, n);
+        let b = gb.input("B", n, n);
+        let m1 = gb.matmul(a, b);
+        let m2 = gb.matmul(a, b);
+        let s = gb.add(m1, m2);
+        let mut g = gb.finish(vec![s]);
+        optimize(&mut g, &PassConfig::all());
+        let (out, c) = counters::measure(|| execute(&g, &e));
+        assert_eq!(c.calls(Kernel::Gemm), 1);
+        assert_eq!(c.calls(Kernel::GeAdd), 0);
+        let oracle = eval(&(var("A") * var("B")), &e).scale(2.0);
+        assert!(out[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn multiple_outputs_and_shared_values() {
+        let n = 6;
+        let e = env(n, 17);
+        let mut gb = GraphBuilder::new();
+        let a = gb.input("A", n, n);
+        let b = gb.input("B", n, n);
+        let ab = gb.matmul(a, b);
+        let sum = gb.add(ab, a);
+        let g = gb.finish(vec![ab, sum, ab]);
+        let out = execute(&g, &e);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2]);
+        let oracle = eval(&(var("A") * var("B") + var("A")), &e);
+        assert!(out[1].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn tridiag_node_uses_structured_kernel() {
+        let n = 12;
+        let mut og = OperandGen::new(19);
+        let t = og.tridiagonal::<f64>(n);
+        let b = og.matrix::<f64>(n, n);
+        let e = Env::new().with("T", t.to_dense()).with("B", b.clone());
+        let mut gb = GraphBuilder::new();
+        let tn = gb.input("T", n, n);
+        let bn = gb.input("B", n, n);
+        let r = gb.tridiag_matmul(tn, bn);
+        let g = gb.finish(vec![r]);
+        let (out, c) = counters::measure(|| execute(&g, &e));
+        assert_eq!(c.calls(Kernel::TridiagMatmul), 1);
+        assert_eq!(c.calls(Kernel::Gemm), 0);
+        let oracle = laab_kernels::reference::tridiag_matmul_naive(&t, &b);
+        assert!(out[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "feed `A` has shape")]
+    fn feed_shape_mismatch_panics() {
+        let e = Env::<f64>::new().with("A", Matrix::zeros(3, 3));
+        let mut gb = GraphBuilder::new();
+        let a = gb.input("A", 4, 4);
+        let g = gb.finish(vec![a]);
+        let _ = execute(&g, &e);
+    }
+}

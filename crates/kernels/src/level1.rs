@@ -1,0 +1,128 @@
+//! BLAS Level-1: vector-vector kernels.
+//!
+//! These are the building blocks of the "hand-coded SciPy" baselines in
+//! Experiment 3 (a tridiagonal product expressed as a sequence of `SCAL`
+//! calls) and of the recommended implementations in Experiment 5 (a single
+//! `DOT` instead of a full GEMM).
+
+use laab_dense::Scalar;
+
+use crate::counters::{self, Kernel};
+use crate::flops;
+
+/// Inner product `xᵀ·y`.
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    counters::record(Kernel::Dot, flops::dot(x.len()));
+    // Four partial accumulators break the dependency chain so the loop
+    // vectorizes; the remainder is handled scalar.
+    let mut acc = [T::ZERO; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let xi = &x[c * 4..c * 4 + 4];
+        let yi = &y[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            acc[l] = xi[l].mul_add(yi[l], acc[l]);
+        }
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..x.len() {
+        total = x[i].mul_add(y[i], total);
+    }
+    total
+}
+
+/// `y := α·x + y`.
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    counters::record(Kernel::Axpy, flops::axpy(x.len()));
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// `x := α·x`.
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    counters::record(Kernel::Scal, flops::scal(x.len()));
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    counters::record(Kernel::Nrm2, flops::nrm2(x.len()));
+    let mut acc = T::ZERO;
+    for &xi in x {
+        acc = xi.mul_add(xi, acc);
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..17).map(|i| (i * 2) as f64).collect();
+        let want: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_eq!(dot(&x, &y), want);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        let e: [f32; 0] = [];
+        assert_eq!(dot(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0f64, -2.0, 4.0];
+        scal(0.5, &mut x);
+        assert_eq!(x, [0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn nrm2_pythagorean() {
+        assert!((nrm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_recorded() {
+        counters::reset();
+        let x = [1.0f32; 8];
+        let mut y = [0.0f32; 8];
+        let _ = dot(&x, &x);
+        axpy(1.0, &x, &mut y);
+        scal(2.0, &mut y);
+        let _ = nrm2(&y);
+        let s = counters::snapshot();
+        assert_eq!(s.calls(Kernel::Dot), 1);
+        assert_eq!(s.calls(Kernel::Axpy), 1);
+        assert_eq!(s.calls(Kernel::Scal), 1);
+        assert_eq!(s.calls(Kernel::Nrm2), 1);
+        assert_eq!(s.flops(Kernel::Dot), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0f32], &[1.0f32, 2.0]);
+    }
+}

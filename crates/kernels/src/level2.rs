@@ -1,0 +1,169 @@
+//! BLAS Level-2: matrix-vector kernels.
+//!
+//! `GEMV` is what makes the right-to-left parenthesization of `HᵀHx` an
+//! O(n²) computation (Experiment 2); `GER` is the outer-product update used
+//! by the loop-invariant code-motion workload (Experiment 5).
+
+use laab_dense::{Matrix, Scalar};
+
+use crate::counters::{self, Kernel};
+use crate::view::View;
+use crate::{flops, Trans};
+
+/// `y := α·op(A)·x + β·y` for a column vector `x` (`k×1`) and `y` (`m×1`).
+///
+/// # Panics
+/// On shape mismatch or if `x`/`y` are not column vectors.
+pub fn gemv<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    ta: Trans,
+    x: &Matrix<T>,
+    beta: T,
+    y: &mut Matrix<T>,
+) {
+    assert_eq!(x.cols(), 1, "gemv: x must be a column vector");
+    assert_eq!(y.cols(), 1, "gemv: y must be a column vector");
+    let av = View::of(a, ta);
+    let (m, k) = (av.rows, av.cols);
+    assert_eq!(x.rows(), k, "gemv: x length {} != {k}", x.rows());
+    assert_eq!(y.rows(), m, "gemv: y length {} != {m}", y.rows());
+    counters::record(Kernel::Gemv, flops::gemv(m, k));
+
+    let xs = x.as_slice();
+    match ta {
+        Trans::No => {
+            // Row-major A: each y[i] is a contiguous dot product.
+            for i in 0..m {
+                let row = &av.data[i * av.rs..i * av.rs + k];
+                let mut acc = T::ZERO;
+                for (aij, &xj) in row.iter().zip(xs) {
+                    acc = aij.mul_add(xj, acc);
+                }
+                let base = if beta == T::ZERO { T::ZERO } else { beta * y[(i, 0)] };
+                y[(i, 0)] = alpha.mul_add(acc, base);
+            }
+        }
+        Trans::Yes => {
+            // Aᵀx: accumulate axpy-style over the rows of A (contiguous).
+            let mut acc = vec![T::ZERO; m];
+            for j in 0..k {
+                let row = &a.as_slice()[j * a.cols()..j * a.cols() + m];
+                let xj = xs[j];
+                for (ai, &aji) in acc.iter_mut().zip(row) {
+                    *ai = xj.mul_add(aji, *ai);
+                }
+            }
+            for i in 0..m {
+                let base = if beta == T::ZERO { T::ZERO } else { beta * y[(i, 0)] };
+                y[(i, 0)] = alpha.mul_add(acc[i], base);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper allocating the output: `op(A)·x`.
+pub fn gemv_alloc<T: Scalar>(a: &Matrix<T>, ta: Trans, x: &Matrix<T>) -> Matrix<T> {
+    let (m, _) = ta.dims(a.rows(), a.cols());
+    let mut y = Matrix::zeros(m, 1);
+    gemv(T::ONE, a, ta, x, T::ZERO, &mut y);
+    y
+}
+
+/// Rank-1 update `A := α·x·yᵀ + A` for column vectors `x` (`m×1`), `y` (`n×1`).
+pub fn ger<T: Scalar>(alpha: T, x: &Matrix<T>, y: &Matrix<T>, a: &mut Matrix<T>) {
+    assert_eq!(x.cols(), 1, "ger: x must be a column vector");
+    assert_eq!(y.cols(), 1, "ger: y must be a column vector");
+    let (m, n) = a.shape();
+    assert_eq!(x.rows(), m, "ger: x length mismatch");
+    assert_eq!(y.rows(), n, "ger: y length mismatch");
+    counters::record(Kernel::Ger, flops::ger(m, n));
+    for i in 0..m {
+        let xi = alpha * x[(i, 0)];
+        let row = a.row_mut(i);
+        for (av, j) in row.iter_mut().zip(0..n) {
+            *av = xi.mul_add(y[(j, 0)], *av);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use laab_dense::gen::OperandGen;
+
+    #[test]
+    fn gemv_matches_reference_no_trans() {
+        let mut g = OperandGen::new(11);
+        let a = g.matrix::<f64>(9, 7);
+        let x = g.col_vector::<f64>(7);
+        let y = gemv_alloc(&a, Trans::No, &x);
+        assert!(y.approx_eq(&reference::gemv_naive(&a, Trans::No, &x), 1e-13));
+    }
+
+    #[test]
+    fn gemv_matches_reference_trans() {
+        let mut g = OperandGen::new(12);
+        let a = g.matrix::<f64>(9, 7);
+        let x = g.col_vector::<f64>(9);
+        let y = gemv_alloc(&a, Trans::Yes, &x);
+        assert!(y.approx_eq(&reference::gemv_naive(&a, Trans::Yes, &x), 1e-13));
+    }
+
+    #[test]
+    fn gemv_alpha_beta() {
+        let mut g = OperandGen::new(13);
+        let a = g.matrix::<f64>(5, 5);
+        let x = g.col_vector::<f64>(5);
+        let y0 = g.col_vector::<f64>(5);
+        let mut y = y0.clone();
+        gemv(2.0, &a, Trans::No, &x, 3.0, &mut y);
+        let ax = reference::gemv_naive(&a, Trans::No, &x);
+        for i in 0..5 {
+            let want = 2.0 * ax[(i, 0)] + 3.0 * y0[(i, 0)];
+            assert!((y[(i, 0)] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ger_matches_gemm_of_outer_product() {
+        let mut g = OperandGen::new(14);
+        let x = g.col_vector::<f64>(6);
+        let y = g.col_vector::<f64>(4);
+        let mut a = Matrix::<f64>::zeros(6, 4);
+        ger(1.0, &x, &y, &mut a);
+        let want = reference::gemm_naive(
+            1.0,
+            &x,
+            Trans::No,
+            &y,
+            Trans::Yes,
+            0.0,
+            &Matrix::zeros(6, 4),
+        );
+        assert!(a.approx_eq(&want, 1e-13));
+    }
+
+    #[test]
+    fn counters_recorded() {
+        counters::reset();
+        let a = Matrix::<f32>::identity(8);
+        let x = Matrix::<f32>::col_vector(&[1.0; 8]);
+        let _ = gemv_alloc(&a, Trans::No, &x);
+        let mut m = Matrix::<f32>::zeros(8, 8);
+        ger(1.0, &x, &x, &mut m);
+        let s = counters::snapshot();
+        assert_eq!(s.calls(Kernel::Gemv), 1);
+        assert_eq!(s.flops(Kernel::Gemv), 128);
+        assert_eq!(s.calls(Kernel::Ger), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column vector")]
+    fn gemv_rejects_row_vector() {
+        let a = Matrix::<f32>::identity(3);
+        let x = Matrix::<f32>::row_vector(&[1.0, 2.0, 3.0]);
+        let _ = gemv_alloc(&a, Trans::No, &x);
+    }
+}

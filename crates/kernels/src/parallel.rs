@@ -1,0 +1,110 @@
+//! Thread configuration and the row-partitioned parallel helper.
+//!
+//! The paper measures single-threaded execution (Sec. III), so the default
+//! thread count is 1. The thread-scaling ablation and the `Flow` profile's
+//! parallel `tridiagonal_matmul` raise it via [`set_num_threads`]. Worker
+//! threads are crossbeam *scoped* threads: no pool lifetime management, no
+//! `'static` bounds, and data-race freedom enforced by disjoint `&mut`
+//! row chunks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the number of threads used by parallel-capable kernels (clamped to a
+/// minimum of 1). Affects all threads; intended to be set once per run.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current kernel thread count.
+pub fn num_threads() -> usize {
+    NUM_THREADS.load(Ordering::Relaxed)
+}
+
+/// Partition `buf` (a row-major buffer of `rows` rows, each `width` wide)
+/// into contiguous row chunks and run `f(first_row, chunk)` on each, using up
+/// to [`num_threads`] scoped threads.
+///
+/// With one thread (the default, matching the paper's setup) this is a plain
+/// call with no spawn overhead.
+pub fn parallel_row_chunks<T, F>(buf: &mut [T], rows: usize, width: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert!(buf.len() >= rows * width);
+    let threads = num_threads().min(rows.max(1));
+    if threads <= 1 || rows == 0 {
+        f(0, buf);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, chunk) in buf[..rows * width].chunks_mut(rows_per * width).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(ci * rows_per, chunk));
+        }
+    })
+    .expect("kernel worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_threaded() {
+        // Other tests may have changed the global; force-check set/get.
+        set_num_threads(1);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1, "clamped to >= 1");
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_single_thread() {
+        set_num_threads(1);
+        let mut buf = vec![0u32; 12];
+        parallel_row_chunks(&mut buf, 4, 3, |r0, chunk| {
+            for (i, row) in chunk.chunks_mut(3).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (r0 + i) as u32 + 1;
+                }
+            }
+        });
+        assert_eq!(buf, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_multi_thread() {
+        set_num_threads(3);
+        let mut buf = vec![0u32; 30];
+        parallel_row_chunks(&mut buf, 10, 3, |r0, chunk| {
+            for (i, row) in chunk.chunks_mut(3).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (r0 + i) as u32 + 1;
+                }
+            }
+        });
+        set_num_threads(1);
+        for r in 0..10 {
+            for c in 0..3 {
+                assert_eq!(buf[r * 3 + c], r as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_safe() {
+        set_num_threads(16);
+        let mut buf = vec![0u8; 6];
+        parallel_row_chunks(&mut buf, 2, 3, |_r0, chunk| {
+            for v in chunk.iter_mut() {
+                *v = 9;
+            }
+        });
+        set_num_threads(1);
+        assert!(buf.iter().all(|&v| v == 9));
+    }
+}

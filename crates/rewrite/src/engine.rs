@@ -1,0 +1,304 @@
+//! Best-first search over the derivation graph.
+//!
+//! Nodes are expressions, edges are rule applications (at any position).
+//! The search keeps a priority queue ordered by expression cost (FLOPs with
+//! sharing — see [`laab_expr::cost::shared_cost`]) and a visited set; it
+//! expands the cheapest frontier node first and returns the best expression
+//! seen within the exploration budget. This mirrors Linnea's
+//! derivation-graph construction with a cost-guided traversal.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use laab_expr::cost::shared_cost;
+use laab_expr::{Context, Expr};
+
+use crate::rules::{default_rules, Rule};
+
+/// Which cost model guides the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostKind {
+    /// Dense-kernel pricing with sharing (what a framework with CSE but no
+    /// property dispatch would pay).
+    #[default]
+    NaiveShared,
+    /// Property-aware pricing with sharing (TRMM/SYRK/structured kernels).
+    AwareShared,
+}
+
+impl CostKind {
+    fn price(self, e: &Expr, ctx: &Context) -> u64 {
+        match self {
+            CostKind::NaiveShared => shared_cost(e, ctx, false),
+            CostKind::AwareShared => shared_cost(e, ctx, true),
+        }
+    }
+}
+
+/// Search outcome.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// The cheapest expression found.
+    pub best: Expr,
+    /// Its cost under the search's cost model.
+    pub best_cost: u64,
+    /// Cost of the original expression (same model).
+    pub original_cost: u64,
+    /// Number of distinct expressions explored.
+    pub explored: usize,
+}
+
+impl OptResult {
+    /// FLOP ratio original/best (≥ 1; how much the rewriting saved).
+    pub fn speedup(&self) -> f64 {
+        if self.best_cost == 0 {
+            f64::INFINITY
+        } else {
+            self.original_cost as f64 / self.best_cost as f64
+        }
+    }
+}
+
+/// The rewriting engine: a rule set plus search budgets.
+pub struct RewriteEngine {
+    rules: Vec<Rule>,
+    /// Maximum number of distinct expressions to explore.
+    pub budget: usize,
+    /// Expressions larger than this many AST nodes are not expanded
+    /// (guards against runaway distribution on big sums).
+    pub max_nodes: usize,
+}
+
+impl Default for RewriteEngine {
+    fn default() -> Self {
+        Self { rules: default_rules(), budget: 3000, max_nodes: 64 }
+    }
+}
+
+impl RewriteEngine {
+    /// Engine with the default rule set and budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with a custom rule set.
+    pub fn with_rules(rules: Vec<Rule>) -> Self {
+        Self { rules, ..Self::default() }
+    }
+
+    /// All expressions reachable from `e` by one rule application at any
+    /// position.
+    pub fn neighbors(&self, e: &Expr, ctx: &Context) -> Vec<Expr> {
+        let mut out = Vec::new();
+        // Apply at the root.
+        for rule in &self.rules {
+            out.extend((rule.apply)(e, ctx));
+        }
+        // Recurse into children, rebuilding the node around each rewritten
+        // child.
+        let children = e.children();
+        for (i, child) in children.iter().enumerate() {
+            for rewritten in self.neighbors(child, ctx) {
+                let mut kids: Vec<Expr> = children.iter().map(|c| (*c).clone()).collect();
+                kids[i] = rewritten;
+                out.push(e.with_children(kids));
+            }
+        }
+        out
+    }
+
+    /// Best-first search for the cheapest equivalent expression.
+    pub fn optimize(&self, e: &Expr, ctx: &Context, cost: CostKind) -> OptResult {
+        let original_cost = cost.price(e, ctx);
+        let mut visited: HashSet<Expr> = HashSet::new();
+        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+        // Arena keeps expressions out of the heap's ordering (ties broken
+        // by insertion order, keeping the search deterministic).
+        let mut arena: Vec<Expr> = Vec::new();
+
+        let mut best = e.clone();
+        let mut best_cost = original_cost;
+
+        visited.insert(e.clone());
+        arena.push(e.clone());
+        heap.push((Reverse(original_cost), 0));
+
+        let mut explored = 0usize;
+        while let Some((Reverse(c), idx)) = heap.pop() {
+            explored += 1;
+            if explored > self.budget {
+                break;
+            }
+            let cur = arena[idx].clone();
+            if c < best_cost || (c == best_cost && cur.node_count() < best.node_count()) {
+                best = cur.clone();
+                best_cost = c;
+            }
+            if cur.node_count() > self.max_nodes {
+                continue;
+            }
+            for n in self.neighbors(&cur, ctx) {
+                if visited.contains(&n) {
+                    continue;
+                }
+                let nc = cost.price(&n, ctx);
+                visited.insert(n.clone());
+                let nidx = arena.len();
+                arena.push(n);
+                heap.push((Reverse(nc), nidx));
+            }
+        }
+
+        OptResult { best, best_cost, original_cost, explored }
+    }
+}
+
+/// Convenience: optimize with the default engine and rule set.
+pub fn optimize_expr(e: &Expr, ctx: &Context, cost: CostKind) -> OptResult {
+    RewriteEngine::new().optimize(e, ctx, cost)
+}
+
+/// Enumerate up to `limit` distinct equivalent variants (breadth-first) —
+/// the derivation-graph exploration behind the paper's Fig. 1 variant list.
+pub fn enumerate_variants(e: &Expr, ctx: &Context, limit: usize) -> Vec<Expr> {
+    let engine = RewriteEngine::new();
+    let mut visited: HashSet<Expr> = HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    visited.insert(e.clone());
+    queue.push_back(e.clone());
+    while let Some(cur) = queue.pop_front() {
+        out.push(cur.clone());
+        if out.len() >= limit {
+            break;
+        }
+        if cur.node_count() > engine.max_nodes {
+            continue;
+        }
+        for n in engine.neighbors(&cur, ctx) {
+            if visited.insert(n.clone()) {
+                queue.push_back(n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::cost::naive_cost;
+    use laab_expr::eval::{eval, Env};
+    use laab_expr::{identity, var, Props};
+
+    fn ctx(n: usize) -> Context {
+        Context::new()
+            .with("A", n, n)
+            .with("B", n, n)
+            .with("C", n, n)
+            .with("H", n, n)
+            .with("x", n, 1)
+            .with("y", n, 1)
+    }
+
+    #[test]
+    fn chain_search_finds_right_to_left() {
+        let c = ctx(256);
+        let e = var("H").t() * var("H") * var("x");
+        let r = optimize_expr(&e, &c, CostKind::NaiveShared);
+        assert_eq!(r.best, var("H").t() * (var("H") * var("x")));
+        assert!(r.speedup() > 50.0, "O(n³) → O(n²) speedup, got {}", r.speedup());
+    }
+
+    #[test]
+    fn image_restoration_finds_variant3() {
+        // Fig. 1: from variant 1 the engine should reach (at least) the
+        // two-GEMV cost of variant 3.
+        let n = 128;
+        let c = ctx(n);
+        let (h, x, y) = (var("H"), var("x"), var("y"));
+        let v1 = h.t() * y.clone() + (identity(n) - h.t() * h.clone()) * x.clone();
+        let v3 = h.t() * (y.clone() - h.clone() * x.clone()) + x.clone();
+        let r = optimize_expr(&v1, &c, CostKind::NaiveShared);
+        let v3_cost = naive_cost(&v3, &c);
+        assert!(
+            r.best_cost <= v3_cost,
+            "search cost {} should reach variant-3 cost {v3_cost}",
+            r.best_cost
+        );
+        // And the value is preserved.
+        let mut g = laab_dense::gen::OperandGen::new(77);
+        let env = Env::<f64>::new()
+            .with("H", g.matrix(n, n))
+            .with("x", g.matrix(n, 1))
+            .with("y", g.matrix(n, 1));
+        assert!(eval(&r.best, &env).approx_eq(&eval(&v1, &env), 1e-10));
+    }
+
+    #[test]
+    fn e3_reassociates_into_shared_form() {
+        // (AᵀB)ᵀAᵀB: with shared pricing the engine should find a form
+        // costing 2 GEMMs (the E2 shape).
+        let n = 64;
+        let c = ctx(n);
+        let s = var("A").t() * var("B");
+        let e3 = s.t() * var("A").t() * var("B");
+        let r = optimize_expr(&e3, &c, CostKind::NaiveShared);
+        let n3 = (n as u64).pow(3);
+        assert_eq!(r.original_cost, 6 * n3, "E3 starts at 3 GEMMs");
+        assert_eq!(r.best_cost, 4 * n3, "ends at 2 GEMMs");
+    }
+
+    #[test]
+    fn aware_search_eliminates_orthogonal_product() {
+        let n = 64;
+        let c = Context::new()
+            .with_props("Q", n, n, Props::ORTHOGONAL)
+            .with("B", n, n);
+        let e = (var("Q").t() * var("Q")) * var("B");
+        let r = optimize_expr(&e, &c, CostKind::AwareShared);
+        assert_eq!(r.best, var("B"));
+        assert_eq!(r.best_cost, 0);
+    }
+
+    #[test]
+    fn partial_access_rewrites_to_dot() {
+        let n = 64;
+        let c = ctx(n);
+        let e = laab_expr::elem(var("A") * var("B"), 2, 2);
+        let r = optimize_expr(&e, &c, CostKind::NaiveShared);
+        assert_eq!(r.best, var("A").row(2) * var("B").col(2));
+        assert_eq!(r.best_cost, 2 * n as u64);
+    }
+
+    #[test]
+    fn variants_are_all_equivalent() {
+        let n = 10;
+        let c = ctx(n);
+        let e = var("A") * (var("B") + var("C"));
+        let variants = enumerate_variants(&e, &c, 30);
+        assert!(variants.len() >= 2, "expected at least the distributed variant");
+        let mut g = laab_dense::gen::OperandGen::new(5);
+        let env = Env::<f64>::new()
+            .with("A", g.matrix(n, n))
+            .with("B", g.matrix(n, n))
+            .with("C", g.matrix(n, n));
+        let want = eval(&e, &env);
+        for v in &variants {
+            assert!(
+                eval(v, &env).approx_eq(&want, 1e-10),
+                "variant `{v}` differs from original"
+            );
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let c = ctx(32);
+        let e = var("H").t() * var("H") * var("x") + var("A") * var("x");
+        let r1 = optimize_expr(&e, &c, CostKind::NaiveShared);
+        let r2 = optimize_expr(&e, &c, CostKind::NaiveShared);
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.best_cost, r2.best_cost);
+    }
+}

@@ -1,0 +1,482 @@
+//! The algebraic rewrite rules.
+//!
+//! Every rule is a pure function from an expression (and the typing
+//! context) to the list of equivalent expressions obtainable by applying
+//! the rule *at the root*. The engine lifts rules to arbitrary positions.
+//! Rules must be semantics-preserving — `tests/` property-checks each one
+//! numerically on random operands.
+
+use laab_chain::{chain_dims, optimal_parenthesization};
+use laab_expr::{Context, Expr, Props};
+
+/// A named rewrite rule.
+#[derive(Clone, Copy)]
+pub struct Rule {
+    /// Stable name (reported in derivation paths).
+    pub name: &'static str,
+    /// Root-position application.
+    pub apply: fn(&Expr, &Context) -> Vec<Expr>,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Rule({})", self.name)
+    }
+}
+
+/// The full default rule set.
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        Rule { name: "distribute", apply: distribute },
+        Rule { name: "factor", apply: factor },
+        Rule { name: "transpose-distribute", apply: transpose_distribute },
+        Rule { name: "transpose-cancel", apply: transpose_cancel },
+        Rule { name: "identity-eliminate", apply: identity_eliminate },
+        Rule { name: "reassociate", apply: reassociate },
+        Rule { name: "reassociate-optimal", apply: reassociate_optimal },
+        Rule { name: "blocked-split", apply: blocked_split },
+        Rule { name: "slicing-pushdown", apply: slicing_pushdown },
+        Rule { name: "scale-fuse", apply: scale_fuse },
+        Rule { name: "sum-rearrange", apply: sum_rearrange },
+    ]
+}
+
+/// `A(B±C) → AB ± AC` and `(A±B)C → AC ± BC`.
+pub fn distribute(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Mul(a, bc) = e {
+        match &**bc {
+            Expr::Add(b, c) => out.push(
+                Expr::Mul(a.clone(), b.clone()) + Expr::Mul(a.clone(), c.clone()),
+            ),
+            Expr::Sub(b, c) => out.push(
+                Expr::Mul(a.clone(), b.clone()) - Expr::Mul(a.clone(), c.clone()),
+            ),
+            _ => {}
+        }
+        if let Expr::Add(x, y) = &**a {
+            out.push(Expr::Mul(x.clone(), bc.clone()) + Expr::Mul(y.clone(), bc.clone()));
+        }
+        if let Expr::Sub(x, y) = &**a {
+            out.push(Expr::Mul(x.clone(), bc.clone()) - Expr::Mul(y.clone(), bc.clone()));
+        }
+    }
+    out
+}
+
+/// `AB ± AC → A(B±C)` and `AC ± BC → (A±B)C` (the inverse of
+/// [`distribute`]; both directions are needed because either can lower the
+/// FLOP count — the paper's Eq. 9 vs Eq. 10).
+pub fn factor(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    let (l, r, is_add) = match e {
+        Expr::Add(l, r) => (l, r, true),
+        Expr::Sub(l, r) => (l, r, false),
+        _ => return out,
+    };
+    if let (Expr::Mul(a1, b), Expr::Mul(a2, c)) = (&**l, &**r) {
+        let combine = |x: &Expr, y: &Expr| {
+            if is_add {
+                x.clone() + y.clone()
+            } else {
+                x.clone() - y.clone()
+            }
+        };
+        if a1 == a2 {
+            out.push(Expr::Mul(a1.clone(), Box::new(combine(b, c))));
+        }
+        if b == c {
+            out.push(Expr::Mul(Box::new(combine(a1, a2)), b.clone()));
+        }
+    }
+    out
+}
+
+/// `(AB)ᵀ → BᵀAᵀ`, `(A±B)ᵀ → Aᵀ±Bᵀ`, `(cA)ᵀ → cAᵀ` — and the reverse
+/// contraction `BᵀAᵀ → (AB)ᵀ` (the paper's footnote 6, `UᵀVᵀ = (VU)ᵀ`,
+/// which is how a user exposes the common subexpression in `E2`).
+pub fn transpose_distribute(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Transpose(inner) = e {
+        match &**inner {
+            Expr::Mul(a, b) => {
+                out.push(Expr::Mul(Box::new(b.t()), Box::new(a.t())));
+            }
+            Expr::Add(a, b) => out.push(a.t() + b.t()),
+            Expr::Sub(a, b) => out.push(a.t() - b.t()),
+            Expr::Scale(c, x) => out.push(Expr::Scale(*c, Box::new(x.t()))),
+            _ => {}
+        }
+    }
+    if let Expr::Mul(bt, at) = e {
+        if let (Expr::Transpose(b), Expr::Transpose(a)) = (&**bt, &**at) {
+            out.push(Expr::Mul(a.clone(), b.clone()).t());
+        }
+    }
+    out
+}
+
+/// `(Xᵀ)ᵀ → X`, and `Xᵀ → X` when `X` is (inferred) symmetric.
+pub fn transpose_cancel(e: &Expr, ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Transpose(inner) = e {
+        if let Expr::Transpose(x) = &**inner {
+            out.push((**x).clone());
+        }
+        if inner.props(ctx).contains(Props::SYMMETRIC) {
+            out.push((**inner).clone());
+        }
+    }
+    out
+}
+
+/// `I·X → X`, `X·I → X`, and `E → I` when inference proves `E` evaluates
+/// to the identity (e.g. `QᵀQ` for orthogonal `Q` — Experiment 3's
+/// discussion).
+pub fn identity_eliminate(e: &Expr, ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Mul(a, b) = e {
+        if a.props(ctx).contains(Props::IDENTITY) {
+            out.push((**b).clone());
+        }
+        if b.props(ctx).contains(Props::IDENTITY) {
+            out.push((**a).clone());
+        }
+    }
+    // Collapse a non-trivial identity-valued expression to the literal.
+    if !matches!(e, Expr::Identity(_) | Expr::Var(_)) && e.props(ctx).contains(Props::IDENTITY)
+    {
+        if let Ok(s) = e.try_shape(ctx) {
+            if s.is_square() {
+                out.push(Expr::Identity(s.rows));
+            }
+        }
+    }
+    out
+}
+
+/// Local rotations `(AB)C ↔ A(BC)` — the one-step associativity moves.
+pub fn reassociate(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Mul(l, c) = e {
+        if let Expr::Mul(a, b) = &**l {
+            out.push(Expr::Mul(a.clone(), Box::new(Expr::Mul(b.clone(), c.clone()))));
+        }
+    }
+    if let Expr::Mul(a, r) = e {
+        if let Expr::Mul(b, c) = &**r {
+            out.push(Expr::Mul(Box::new(Expr::Mul(a.clone(), b.clone())), c.clone()));
+        }
+    }
+    out
+}
+
+/// Jump straight to the DP-optimal parenthesization of a whole product
+/// chain (what `multi_dot` computes) — a macro-step that keeps the search
+/// shallow on long chains.
+pub fn reassociate_optimal(e: &Expr, ctx: &Context) -> Vec<Expr> {
+    let factors: Vec<Expr> = e.product_factors().into_iter().cloned().collect();
+    if factors.len() < 3 {
+        return vec![];
+    }
+    let Some(dims) = chain_dims(e, ctx) else { return vec![] };
+    let (_, tree) = optimal_parenthesization(&dims);
+    let opt = tree.to_expr(&factors);
+    if &opt == e {
+        vec![]
+    } else {
+        vec![opt]
+    }
+}
+
+/// `blkdiag(A₁,A₂)·[B₁;B₂] → [A₁B₁; A₂B₂]` (Eq. 11) — requires conformal
+/// blocks, which the shapes certify.
+pub fn blocked_split(e: &Expr, ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Mul(l, r) = e {
+        if let (Expr::BlockDiag(a1, a2), Expr::VCat(b1, b2)) = (&**l, &**r) {
+            let (Ok(sa1), Ok(sb1)) = (a1.try_shape(ctx), b1.try_shape(ctx)) else {
+                return out;
+            };
+            if sa1.cols == sb1.rows {
+                out.push(laab_expr::vcat(
+                    Expr::Mul(a1.clone(), b1.clone()),
+                    Expr::Mul(a2.clone(), b2.clone()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Push slicing through sums, scalings, transposes and products:
+/// the partial-operand-access recommendation of Experiment 5.
+pub fn slicing_pushdown(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Elem(x, i, j) => match &**x {
+            Expr::Add(a, b) => {
+                out.push(Expr::Elem(a.clone(), *i, *j) + Expr::Elem(b.clone(), *i, *j));
+            }
+            Expr::Sub(a, b) => {
+                out.push(Expr::Elem(a.clone(), *i, *j) - Expr::Elem(b.clone(), *i, *j));
+            }
+            Expr::Scale(c, inner) => {
+                out.push(Expr::Scale(*c, Box::new(Expr::Elem(inner.clone(), *i, *j))));
+            }
+            Expr::Transpose(inner) => out.push(Expr::Elem(inner.clone(), *j, *i)),
+            // (A·B)[i,j] → A[i,:]·B[:,j] — the O(n) dot product.
+            Expr::Mul(a, b) => out.push(Expr::Mul(
+                Box::new(Expr::Row(a.clone(), *i)),
+                Box::new(Expr::Col(b.clone(), *j)),
+            )),
+            _ => {}
+        },
+        Expr::Row(x, i) => match &**x {
+            Expr::Add(a, b) => {
+                out.push(Expr::Row(a.clone(), *i) + Expr::Row(b.clone(), *i));
+            }
+            Expr::Sub(a, b) => {
+                out.push(Expr::Row(a.clone(), *i) - Expr::Row(b.clone(), *i));
+            }
+            Expr::Mul(a, b) => {
+                out.push(Expr::Mul(Box::new(Expr::Row(a.clone(), *i)), b.clone()));
+            }
+            _ => {}
+        },
+        Expr::Col(x, j) => match &**x {
+            Expr::Add(a, b) => {
+                out.push(Expr::Col(a.clone(), *j) + Expr::Col(b.clone(), *j));
+            }
+            Expr::Sub(a, b) => {
+                out.push(Expr::Col(a.clone(), *j) - Expr::Col(b.clone(), *j));
+            }
+            Expr::Mul(a, b) => {
+                out.push(Expr::Mul(a.clone(), Box::new(Expr::Col(b.clone(), *j))));
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+    out
+}
+
+/// Commutativity/associativity of sums in one bounded step: flatten the
+/// maximal `±` tree into signed terms, then for every pair of terms emit
+/// the variant that combines that pair first (left-folding the rest).
+///
+/// This is what lets [`factor`] see `Hᵀy − Hᵀ(Hx)` as adjacent inside
+/// `Hᵀy + x − Hᵀ(Hx)` and reach the paper's Fig. 1 variant 3.
+pub fn sum_rearrange(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    fn flatten(e: &Expr, positive: bool, out: &mut Vec<(bool, Expr)>) {
+        match e {
+            Expr::Add(a, b) => {
+                flatten(a, positive, out);
+                flatten(b, positive, out);
+            }
+            Expr::Sub(a, b) => {
+                flatten(a, positive, out);
+                flatten(b, !positive, out);
+            }
+            other => out.push((positive, other.clone())),
+        }
+    }
+    fn rebuild(terms: &[(bool, Expr)]) -> Option<Expr> {
+        let first_pos = terms.iter().position(|(p, _)| *p)?;
+        let mut acc = terms[first_pos].1.clone();
+        for (i, (pos, t)) in terms.iter().enumerate() {
+            if i == first_pos {
+                continue;
+            }
+            acc = if *pos { acc + t.clone() } else { acc - t.clone() };
+        }
+        Some(acc)
+    }
+
+    if !matches!(e, Expr::Add(_, _) | Expr::Sub(_, _)) {
+        return vec![];
+    }
+    let mut terms = Vec::new();
+    flatten(e, true, &mut terms);
+    if terms.len() < 3 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for i in 0..terms.len() {
+        for j in i + 1..terms.len() {
+            let (si, ti) = &terms[i];
+            let (sj, tj) = &terms[j];
+            let combined = if si == sj {
+                (*si, ti.clone() + tj.clone())
+            } else {
+                (*si, ti.clone() - tj.clone())
+            };
+            let mut rest: Vec<(bool, Expr)> = Vec::with_capacity(terms.len() - 1);
+            for (k, t) in terms.iter().enumerate() {
+                if k == i {
+                    rest.push(combined.clone());
+                } else if k != j {
+                    rest.push(t.clone());
+                }
+            }
+            if let Some(r) = rebuild(&rest) {
+                if &r != e {
+                    out.push(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `X+X → 2X` and `c(dX) → (cd)X`.
+pub fn scale_fuse(e: &Expr, _ctx: &Context) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if let Expr::Add(a, b) = e {
+        if a == b {
+            out.push(laab_expr::scale(2.0, (**a).clone()));
+        }
+    }
+    if let Expr::Scale(c, x) = e {
+        if let Expr::Scale(d, inner) = &**x {
+            out.push(laab_expr::scale(c.0 * d.0, (**inner).clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::{identity, var};
+
+    fn ctx(n: usize) -> Context {
+        Context::new()
+            .with("A", n, n)
+            .with("B", n, n)
+            .with("C", n, n)
+            .with("H", n, n)
+            .with("x", n, 1)
+            .with_props("Q", n, n, Props::ORTHOGONAL)
+            .with_props("S", n, n, Props::SYMMETRIC)
+    }
+
+    #[test]
+    fn distribute_both_sides() {
+        let c = ctx(4);
+        let e = var("A") * (var("B") + var("C"));
+        let got = distribute(&e, &c);
+        assert_eq!(got, vec![var("A") * var("B") + var("A") * var("C")]);
+        let e2 = (var("A") - var("B")) * var("C");
+        let got2 = distribute(&e2, &c);
+        assert_eq!(got2, vec![var("A") * var("C") - var("B") * var("C")]);
+    }
+
+    #[test]
+    fn factor_requires_shared_operand() {
+        let c = ctx(4);
+        let e = var("A") * var("B") + var("A") * var("C");
+        assert_eq!(factor(&e, &c), vec![var("A") * (var("B") + var("C"))]);
+        let no = var("A") * var("B") + var("C") * var("B");
+        assert_eq!(factor(&no, &c), vec![(var("A") + var("C")) * var("B")]);
+        let none = var("A") * var("B") + var("C") * var("H");
+        assert!(factor(&none, &c).is_empty());
+    }
+
+    #[test]
+    fn transpose_rules() {
+        let c = ctx(4);
+        let e = (var("A") * var("B")).t();
+        assert_eq!(transpose_distribute(&e, &c), vec![var("B").t() * var("A").t()]);
+        // Contraction direction.
+        let e2 = var("B").t() * var("A").t();
+        assert_eq!(transpose_distribute(&e2, &c), vec![(var("A") * var("B")).t()]);
+        // Cancellation.
+        let e3 = var("A").t().t();
+        assert_eq!(transpose_cancel(&e3, &c), vec![var("A")]);
+        // Symmetric transpose elimination.
+        let e4 = var("S").t();
+        assert_eq!(transpose_cancel(&e4, &c), vec![var("S")]);
+    }
+
+    #[test]
+    fn identity_rules() {
+        let c = ctx(4);
+        let e = identity(4) * var("A");
+        assert_eq!(identity_eliminate(&e, &c), vec![var("A")]);
+        let qtq = var("Q").t() * var("Q");
+        let got = identity_eliminate(&qtq, &c);
+        assert!(got.contains(&identity(4)), "QᵀQ collapses to I: {got:?}");
+    }
+
+    #[test]
+    fn reassociation_rotations() {
+        let c = ctx(4);
+        let e = (var("A") * var("B")) * var("x");
+        assert_eq!(reassociate(&e, &c), vec![var("A") * (var("B") * var("x"))]);
+        let e2 = var("A") * (var("B") * var("x"));
+        assert_eq!(reassociate(&e2, &c), vec![(var("A") * var("B")) * var("x")]);
+    }
+
+    #[test]
+    fn reassociate_optimal_jumps_to_dp_order() {
+        let c = ctx(64);
+        // HᵀHx left-to-right → right-to-left in one step.
+        let e = var("H").t() * var("H") * var("x");
+        let got = reassociate_optimal(&e, &c);
+        assert_eq!(got, vec![var("H").t() * (var("H") * var("x"))]);
+        // Already optimal → no child (avoids self-loops in the search).
+        assert!(reassociate_optimal(&got[0], &c).is_empty());
+    }
+
+    #[test]
+    fn blocked_split_checks_conformality() {
+        let c = Context::new()
+            .with("A1", 2, 2)
+            .with("A2", 3, 3)
+            .with("B1", 2, 4)
+            .with("B2", 3, 4);
+        let e = laab_expr::block_diag(var("A1"), var("A2"))
+            * laab_expr::vcat(var("B1"), var("B2"));
+        let got = blocked_split(&e, &c);
+        assert_eq!(
+            got,
+            vec![laab_expr::vcat(var("A1") * var("B1"), var("A2") * var("B2"))]
+        );
+        // Non-conformal blocks: no rewrite.
+        let bad_ctx = Context::new()
+            .with("A1", 2, 3)
+            .with("A2", 3, 2)
+            .with("B1", 2, 4)
+            .with("B2", 3, 4);
+        assert!(blocked_split(&e, &bad_ctx).is_empty());
+    }
+
+    #[test]
+    fn slicing_pushdown_cases() {
+        let c = ctx(4);
+        let sum = laab_expr::elem(var("A") + var("B"), 2, 2);
+        assert_eq!(
+            slicing_pushdown(&sum, &c),
+            vec![laab_expr::elem(var("A"), 2, 2) + laab_expr::elem(var("B"), 2, 2)]
+        );
+        let prod = laab_expr::elem(var("A") * var("B"), 2, 2);
+        assert_eq!(
+            slicing_pushdown(&prod, &c),
+            vec![var("A").row(2) * var("B").col(2)]
+        );
+        let tr = laab_expr::elem(var("A").t(), 1, 3);
+        assert_eq!(slicing_pushdown(&tr, &c), vec![laab_expr::elem(var("A"), 3, 1)]);
+        let rowp = (var("A") * var("B")).row(1);
+        assert_eq!(slicing_pushdown(&rowp, &c), vec![var("A").row(1) * var("B")]);
+    }
+
+    #[test]
+    fn scale_fusion() {
+        let c = ctx(4);
+        let e = var("A") + var("A");
+        assert_eq!(scale_fuse(&e, &c), vec![laab_expr::scale(2.0, var("A"))]);
+        let nested = laab_expr::scale(3.0, laab_expr::scale(2.0, var("A")));
+        assert_eq!(scale_fuse(&nested, &c), vec![laab_expr::scale(6.0, var("A"))]);
+    }
+}

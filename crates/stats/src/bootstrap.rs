@@ -1,0 +1,130 @@
+//! Bootstrap significance testing.
+//!
+//! Following the paper's reference [11] (Sankaran & Bientinesi 2021), two
+//! timing distributions are compared non-parametrically: resample each with
+//! replacement, compute the statistic (the minimum, since the paper reports
+//! minima), and build a percentile confidence interval on the difference.
+//! If the interval excludes zero the difference is significant; otherwise
+//! the implementations are declared indistinguishable — the criterion the
+//! paper uses for statements like "we observe no statistically significant
+//! difference" (Table I).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::timing::Samples;
+
+/// Outcome of a pairwise comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `a` is significantly faster than `b`.
+    AFaster,
+    /// `b` is significantly faster than `a`.
+    BFaster,
+    /// The confidence interval on the difference straddles zero.
+    Indistinguishable,
+}
+
+/// Result of [`bootstrap_compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// 95% percentile CI on `min(b) − min(a)` (positive → `a` faster).
+    pub diff_ci: (f64, f64),
+    /// Significance verdict.
+    pub verdict: Verdict,
+    /// Point estimate `min(b) / min(a)` (how many times slower `b` is).
+    pub speedup: f64,
+}
+
+/// Compare two timing sample sets with `resamples` bootstrap iterations.
+///
+/// Deterministic for a fixed `seed`.
+pub fn bootstrap_compare(a: &Samples, b: &Samples, resamples: usize, seed: u64) -> Comparison {
+    assert!(resamples >= 100, "too few bootstrap resamples for a stable CI");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut diffs = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let ra = resample_min(&a.secs, &mut rng);
+        let rb = resample_min(&b.secs, &mut rng);
+        diffs.push(rb - ra);
+    }
+    diffs.sort_by(|x, y| x.partial_cmp(y).expect("non-finite bootstrap diff"));
+    let lo = diffs[(0.025 * (resamples - 1) as f64).round() as usize];
+    let hi = diffs[(0.975 * (resamples - 1) as f64).round() as usize];
+    let verdict = if lo > 0.0 {
+        Verdict::AFaster
+    } else if hi < 0.0 {
+        Verdict::BFaster
+    } else {
+        Verdict::Indistinguishable
+    };
+    Comparison { diff_ci: (lo, hi), verdict, speedup: b.min() / a.min() }
+}
+
+fn resample_min(xs: &[f64], rng: &mut StdRng) -> f64 {
+    let mut m = f64::INFINITY;
+    for _ in 0..xs.len() {
+        let v = xs[rng.gen_range(0..xs.len())];
+        if v < m {
+            m = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jittered(base: f64, n: usize, amp: f64) -> Samples {
+        // Deterministic sawtooth jitter around `base`.
+        Samples::new(
+            (0..n).map(|i| base + amp * ((i % 7) as f64 - 3.0) / 3.0).collect(),
+        )
+    }
+
+    #[test]
+    fn clearly_different_distributions_are_significant() {
+        let fast = jittered(0.10, 20, 0.005);
+        let slow = jittered(0.20, 20, 0.005);
+        let c = bootstrap_compare(&fast, &slow, 2000, 1);
+        assert_eq!(c.verdict, Verdict::AFaster);
+        assert!(c.speedup > 1.8 && c.speedup < 2.2, "speedup {}", c.speedup);
+        let c2 = bootstrap_compare(&slow, &fast, 2000, 1);
+        assert_eq!(c2.verdict, Verdict::BFaster);
+    }
+
+    #[test]
+    fn identical_distributions_are_indistinguishable() {
+        let a = jittered(0.10, 20, 0.01);
+        let b = jittered(0.10, 20, 0.01);
+        let c = bootstrap_compare(&a, &b, 2000, 2);
+        assert_eq!(c.verdict, Verdict::Indistinguishable);
+        assert!(c.diff_ci.0 <= 0.0 && c.diff_ci.1 >= 0.0);
+    }
+
+    #[test]
+    fn overlapping_noisy_distributions_are_indistinguishable() {
+        // 5% mean difference buried under 30% noise.
+        let a = jittered(0.100, 20, 0.03);
+        let b = jittered(0.105, 20, 0.03);
+        let c = bootstrap_compare(&a, &b, 2000, 3);
+        assert_eq!(c.verdict, Verdict::Indistinguishable);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = jittered(0.1, 20, 0.01);
+        let b = jittered(0.13, 20, 0.01);
+        let c1 = bootstrap_compare(&a, &b, 1000, 42);
+        let c2 = bootstrap_compare(&a, &b, 1000, 42);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few bootstrap")]
+    fn refuses_tiny_resample_counts() {
+        let a = jittered(0.1, 5, 0.0);
+        let _ = bootstrap_compare(&a, &a, 10, 0);
+    }
+}

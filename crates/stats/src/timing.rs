@@ -1,0 +1,165 @@
+//! Wall-clock repetition timing.
+
+use std::time::Instant;
+
+/// How to measure: warmup runs (discarded) followed by timed repetitions.
+///
+/// The defaults match the paper: 20 repetitions, minimum reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Discarded warmup runs (cache/allocator warm-up).
+    pub warmup: usize,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self { reps: 20, warmup: 2 }
+    }
+}
+
+impl TimingConfig {
+    /// A shorter protocol for quick runs (benches at small n).
+    pub fn quick() -> Self {
+        Self { reps: 5, warmup: 1 }
+    }
+}
+
+/// Repetition times, in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Samples {
+    /// The individual repetition times (chronological order).
+    pub secs: Vec<f64>,
+}
+
+impl Samples {
+    /// Wrap existing timing values.
+    pub fn new(secs: Vec<f64>) -> Self {
+        assert!(!secs.is_empty(), "Samples require at least one measurement");
+        Self { secs }
+    }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.secs.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing sample"));
+        s
+    }
+
+    /// Minimum — the paper's reported statistic.
+    pub fn min(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.secs.iter().sum::<f64>() / self.secs.len() as f64
+    }
+
+    /// Linear-interpolation quantile, `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let s = self.sorted();
+        if s.len() == 1 {
+            return s[0];
+        }
+        let pos = q * (s.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+
+    /// Median (0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Number of repetitions.
+    pub fn len(&self) -> usize {
+        self.secs.len()
+    }
+
+    /// `true` when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.secs.is_empty()
+    }
+}
+
+/// Measure `f` under the protocol. The closure's result is returned through
+/// [`std::hint::black_box`] so the optimizer cannot elide the computation.
+pub fn time_reps<R>(cfg: TimingConfig, mut f: impl FnMut() -> R) -> Samples {
+    assert!(cfg.reps >= 1, "at least one repetition required");
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(f());
+    }
+    let mut secs = Vec::with_capacity(cfg.reps);
+    for _ in 0..cfg.reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    Samples::new(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_statistics() {
+        let s = Samples::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.median(), 2.5);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Samples::new(vec![0.5]);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.median(), 0.5);
+        assert_eq!(s.quantile(0.3), 0.5);
+    }
+
+    #[test]
+    fn time_reps_runs_warmup_plus_reps() {
+        let mut calls = 0;
+        let s = time_reps(TimingConfig { reps: 7, warmup: 3 }, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 10);
+        assert_eq!(s.len(), 7);
+        assert!(s.secs.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn timing_is_monotone_in_work() {
+        // A heavier closure must not time faster than a trivial one by an
+        // order of magnitude (sanity of the clock plumbing).
+        let light = time_reps(TimingConfig::quick(), || 0u64);
+        let heavy = time_reps(TimingConfig::quick(), || {
+            let mut acc = std::hint::black_box(1u64);
+            for i in 0..200_000u64 {
+                acc = std::hint::black_box(acc.wrapping_mul(i | 1));
+            }
+            acc
+        });
+        assert!(heavy.min() > light.min());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn empty_samples_panic() {
+        let _ = Samples::new(vec![]);
+    }
+}

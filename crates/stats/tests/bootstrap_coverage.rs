@@ -1,0 +1,101 @@
+//! Statistical behaviour of the bootstrap comparator on synthetic timing
+//! distributions with known ground truth.
+
+use laab_stats::{bootstrap_compare, Samples, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Timing-like samples: base + uniform noise + occasional positive spikes
+/// (the right-skewed shape real repetition timings have).
+fn timing_like(rng: &mut StdRng, base: f64, noise: f64, n: usize) -> Samples {
+    Samples::new(
+        (0..n)
+            .map(|_| {
+                let spike = if rng.gen::<f64>() < 0.1 { rng.gen::<f64>() * 4.0 * noise } else { 0.0 };
+                base + rng.gen::<f64>() * noise + spike
+            })
+            .collect(),
+    )
+}
+
+/// Large real gaps are detected essentially always.
+#[test]
+fn detects_clear_gaps() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut detected = 0;
+    let trials = 40;
+    for t in 0..trials {
+        let fast = timing_like(&mut rng, 0.100, 0.010, 20);
+        let slow = timing_like(&mut rng, 0.150, 0.010, 20);
+        let c = bootstrap_compare(&fast, &slow, 1000, t);
+        if c.verdict == Verdict::AFaster {
+            detected += 1;
+        }
+    }
+    assert!(detected >= trials * 9 / 10, "detected only {detected}/{trials}");
+}
+
+/// Identical distributions are rarely called different (type-I error of a
+/// 95% interval stays modest even on minima, which are conservative).
+#[test]
+fn false_positive_rate_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut false_pos = 0;
+    let trials = 60;
+    for t in 0..trials {
+        let a = timing_like(&mut rng, 0.100, 0.020, 20);
+        let b = timing_like(&mut rng, 0.100, 0.020, 20);
+        let c = bootstrap_compare(&a, &b, 1000, 1000 + t);
+        if c.verdict != Verdict::Indistinguishable {
+            false_pos += 1;
+        }
+    }
+    assert!(
+        false_pos <= trials / 4,
+        "too many false positives: {false_pos}/{trials}"
+    );
+}
+
+/// Verdicts are antisymmetric: swapping the arguments flips the sign.
+#[test]
+fn verdicts_are_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for t in 0..20 {
+        let a = timing_like(&mut rng, 0.08, 0.01, 20);
+        let b = timing_like(&mut rng, 0.13, 0.01, 20);
+        let ab = bootstrap_compare(&a, &b, 1000, t);
+        let ba = bootstrap_compare(&b, &a, 1000, t);
+        match ab.verdict {
+            Verdict::AFaster => assert_eq!(ba.verdict, Verdict::BFaster),
+            Verdict::BFaster => assert_eq!(ba.verdict, Verdict::AFaster),
+            Verdict::Indistinguishable => assert_eq!(ba.verdict, Verdict::Indistinguishable),
+        }
+        assert!((ab.speedup * ba.speedup - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Detection power grows monotonically with the gap (sanity of the whole
+/// decision chain, mirroring the methodology of the paper's reference
+/// [11]).
+#[test]
+fn power_grows_with_gap() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut detections = Vec::new();
+    for gap in [0.0, 0.01, 0.05, 0.20] {
+        let mut hits = 0;
+        for t in 0..30 {
+            let a = timing_like(&mut rng, 0.100, 0.015, 20);
+            let b = timing_like(&mut rng, 0.100 * (1.0 + gap), 0.015, 20);
+            let c = bootstrap_compare(&a, &b, 800, (gap * 1e4) as u64 + t);
+            if c.verdict == Verdict::AFaster {
+                hits += 1;
+            }
+        }
+        detections.push(hits);
+    }
+    assert!(
+        detections[0] <= detections[2] && detections[1] <= detections[3],
+        "power not monotone: {detections:?}"
+    );
+    assert!(detections[3] >= 25, "20% gaps must be reliably detected: {detections:?}");
+}

@@ -1,0 +1,77 @@
+//! Matrix-chain optimization demo (the paper's Experiment 2 / Figs. 5 & 7).
+//!
+//! Pass a chain of dimensions and the example prints every
+//! parenthesization with its FLOP count, the dynamic program's choice, and
+//! measured timings for the frameworks' left-to-right default vs
+//! `multi_dot`.
+//!
+//! ```text
+//! cargo run --release --example chain_optimizer [d0 d1 d2 ... dm]
+//! # default: 384 384 384 1   (the paper's HᵀHx shape)
+//! ```
+
+use laab::prelude::*;
+use laab_chain::{enumerate_parenthesizations, left_to_right, multi_dot, optimal_parenthesization};
+use laab_stats::{fmt_secs, time_reps};
+
+fn main() {
+    let dims: Vec<usize> = {
+        let d: Vec<usize> =
+            std::env::args().skip(1).filter_map(|v| v.parse().ok()).collect();
+        if d.len() >= 2 {
+            d
+        } else {
+            vec![384, 384, 384, 1]
+        }
+    };
+    let m = dims.len() - 1;
+    println!("chain of {m} factors, dims {dims:?}\n");
+
+    // Enumerate every order with its analytical cost.
+    let (best_cost, best_tree) = optimal_parenthesization(&dims);
+    if m <= 6 {
+        println!("{:<28} {:>14}", "order", "FLOPs");
+        for tree in enumerate_parenthesizations(m) {
+            let marker = if tree == best_tree { "  ◀ DP optimum" } else { "" };
+            println!("{:<28} {:>14}{marker}", tree.render(), tree.cost(&dims));
+        }
+    } else {
+        println!("({} orders — too many to list; DP optimum below)", catalan(m - 1));
+    }
+    println!("\nDP selects {} at {} FLOPs", best_tree.render(), best_cost);
+    let ltr = left_to_right(m).cost(&dims);
+    println!("left-to-right (the frameworks' default) costs {ltr} FLOPs ({:.1}x)", ltr as f64 / best_cost as f64);
+
+    // Execute both orders on random operands.
+    let mut gen = OperandGen::new(3);
+    let mats: Vec<Matrix<f32>> =
+        (0..m).map(|i| gen.matrix(dims[i], dims[i + 1])).collect();
+    let refs: Vec<&Matrix<f32>> = mats.iter().collect();
+
+    let cfg = TimingConfig { reps: 10, warmup: 2 };
+    let t_ltr = time_reps(cfg, || {
+        let mut acc = mats[0].clone();
+        for f in &mats[1..] {
+            acc = laab_kernels::matmul_dispatch(1.0f32, &acc, Trans::No, f, Trans::No);
+        }
+        acc
+    });
+    let t_md = time_reps(cfg, || multi_dot(&refs));
+    println!(
+        "\nmeasured (min of {}): left-to-right {}  |  multi_dot {}  ({:.1}x)",
+        cfg.reps,
+        fmt_secs(t_ltr.min()),
+        fmt_secs(t_md.min()),
+        t_ltr.min() / t_md.min()
+    );
+    println!("\nTable III's finding: the frameworks never re-associate on their own;");
+    println!("only PyTorch offers multi_dot, and the user must call it explicitly.");
+}
+
+fn catalan(k: usize) -> u128 {
+    let mut c: u128 = 1;
+    for i in 0..k {
+        c = c * 2 * (2 * i as u128 + 1) / (i as u128 + 2);
+    }
+    c
+}

@@ -1,0 +1,67 @@
+//! Regenerate the paper's Figs. 3 & 4: the computational graphs for the
+//! CSE test expressions, before and after optimization, as Graphviz DOT.
+//!
+//! ```text
+//! cargo run --release --example graph_inspect [--out DIR]
+//! # writes fig3_initial.dot, fig3_optimized.dot, fig4.dot
+//! ```
+
+use laab::prelude::*;
+
+fn main() {
+    let out_dir = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| ".".to_string())
+    };
+    let n = 8;
+    let ctx = Context::new().with("A", n, n).with("B", n, n);
+    let flow = Framework::flow();
+
+    // Fig. 3: (AᵀB)ᵀ(AᵀB) — the duplicated subtree is deduplicated.
+    let s = var("A").t() * var("B");
+    let e2 = s.t() * s.clone();
+    let f2 = flow.function_from_expr(&e2, &ctx);
+    let initial = f2.unoptimized_graph();
+    let optimized = f2.graph();
+    println!("Fig 3 — {e2}");
+    println!(
+        "  initial graph:   {} nodes, {} matmuls",
+        initial.len(),
+        initial.matmul_count()
+    );
+    println!(
+        "  optimized graph: {} nodes, {} matmuls ({:?})",
+        optimized.len(),
+        optimized.matmul_count(),
+        f2.pass_stats()
+    );
+    std::fs::write(
+        format!("{out_dir}/fig3_initial.dot"),
+        initial.to_dot("fig3 initial: (AtB)t(AtB)"),
+    )
+    .expect("write fig3_initial.dot");
+    std::fs::write(
+        format!("{out_dir}/fig3_optimized.dot"),
+        optimized.to_dot("fig3 optimized"),
+    )
+    .expect("write fig3_optimized.dot");
+
+    // Fig. 4: the flat chain (AᵀB)ᵀAᵀB — no duplicate subtree, CSE finds
+    // nothing.
+    let e3 = s.t() * var("A").t() * var("B");
+    let f3 = flow.function_from_expr(&e3, &ctx);
+    println!("\nFig 4 — {e3}");
+    println!(
+        "  optimized graph: {} nodes, {} matmuls (no duplicates to merge)",
+        f3.graph().len(),
+        f3.graph().matmul_count()
+    );
+    std::fs::write(format!("{out_dir}/fig4.dot"), f3.graph().to_dot("fig4: (AtB)tAtB"))
+        .expect("write fig4.dot");
+
+    println!("\nDOT files written to {out_dir}/ — render with `dot -Tpng fig3_initial.dot`");
+    println!("\n{}", f2.graph().to_dot("fig3 optimized"));
+}

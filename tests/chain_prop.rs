@@ -1,0 +1,94 @@
+//! Property tests for the matrix-chain machinery: DP optimality against
+//! exhaustive enumeration, and `multi_dot` value preservation.
+
+use laab::prelude::*;
+use laab_chain::{
+    enumerate_parenthesizations, left_to_right, multi_dot, optimal_parenthesization,
+    right_to_left,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_is_optimal_against_enumeration(
+        dims in proptest::collection::vec(1usize..30, 3..8),
+    ) {
+        let m = dims.len() - 1;
+        let (dp_cost, dp_tree) = optimal_parenthesization(&dims);
+        prop_assert_eq!(dp_tree.cost(&dims), dp_cost);
+        let brute = enumerate_parenthesizations(m)
+            .into_iter()
+            .map(|t| t.cost(&dims))
+            .min()
+            .unwrap();
+        prop_assert_eq!(dp_cost, brute, "dims {:?}", dims);
+    }
+
+    #[test]
+    fn every_parenthesization_computes_the_same_value(
+        dims in proptest::collection::vec(1usize..12, 4..6),
+        seed in any::<u64>(),
+    ) {
+        let m = dims.len() - 1;
+        let mut g = OperandGen::new(seed);
+        let mats: Vec<Matrix<f64>> =
+            (0..m).map(|i| g.matrix(dims[i], dims[i + 1])).collect();
+        let names: Vec<String> = (0..m).map(|i| format!("M{i}")).collect();
+        let mut env = Env::new();
+        for (name, mat) in names.iter().zip(&mats) {
+            env.insert(name, mat.clone());
+        }
+        let factors: Vec<Expr> = names.iter().map(|s| var(s)).collect();
+        let want = laab_expr::eval::eval(
+            &left_to_right(m).to_expr(&factors), &env,
+        );
+        for tree in enumerate_parenthesizations(m) {
+            let v = laab_expr::eval::eval(&tree.to_expr(&factors), &env);
+            prop_assert!(
+                v.approx_eq(&want, 1e-9),
+                "order {} differs", tree.render()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_dot_matches_left_to_right(
+        dims in proptest::collection::vec(1usize..20, 2..7),
+        seed in any::<u64>(),
+    ) {
+        let m = dims.len() - 1;
+        let mut g = OperandGen::new(seed);
+        let mats: Vec<Matrix<f64>> =
+            (0..m).map(|i| g.matrix(dims[i], dims[i + 1])).collect();
+        let refs: Vec<&Matrix<f64>> = mats.iter().collect();
+        let got = multi_dot(&refs);
+        let mut want = mats[0].clone();
+        for f in &mats[1..] {
+            want = laab_kernels::matmul(&want, Trans::No, f, Trans::No);
+        }
+        prop_assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn vector_ends_pick_the_expected_direction(n in 2usize..200) {
+        // …x at the right end → right-to-left; yᵀ… at the left → L→R.
+        let (_, t1) = optimal_parenthesization(&[n, n, n, 1]);
+        prop_assert_eq!(t1, right_to_left(3));
+        let (_, t2) = optimal_parenthesization(&[1, n, n, n]);
+        prop_assert_eq!(t2, left_to_right(3));
+    }
+
+    #[test]
+    fn dp_cost_is_invariant_under_reversal(
+        dims in proptest::collection::vec(1usize..30, 3..8),
+    ) {
+        // Reversing the chain (transposing the product) preserves the
+        // optimal FLOP count.
+        let (c1, _) = optimal_parenthesization(&dims);
+        let rev: Vec<usize> = dims.iter().rev().copied().collect();
+        let (c2, _) = optimal_parenthesization(&rev);
+        prop_assert_eq!(c1, c2);
+    }
+}
