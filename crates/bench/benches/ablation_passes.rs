@@ -19,18 +19,9 @@ fn bench(c: &mut Criterion) {
     let configs: Vec<(&str, PassConfig)> = vec![
         ("all", PassConfig::all()),
         ("none", PassConfig::none()),
-        (
-            "no_cse",
-            PassConfig { cse: false, ..PassConfig::all() },
-        ),
-        (
-            "no_transpose_fold",
-            PassConfig { fold_transpose: false, ..PassConfig::all() },
-        ),
-        (
-            "no_scale_fusion",
-            PassConfig { fuse_scale: false, ..PassConfig::all() },
-        ),
+        ("no_cse", PassConfig { cse: false, ..PassConfig::all() }),
+        ("no_transpose_fold", PassConfig { fold_transpose: false, ..PassConfig::all() }),
+        ("no_scale_fusion", PassConfig { fuse_scale: false, ..PassConfig::all() }),
     ];
 
     let mut group = c.benchmark_group(format!("ablation_passes/n{n}"));

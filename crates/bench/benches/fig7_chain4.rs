@@ -32,11 +32,7 @@ fn bench(c: &mut Criterion) {
     for tree in enumerate_parenthesizations(4) {
         let expr = tree.to_expr(&factors);
         let f = flow.function_from_expr(&expr, &ctx);
-        let label = tree
-            .render()
-            .replace(' ', "")
-            .replace('(', "L")
-            .replace(')', "R");
+        let label = tree.render().replace(' ', "").replace('(', "L").replace(')', "R");
         group.bench_function(format!("{label}_{}MF", tree.cost(&dims) / 1_000_000), |b| {
             b.iter(|| f.call(&env))
         });

@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
     let flow = Framework::flow();
 
     let mut group = c.benchmark_group(format!("table1/n{n}"));
-    group.bench_function("AtB/mkl_c", |bch| {
-        bch.iter(|| matmul(&a, Trans::Yes, &b, Trans::No))
-    });
+    group.bench_function("AtB/mkl_c", |bch| bch.iter(|| matmul(&a, Trans::Yes, &b, Trans::No)));
     group.bench_function("AtB/eager", |bch| bch.iter(|| eager_eval_expr(&s, &env)));
     let f_s = flow.function_from_expr(&s, &ctx);
     group.bench_function("AtB/graph", |bch| bch.iter(|| f_s.call(&env)));

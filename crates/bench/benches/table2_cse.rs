@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group(format!("table2/n{n}"));
     for (i, (_label, expr, gemms)) in rows().into_iter().enumerate() {
         let f = flow.function_from_expr(&expr, &ctx);
-        group.bench_function(format!("row{}_gemms{}", i + 1, gemms), |b| {
-            b.iter(|| f.call(&env))
-        });
+        group.bench_function(format!("row{}_gemms{}", i + 1, gemms), |b| b.iter(|| f.call(&env)));
     }
     group.finish();
 }

@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
     let hm = env.expect("H").clone();
     let ht: Matrix<f32> = hm.transpose();
     let xm = env.expect("x").clone();
-    group.bench_function("HtHx_multi_dot", |b| {
-        b.iter(|| laab_chain::multi_dot(&[&ht, &hm, &xm]))
-    });
+    group.bench_function("HtHx_multi_dot", |b| b.iter(|| laab_chain::multi_dot(&[&ht, &hm, &xm])));
     let _ = torch;
     group.finish();
 }

@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
         bch.iter(|| flow.tridiagonal_matmul(&w.tri, &bt))
     });
     let t_dense = w.env.expect("T").clone();
-    group.bench_function("TB/gemm", |bch| {
-        bch.iter(|| matmul(&t_dense, Trans::No, &b, Trans::No))
-    });
+    group.bench_function("TB/gemm", |bch| bch.iter(|| matmul(&t_dense, Trans::No, &b, Trans::No)));
     group.bench_function("DB/scal_seq", |bch| bch.iter(|| diag_scal_sequence(&w.diag, &b)));
     let lb = var("L") * var("B");
     group.bench_function("LB/aware", |bch| bch.iter(|| aware_eval(&lb, &w.env, &w.ctx)));

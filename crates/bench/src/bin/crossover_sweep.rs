@@ -37,22 +37,17 @@ fn main() {
         "n", "chain(n/2~)", "cse(2.0)", "eq9(2.0)", "partial(n²/~)"
     );
     for n in sizes {
-        let cfg = ExperimentConfig {
-            n,
-            timing: cfg_t,
-            check_numerics: false,
-            ..Default::default()
-        };
+        let cfg =
+            ExperimentConfig { n, timing: cfg_t, check_numerics: false, ..Default::default() };
         let env = square_env(&cfg);
         let ctx = square_ctx(&cfg);
         let flow = Framework::flow();
 
         // O(n) gap: chain association.
         let f_bad = flow.function_from_expr(&(var("H").t() * var("H") * var("x")), &ctx);
-        let f_good =
-            flow.function_from_expr(&(var("H").t() * (var("H") * var("x"))), &ctx);
-        let chain =
-            time_reps(cfg_t, || f_bad.call(&env)).min() / time_reps(cfg_t, || f_good.call(&env)).min();
+        let f_good = flow.function_from_expr(&(var("H").t() * (var("H") * var("x"))), &ctx);
+        let chain = time_reps(cfg_t, || f_bad.call(&env)).min()
+            / time_reps(cfg_t, || f_good.call(&env)).min();
 
         // Constant gap: CSE (E2 vs S).
         let s = var("A").t() * var("B");

@@ -27,14 +27,11 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--n" => args.n = it.next().expect("--n N").parse().expect("invalid --n"),
-            "--reps" => {
-                args.reps = it.next().expect("--reps R").parse().expect("invalid --reps")
-            }
+            "--reps" => args.reps = it.next().expect("--reps R").parse().expect("invalid --reps"),
             "--experiment" => args.ids.push(it.next().expect("--experiment ID")),
             "--markdown" => args.markdown = Some(it.next().expect("--markdown PATH")),
             "--threads" => {
-                args.threads =
-                    it.next().expect("--threads T").parse().expect("invalid --threads")
+                args.threads = it.next().expect("--threads T").parse().expect("invalid --threads")
             }
             "--help" | "-h" => {
                 eprintln!(

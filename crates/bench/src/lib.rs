@@ -16,10 +16,7 @@ use laab_expr::Context;
 /// enough that GEMM dominates dispatch overhead, small enough that a full
 /// `cargo bench` sweep finishes in minutes on one core).
 pub fn bench_n() -> usize {
-    std::env::var("LAAB_BENCH_N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256)
+    std::env::var("LAAB_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
 }
 
 /// The standard square workload at [`bench_n`], plus its context.

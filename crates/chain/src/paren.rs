@@ -44,9 +44,7 @@ impl ParenTree {
             ParenTree::Node(l, r) => {
                 let (i, k) = l.span();
                 let (_, j) = r.span();
-                l.cost(dims)
-                    + r.cost(dims)
-                    + 2 * dims[i] as u64 * dims[k] as u64 * dims[j] as u64
+                l.cost(dims) + r.cost(dims) + 2 * dims[i] as u64 * dims[k] as u64 * dims[j] as u64
             }
         }
     }
@@ -147,9 +145,8 @@ pub fn optimal_parenthesization(dims: &[usize]) -> (u64, ParenTree) {
             let mut best = u64::MAX;
             let mut best_k = i + 1;
             for k in i + 1..j {
-                let c = cost[i][k]
-                    + cost[k][j]
-                    + 2 * dims[i] as u64 * dims[k] as u64 * dims[j] as u64;
+                let c =
+                    cost[i][k] + cost[k][j] + 2 * dims[i] as u64 * dims[k] as u64 * dims[j] as u64;
                 if c < best {
                     best = c;
                     best_k = k;
@@ -255,14 +252,8 @@ mod tests {
         let dims = [n, n, 1, n, n];
         let (cost, tree) = optimal_parenthesization(&dims);
         let want = ParenTree::Node(
-            Box::new(ParenTree::Node(
-                Box::new(ParenTree::Leaf(0)),
-                Box::new(ParenTree::Leaf(1)),
-            )),
-            Box::new(ParenTree::Node(
-                Box::new(ParenTree::Leaf(2)),
-                Box::new(ParenTree::Leaf(3)),
-            )),
+            Box::new(ParenTree::Node(Box::new(ParenTree::Leaf(0)), Box::new(ParenTree::Leaf(1)))),
+            Box::new(ParenTree::Node(Box::new(ParenTree::Leaf(2)), Box::new(ParenTree::Leaf(3)))),
         );
         assert_eq!(tree, want);
         // 2n² (Hᵀy) + 2n² (xᵀH) + 2n² (outer product) = 6n².
@@ -316,14 +307,8 @@ mod tests {
         let dims = [2u64, 3, 4, 5, 6];
         let udims: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
         let abcd = ParenTree::Node(
-            Box::new(ParenTree::Node(
-                Box::new(ParenTree::Leaf(0)),
-                Box::new(ParenTree::Leaf(1)),
-            )),
-            Box::new(ParenTree::Node(
-                Box::new(ParenTree::Leaf(2)),
-                Box::new(ParenTree::Leaf(3)),
-            )),
+            Box::new(ParenTree::Node(Box::new(ParenTree::Leaf(0)), Box::new(ParenTree::Leaf(1)))),
+            Box::new(ParenTree::Node(Box::new(ParenTree::Leaf(2)), Box::new(ParenTree::Leaf(3)))),
         );
         let want = 2 * dims[0] * dims[1] * dims[2]
             + 2 * dims[2] * dims[3] * dims[4]

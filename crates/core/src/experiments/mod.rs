@@ -64,6 +64,7 @@ pub(crate) fn check_value(
         name: format!("{label}: numerically equivalent"),
         passed: dist <= F32_TOL,
         detail: format!("relative distance {dist:.2e}"),
+        timing: false,
     });
 }
 
@@ -81,13 +82,18 @@ pub(crate) fn check_indistinguishable(
     // bootstrap resolves a tiny-but-consistent difference (single-machine
     // timings are far less noisy than cross-machine ones).
     let close = c.speedup > 0.85 && c.speedup < 1.18;
+    // At quick sizes whole variants finish in microseconds; an absolute
+    // difference at timer-resolution scale is dispatch noise, not an
+    // algorithmic gap, however consistently the bootstrap resolves it.
+    let tiny = c.diff_ci.0.abs().max(c.diff_ci.1.abs()) < 2e-5;
     checks.push(CheckOutcome {
         name: name.to_string(),
-        passed: matches!(c.verdict, Verdict::Indistinguishable) || close,
+        passed: matches!(c.verdict, Verdict::Indistinguishable) || close || tiny,
         detail: format!(
             "min ratio {:.3}, CI of diff [{:+.2e}, {:+.2e}] s, verdict {:?}",
             c.speedup, c.diff_ci.0, c.diff_ci.1, c.verdict
         ),
+        timing: true,
     });
 }
 
@@ -119,5 +125,6 @@ pub(crate) fn check_slower(
         name: name.to_string(),
         passed: r >= min_ratio,
         detail: format!("min ratio {r:.1} (expected ≥ {min_ratio:.1})"),
+        timing: true,
     });
 }

@@ -1,0 +1,300 @@
+//! The experiment runner behind the `laab` CLI: a registry of the paper's
+//! experiments by stable name, a configurable execution loop, and a
+//! machine-readable JSON report (`BENCH_*.json`) for perf-trajectory
+//! tooling.
+//!
+//! ```
+//! use laab_core::runner::{self, Experiment};
+//! use laab_core::ExperimentConfig;
+//!
+//! let cfg = ExperimentConfig::quick(48);
+//! let plan = runner::parse_experiments(&["table2".into()]).unwrap();
+//! let report = runner::run(&cfg, &plan);
+//! assert_eq!(report.experiments[0].id, "table2");
+//! let json = report.to_json();
+//! let back = runner::RunReport::from_json(&json).unwrap();
+//! assert_eq!(back, report);
+//! ```
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{experiments, ExperimentConfig, ExperimentResult};
+use laab_stats::Table;
+
+/// Schema tag embedded in every report, bumped on breaking JSON changes.
+pub const REPORT_SCHEMA: &str = "laab-bench-v1";
+
+/// One runnable paper experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the paper's table/figure names
+pub enum Experiment {
+    Fig1,
+    Table1,
+    Table2,
+    Table3,
+    Table4,
+    Table5,
+    Table6,
+    Fig6,
+    Fig7,
+    ExtSolve,
+}
+
+impl Experiment {
+    /// Every experiment, in the paper's presentation order (the order
+    /// [`crate::run_all`] uses).
+    pub const ALL: [Experiment; 10] = [
+        Experiment::Fig1,
+        Experiment::Table1,
+        Experiment::Table2,
+        Experiment::Table3,
+        Experiment::Fig7,
+        Experiment::Table4,
+        Experiment::Table5,
+        Experiment::Fig6,
+        Experiment::Table6,
+        Experiment::ExtSolve,
+    ];
+
+    /// Stable identifier used on the CLI and in JSON (`"table2"`, …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Experiment::Fig1 => "fig1",
+            Experiment::Table1 => "table1",
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Table4 => "table4",
+            Experiment::Table5 => "table5",
+            Experiment::Table6 => "table6",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::ExtSolve => "ext_solve",
+        }
+    }
+
+    /// Short human description (what the paper artifact shows).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Experiment::Fig1 => "Fig. 1 — image-restoration variants",
+            Experiment::Table1 => "Table I — MKL-C vs Eager vs Graph",
+            Experiment::Table2 => "Table II — common-subexpression elimination",
+            Experiment::Table3 => "Table III — matrix-chain evaluation",
+            Experiment::Table4 => "Table IV — matrix properties",
+            Experiment::Table5 => "Table V — algebraic manipulation",
+            Experiment::Table6 => "Table VI — code motion",
+            Experiment::Fig6 => "Fig. 6 — same-FLOP instruction orders",
+            Experiment::Fig7 => "Fig. 7 — the five orders of a 4-chain",
+            Experiment::ExtSolve => "Extension — linear-system solve strategies",
+        }
+    }
+
+    /// Resolve a CLI/JSON name (case-insensitive) to an experiment.
+    pub fn from_name(name: &str) -> Result<Self, UnknownExperiment> {
+        let lower = name.to_ascii_lowercase();
+        Experiment::ALL
+            .into_iter()
+            .find(|e| e.id() == lower)
+            .ok_or_else(|| UnknownExperiment { name: name.to_string() })
+    }
+
+    /// Execute this experiment under `cfg`.
+    pub fn run(self, cfg: &ExperimentConfig) -> ExperimentResult {
+        match self {
+            Experiment::Fig1 => experiments::fig1(cfg),
+            Experiment::Table1 => experiments::table1(cfg),
+            Experiment::Table2 => experiments::table2(cfg),
+            Experiment::Table3 => experiments::table3(cfg),
+            Experiment::Table4 => experiments::table4(cfg),
+            Experiment::Table5 => experiments::table5(cfg),
+            Experiment::Table6 => experiments::table6(cfg),
+            Experiment::Fig6 => experiments::fig6(cfg),
+            Experiment::Fig7 => experiments::fig7(cfg),
+            Experiment::ExtSolve => experiments::ext_solve(cfg),
+        }
+    }
+}
+
+/// Error for a name that matches no experiment. Its `Display` lists every
+/// valid name so CLI users see the menu.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The offending input.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let valid: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
+        write!(f, "unknown experiment `{}` (valid: {})", self.name, valid.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// Resolve a list of CLI names into an execution plan.
+///
+/// An empty list means "everything, in paper order". Duplicates are kept
+/// (running an experiment twice is a legitimate stability check); unknown
+/// names are rejected with the full menu in the error.
+pub fn parse_experiments(names: &[String]) -> Result<Vec<Experiment>, UnknownExperiment> {
+    if names.is_empty() {
+        return Ok(Experiment::ALL.to_vec());
+    }
+    names.iter().map(|n| Experiment::from_name(n)).collect()
+}
+
+/// One executed experiment inside a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Stable experiment id (`"table2"`, …).
+    pub id: String,
+    /// Wall-clock seconds the whole experiment took (all variants,
+    /// including warmups and numeric cross-validation).
+    pub wall_secs: f64,
+    /// How many paper findings reproduced.
+    pub checks_passed: usize,
+    /// Total paper findings evaluated.
+    pub checks_total: usize,
+    /// The full result: timing table, analysis table, per-check detail.
+    pub result: ExperimentResult,
+}
+
+/// A machine-readable benchmark run: configuration + every result, in
+/// execution order. This is the `BENCH_*.json` format the perf-trajectory
+/// tooling consumes; see [`REPORT_SCHEMA`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Format tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Problem size `n`.
+    pub n: usize,
+    /// Timed repetitions per variant.
+    pub reps: usize,
+    /// Warmup runs per variant.
+    pub warmup: usize,
+    /// Operand seed.
+    pub seed: u64,
+    /// Whether numeric cross-validation ran.
+    pub check_numerics: bool,
+    /// The executed experiments, in order.
+    pub experiments: Vec<RunRecord>,
+}
+
+impl RunReport {
+    /// Serialize as pretty-printed JSON (the on-disk `BENCH_*.json` form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serializes infallibly")
+    }
+
+    /// Parse a report back from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        let report: RunReport = serde_json::from_str(text)?;
+        if report.schema != REPORT_SCHEMA {
+            return Err(serde_json::Error(format!(
+                "unsupported report schema `{}` (expected `{REPORT_SCHEMA}`)",
+                report.schema
+            )));
+        }
+        Ok(report)
+    }
+
+    /// `true` when every executed experiment reproduced every finding.
+    pub fn all_checks_pass(&self) -> bool {
+        self.experiments.iter().all(|r| r.checks_passed == r.checks_total)
+    }
+
+    /// A one-row-per-experiment overview table for terminal output.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("LAAB run summary (n = {}, min of {} reps)", self.n, self.reps),
+            &["experiment", "wall [s]", "checks"],
+        );
+        for r in &self.experiments {
+            t.push_row(vec![
+                r.id.clone(),
+                format!("{:.2}", r.wall_secs),
+                format!("{}/{}", r.checks_passed, r.checks_total),
+            ]);
+        }
+        t
+    }
+}
+
+/// Execute `plan` under `cfg`, collecting a [`RunReport`].
+///
+/// Equivalent to [`run_with`] with a no-op observer.
+pub fn run(cfg: &ExperimentConfig, plan: &[Experiment]) -> RunReport {
+    run_with(cfg, plan, |_, _| {})
+}
+
+/// Execute `plan` under `cfg`, invoking `observer` with each result as it
+/// completes (the CLI uses this to stream tables while the run continues).
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    plan: &[Experiment],
+    mut observer: impl FnMut(Experiment, &RunRecord),
+) -> RunReport {
+    let mut records = Vec::with_capacity(plan.len());
+    for &exp in plan {
+        let t0 = Instant::now();
+        let result = exp.run(cfg);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let record = RunRecord {
+            id: result.id.clone(),
+            wall_secs,
+            checks_passed: result.checks.iter().filter(|c| c.passed).count(),
+            checks_total: result.checks.len(),
+            result,
+        };
+        observer(exp, &record);
+        records.push(record);
+    }
+    RunReport {
+        schema: REPORT_SCHEMA.to_string(),
+        n: cfg.n,
+        reps: cfg.timing.reps,
+        warmup: cfg.timing.warmup,
+        seed: cfg.seed,
+        check_numerics: cfg.check_numerics,
+        experiments: records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_parses_back_to_itself() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::from_name(e.id()).unwrap(), e);
+            assert_eq!(Experiment::from_name(&e.id().to_ascii_uppercase()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_menu() {
+        let err = Experiment::from_name("table9").unwrap_err();
+        assert_eq!(err.name, "table9");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown experiment `table9`"));
+        assert!(msg.contains("table1"));
+        assert!(msg.contains("ext_solve"));
+
+        assert!(parse_experiments(&["table1".into(), "nope".into()]).is_err());
+    }
+
+    #[test]
+    fn empty_plan_means_all_in_paper_order() {
+        let plan = parse_experiments(&[]).unwrap();
+        assert_eq!(plan, Experiment::ALL.to_vec());
+    }
+
+    #[test]
+    fn explicit_plan_preserves_order_and_duplicates() {
+        let plan = parse_experiments(&["table3".into(), "fig1".into(), "table3".into()]).unwrap();
+        assert_eq!(plan, vec![Experiment::Table3, Experiment::Fig1, Experiment::Table3]);
+    }
+}

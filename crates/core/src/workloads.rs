@@ -82,11 +82,7 @@ pub fn blocked_env(cfg: &ExperimentConfig) -> (Env<f32>, Context) {
     let mut g = OperandGen::new(cfg.seed.wrapping_add(2));
     let (a1, a2, b1, b2) = g.blocked_operands::<f32>(n);
     let env = Env::new().with("A1", a1).with("A2", a2).with("B1", b1).with("B2", b2);
-    let ctx = Context::new()
-        .with("A1", h, h)
-        .with("A2", h, h)
-        .with("B1", h, n)
-        .with("B2", h, n);
+    let ctx = Context::new().with("A1", h, h).with("A2", h, h).with("B1", h, n).with("B2", h, n);
     (env, ctx)
 }
 

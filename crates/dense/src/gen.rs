@@ -159,7 +159,7 @@ impl OperandGen {
         &mut self,
         n: usize,
     ) -> (Matrix<T>, Matrix<T>, Matrix<T>, Matrix<T>) {
-        assert!(n % 2 == 0, "blocked operands require even n");
+        assert!(n.is_multiple_of(2), "blocked operands require even n");
         let h = n / 2;
         (self.matrix(h, h), self.matrix(h, h), self.matrix(h, n), self.matrix(h, n))
     }

@@ -269,11 +269,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Elementwise map.
     pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Frobenius norm.

@@ -21,14 +21,7 @@ use crate::{Context, Expr, Props};
 /// given the factors' properties. `syrk_pattern` marks structural `X·Xᵀ`.
 ///
 /// Shared by both models ([`naive_cost`] passes empty properties).
-pub fn mul_cost(
-    m: usize,
-    k: usize,
-    n: usize,
-    lp: Props,
-    rp: Props,
-    syrk_pattern: bool,
-) -> u64 {
+pub fn mul_cost(m: usize, k: usize, n: usize, lp: Props, rp: Props, syrk_pattern: bool) -> u64 {
     let (m64, k64, n64) = (m as u64, k as u64, n as u64);
     // Most specific structure first.
     if lp.contains(Props::IDENTITY) || rp.contains(Props::IDENTITY) {
@@ -219,7 +212,7 @@ mod tests {
         let lhs = var("A") * var("x") - var("H").t() * (var("H") * var("x"));
         let rhs = (var("A") - var("H").t() * var("H")) * var("x");
         assert!(naive_cost(&lhs, &c) < naive_cost(&rhs, &c));
-        assert_eq!(naive_cost(&lhs, &c), 6 * N2 + N as u64 * 1);
+        assert_eq!(naive_cost(&lhs, &c), 6 * N2 + (N as u64));
         assert_eq!(naive_cost(&rhs, &c), 2 * N3 + N2 + 2 * N2);
     }
 

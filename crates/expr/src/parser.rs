@@ -123,8 +123,7 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
@@ -403,8 +402,8 @@ mod tests {
     fn parses_fig1_variant1() {
         let c = ctx(8);
         let e = parse("H' y + (I - H' H) x", &c).unwrap();
-        let want = var("H").t() * var("y")
-            + (crate::identity(8) - var("H").t() * var("H")) * var("x");
+        let want =
+            var("H").t() * var("y") + (crate::identity(8) - var("H").t() * var("H")) * var("x");
         assert_eq!(e, want);
     }
 
@@ -416,10 +415,7 @@ mod tests {
         assert_eq!(parse("A^T B + A^T B", &c).unwrap(), s.clone() + s.clone());
         assert_eq!(parse("(A^T B)^T (A^T B)", &c).unwrap(), s.t() * s.clone());
         // The flat chain keeps left-association.
-        assert_eq!(
-            parse("(A^T B)^T A^T B", &c).unwrap(),
-            s.t() * var("A").t() * var("B")
-        );
+        assert_eq!(parse("(A^T B)^T A^T B", &c).unwrap(), s.t() * var("A").t() * var("B"));
     }
 
     #[test]
@@ -450,14 +446,8 @@ mod tests {
         assert_eq!(parse("A[2,3]", &c).unwrap(), crate::elem(var("A"), 2, 3));
         assert_eq!(parse("A[2,:]", &c).unwrap(), var("A").row(2));
         assert_eq!(parse("A[:,3]", &c).unwrap(), var("A").col(3));
-        assert_eq!(
-            parse("(A B)[2,2]", &c).unwrap(),
-            crate::elem(var("A") * var("B"), 2, 2)
-        );
-        assert_eq!(
-            parse("A[2,:] B[:,2]", &c).unwrap(),
-            var("A").row(2) * var("B").col(2)
-        );
+        assert_eq!(parse("(A B)[2,2]", &c).unwrap(), crate::elem(var("A") * var("B"), 2, 2));
+        assert_eq!(parse("A[2,:] B[:,2]", &c).unwrap(), var("A").row(2) * var("B").col(2));
     }
 
     #[test]

@@ -141,6 +141,9 @@ impl Props {
     ///
     /// Conservative (sound but incomplete): only claims that hold for every
     /// pair of matrices with the given structures.
+    // Not `std::ops::Mul`: this propagates properties of a product, it does
+    // not multiply `Props` values.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Props) -> Props {
         let mut out = Props::NONE;
         if self.contains(Self::IDENTITY) && rhs.contains(Self::IDENTITY) {
@@ -162,6 +165,7 @@ impl Props {
     }
 
     /// Properties of `A + B` (also covers subtraction).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Props) -> Props {
         // Additive structure is the intersection of the shared linear
         // subspaces; identity/orthogonality/SPD are not preserved by

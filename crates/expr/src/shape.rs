@@ -114,8 +114,7 @@ impl Context {
 
     /// Look up an operand, panicking with a clear message when undeclared.
     pub fn expect(&self, name: &str) -> VarInfo {
-        self.get(name)
-            .unwrap_or_else(|| panic!("operand `{name}` is not declared in the context"))
+        self.get(name).unwrap_or_else(|| panic!("operand `{name}` is not declared in the context"))
     }
 
     /// Iterate over declared operand names (sorted).
@@ -151,9 +150,7 @@ mod tests {
 
     #[test]
     fn context_declare_and_lookup() {
-        let ctx = Context::new()
-            .with("A", 5, 5)
-            .with_props("L", 4, 4, Props::LOWER_TRIANGULAR);
+        let ctx = Context::new().with("A", 5, 5).with_props("L", 4, 4, Props::LOWER_TRIANGULAR);
         assert_eq!(ctx.expect("A").shape, Shape::new(5, 5));
         assert!(ctx.expect("L").props.contains(Props::LOWER_TRIANGULAR));
         assert!(ctx.get("missing").is_none());

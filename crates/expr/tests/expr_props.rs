@@ -56,10 +56,12 @@ fn square_expr(seed: u64, depth: usize) -> Expr {
 }
 
 fn ctx() -> Context {
-    Context::new()
-        .with("A", 32, 32)
-        .with("B", 32, 32)
-        .with_props("L", 32, 32, Props::LOWER_TRIANGULAR)
+    Context::new().with("A", 32, 32).with("B", 32, 32).with_props(
+        "L",
+        32,
+        32,
+        Props::LOWER_TRIANGULAR,
+    )
 }
 
 proptest! {

@@ -251,10 +251,7 @@ mod tests {
             assert_eq!(a1, a2);
             vec![fb.matmul(a1, a2)]
         });
-        assert_eq!(
-            f.graph().count_kind(|k| matches!(k, laab_graph::OpKind::Input(_))),
-            1
-        );
+        assert_eq!(f.graph().count_kind(|k| matches!(k, laab_graph::OpKind::Input(_))), 1);
     }
 
     #[test]

@@ -31,11 +31,7 @@ pub fn eager_eval_expr<T: Scalar>(e: &Expr, env: &Env<T>) -> Matrix<T> {
     rec(e, env, &mut cache).to_matrix()
 }
 
-fn rec<T: Scalar>(
-    e: &Expr,
-    env: &Env<T>,
-    vars: &mut HashMap<String, Tensor<T>>,
-) -> Tensor<T> {
+fn rec<T: Scalar>(e: &Expr, env: &Env<T>, vars: &mut HashMap<String, Tensor<T>>) -> Tensor<T> {
     match e {
         Expr::Var(name) => vars
             .entry(name.clone())

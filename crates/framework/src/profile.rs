@@ -87,11 +87,7 @@ impl Framework {
     ///
     /// # Panics
     /// When the profile does not offer the method.
-    pub fn tridiagonal_matmul<T: Scalar>(
-        &self,
-        t: &Tridiagonal<T>,
-        b: &Tensor<T>,
-    ) -> Tensor<T> {
+    pub fn tridiagonal_matmul<T: Scalar>(&self, t: &Tridiagonal<T>, b: &Tensor<T>) -> Tensor<T> {
         assert!(
             self.profile.has_tridiagonal_matmul(),
             "linalg.tridiagonal_matmul is not available in the {:?} profile",
@@ -126,7 +122,11 @@ impl Framework {
     }
 
     /// Trace a symbolic expression into a **graph-mode** function.
-    pub fn function_from_expr(&self, e: &laab_expr::Expr, env_shapes: &laab_expr::Context) -> Function {
+    pub fn function_from_expr(
+        &self,
+        e: &laab_expr::Expr,
+        env_shapes: &laab_expr::Context,
+    ) -> Function {
         let expr = e.clone();
         let ctx = env_shapes.clone();
         Function::build(self.profile, self.passes, move |fb| {

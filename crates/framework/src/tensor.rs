@@ -93,13 +93,7 @@ impl<T: Scalar> Tensor<T> {
     /// Matrix product `self @ other` — one kernel call, transposition
     /// passed as flags.
     pub fn matmul(&self, other: &Tensor<T>) -> Tensor<T> {
-        Tensor::new(matmul_dispatch(
-            T::ONE,
-            self.raw(),
-            self.flag(),
-            other.raw(),
-            other.flag(),
-        ))
+        Tensor::new(matmul_dispatch(T::ONE, self.raw(), self.flag(), other.raw(), other.flag()))
     }
 
     /// Elementwise sum (materializes pending views first, as the
@@ -172,16 +166,19 @@ impl<T: Scalar> Tensor<T> {
     /// Block-diagonal assembly.
     pub fn block_diag(&self, other: &Tensor<T>) -> Tensor<T> {
         counters::record(Kernel::Concat, 0);
-        Tensor::new(Matrix::block_diag(
-            &self.dense_for_eltwise(),
-            &other.dense_for_eltwise(),
-        ))
+        Tensor::new(Matrix::block_diag(&self.dense_for_eltwise(), &other.dense_for_eltwise()))
     }
 }
 
 impl<T: Scalar> std::fmt::Debug for Tensor<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Tensor({}x{}{})", self.rows(), self.cols(), if self.trans { ", view=T" } else { "" })
+        write!(
+            f,
+            "Tensor({}x{}{})",
+            self.rows(),
+            self.cols(),
+            if self.trans { ", view=T" } else { "" }
+        )
     }
 }
 
@@ -213,15 +210,8 @@ mod tests {
         let s = counters::snapshot();
         assert_eq!(s.calls(Kernel::Gemm), 1, "one GEMM");
         assert_eq!(s.calls(Kernel::Transpose), 0, "no materialized transpose");
-        let want = reference::gemm_naive(
-            1.0,
-            &a,
-            Trans::Yes,
-            &b,
-            Trans::No,
-            0.0,
-            &Matrix::zeros(8, 8),
-        );
+        let want =
+            reference::gemm_naive(1.0, &a, Trans::Yes, &b, Trans::No, 0.0, &Matrix::zeros(8, 8));
         assert!(r.to_matrix().approx_eq(&want, 1e-12));
     }
 
@@ -248,7 +238,11 @@ mod tests {
         assert!(ta.sub(&tb).to_matrix().approx_eq(&a.sub(&b), 1e-14));
         assert!(ta.scale(2.5).to_matrix().approx_eq(&a.scale(2.5), 1e-14));
         // Transposed views materialize for eltwise ops.
-        assert!(ta.t().add(&tb.t()).to_matrix().approx_eq(&a.transpose().add(&b.transpose()), 1e-14));
+        assert!(ta
+            .t()
+            .add(&tb.t())
+            .to_matrix()
+            .approx_eq(&a.transpose().add(&b.transpose()), 1e-14));
     }
 
     #[test]

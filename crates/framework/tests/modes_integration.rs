@@ -4,7 +4,7 @@
 
 use laab_dense::gen::OperandGen;
 use laab_expr::eval::{eval, Env};
-use laab_expr::{parse, var, Context};
+use laab_expr::{parse, Context};
 use laab_framework::lower::eager_eval_expr;
 use laab_framework::{Framework, Profile};
 use laab_kernels::counters::{self, Kernel};

@@ -260,10 +260,7 @@ impl GraphBuilder {
     /// Matrix product `a · b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (sa, sb) = (self.shape(a), self.shape(b));
-        assert_eq!(
-            sa.cols, sb.rows,
-            "matmul: dimension mismatch {sa} · {sb}"
-        );
+        assert_eq!(sa.cols, sb.rows, "matmul: dimension mismatch {sa} · {sb}");
         self.push(
             OpKind::MatMul { ta: Trans::No, tb: Trans::No, alpha_bits: 1.0f64.to_bits() },
             vec![a, b],
@@ -336,11 +333,7 @@ impl GraphBuilder {
     /// Block-diagonal assembly.
     pub fn block_diag(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (sa, sb) = (self.shape(a), self.shape(b));
-        self.push(
-            OpKind::BlockDiag,
-            vec![a, b],
-            Shape::new(sa.rows + sb.rows, sa.cols + sb.cols),
-        )
+        self.push(OpKind::BlockDiag, vec![a, b], Shape::new(sa.rows + sb.rows, sa.cols + sb.cols))
     }
 
     /// The specialized tridiagonal product node (first operand must be the

@@ -4,16 +4,16 @@
 //! observes in TF/PyT graph mode — and nothing more:
 //!
 //! 1. **Transpose folding** — explicit `transpose` nodes feeding a `matmul`
-//!   become kernel flags (`GEMM`'s `transa`/`transb`), so `AᵀB` costs one
-//!   GEMM (Table I, row 1). Double transposes cancel everywhere.
+//!    become kernel flags (`GEMM`'s `transa`/`transb`), so `AᵀB` costs one
+//!    GEMM (Table I, row 1). Double transposes cancel everywhere.
 //! 2. **CSE** — hash-consing over `(kind, inputs)`: duplicate nodes that
-//!   "compute the exact same operation for the same input data" are merged
-//!   (the Fig. 3 optimization). Because the key is structural, the
-//!   non-parenthesized chain of Fig. 4 is *not* deduplicated — reproducing
-//!   the paper's central CSE finding.
+//!    "compute the exact same operation for the same input data" are merged
+//!    (the Fig. 3 optimization). Because the key is structural, the
+//!    non-parenthesized chain of Fig. 4 is *not* deduplicated — reproducing
+//!    the paper's central CSE finding.
 //! 3. **Scale fusion** — `x + x → 2·x`, nested scalings combine, and a
-//!   scaling of a single-use `matmul` folds into the kernel's `alpha`
-//!   (the "no additional overhead" BLAS observation in Experiment 1).
+//!    scaling of a single-use `matmul` folds into the kernel's `alpha`
+//!    (the "no additional overhead" BLAS observation in Experiment 1).
 //! 4. **DCE** — unreachable nodes are dropped.
 //!
 //! Chain re-association, distributivity, property dispatch and slicing
@@ -162,8 +162,7 @@ pub fn cse(g: &mut Graph) -> usize {
     let mut deduped = 0;
 
     for i in 0..n {
-        let canon: Vec<NodeId> =
-            g.nodes[i].inputs.iter().map(|id| remap[id.idx()]).collect();
+        let canon: Vec<NodeId> = g.nodes[i].inputs.iter().map(|id| remap[id.idx()]).collect();
         g.nodes[i].inputs = canon.clone();
         let key = (g.nodes[i].kind.clone(), canon);
         match seen.get(&key) {
@@ -379,8 +378,7 @@ mod tests {
         optimize(&mut g, &PassConfig::all());
         assert_eq!(g.count_kind(|k| matches!(k, OpKind::Transpose)), 0);
         // scale feeds directly from the input now.
-        let scale_node =
-            g.nodes.iter().find(|n| matches!(n.kind, OpKind::Scale(_))).unwrap();
+        let scale_node = g.nodes.iter().find(|n| matches!(n.kind, OpKind::Scale(_))).unwrap();
         assert!(matches!(g.node(scale_node.inputs[0]).kind, OpKind::Input(_)));
     }
 

@@ -22,7 +22,8 @@ fn random_graph(seed: u64, ops: usize, n: usize) -> Graph {
     // Pool of square nodes we can combine freely.
     let mut square: Vec<NodeId> = vec![a, b];
     for _ in 0..ops {
-        let pick = |state: &mut u64, pool: &[NodeId]| pool[(next(state) % pool.len() as u64) as usize];
+        let pick =
+            |state: &mut u64, pool: &[NodeId]| pool[(next(state) % pool.len() as u64) as usize];
         let node = match next(&mut state) % 5 {
             0 => {
                 let x = pick(&mut state, &square);
@@ -86,7 +87,7 @@ proptest! {
         let mut g = random_graph(seed, ops, n);
         let cfg = PassConfig { fold_transpose: fold, cse, fuse_scale: fuse, dce };
         optimize(&mut g, &cfg);
-        g.check_topology().map_err(|e| TestCaseError::fail(e))?;
+        g.check_topology().map_err(TestCaseError::fail)?;
         let got = execute(&g, &e);
         prop_assert!(
             got[0].approx_eq(&reference[0], 1e-9),

@@ -134,10 +134,7 @@ pub struct Snapshot {
 
 /// Take a snapshot of this thread's counters.
 pub fn snapshot() -> Snapshot {
-    Snapshot {
-        calls: CALLS.with(|c| *c.borrow()),
-        flops: FLOPS.with(|f| *f.borrow()),
-    }
+    Snapshot { calls: CALLS.with(|c| *c.borrow()), flops: FLOPS.with(|f| *f.borrow()) }
 }
 
 impl Snapshot {

@@ -72,15 +72,8 @@ mod tests {
         counters::reset();
         let r = matmul_dispatch(1.0, &x, Trans::Yes, &y, Trans::No);
         assert_eq!(counters::snapshot().calls(Kernel::Dot), 1);
-        let want = reference::gemm_naive(
-            1.0,
-            &x,
-            Trans::Yes,
-            &y,
-            Trans::No,
-            0.0,
-            &Matrix::zeros(1, 1),
-        );
+        let want =
+            reference::gemm_naive(1.0, &x, Trans::Yes, &y, Trans::No, 0.0, &Matrix::zeros(1, 1));
         assert!((r[(0, 0)] - want[(0, 0)]).abs() < 1e-12);
     }
 
@@ -105,15 +98,8 @@ mod tests {
         let r = matmul_dispatch(1.0, &y, Trans::Yes, &a, Trans::No);
         assert_eq!(counters::snapshot().calls(Kernel::Gemv), 1);
         assert_eq!(r.shape(), (1, 9));
-        let want = reference::gemm_naive(
-            1.0,
-            &y,
-            Trans::Yes,
-            &a,
-            Trans::No,
-            0.0,
-            &Matrix::zeros(1, 9),
-        );
+        let want =
+            reference::gemm_naive(1.0, &y, Trans::Yes, &a, Trans::No, 0.0, &Matrix::zeros(1, 9));
         assert!(r.approx_eq(&want, 1e-12));
     }
 
@@ -125,15 +111,8 @@ mod tests {
         counters::reset();
         let r = matmul_dispatch(1.0, &a, Trans::Yes, &b, Trans::No);
         assert_eq!(counters::snapshot().calls(Kernel::Gemm), 1);
-        let want = reference::gemm_naive(
-            1.0,
-            &a,
-            Trans::Yes,
-            &b,
-            Trans::No,
-            0.0,
-            &Matrix::zeros(5, 6),
-        );
+        let want =
+            reference::gemm_naive(1.0, &a, Trans::Yes, &b, Trans::No, 0.0, &Matrix::zeros(5, 6));
         assert!(r.approx_eq(&want, 1e-12));
     }
 
@@ -144,15 +123,8 @@ mod tests {
         let a = g.matrix::<f64>(6, 8);
         let xr = g.row_vector::<f64>(8);
         let r = matmul_dispatch(1.0, &a, Trans::No, &xr, Trans::Yes);
-        let want = reference::gemm_naive(
-            1.0,
-            &a,
-            Trans::No,
-            &xr,
-            Trans::Yes,
-            0.0,
-            &Matrix::zeros(6, 1),
-        );
+        let want =
+            reference::gemm_naive(1.0, &a, Trans::No, &xr, Trans::Yes, 0.0, &Matrix::zeros(6, 1));
         assert!(r.approx_eq(&want, 1e-12));
     }
 }

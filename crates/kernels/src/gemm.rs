@@ -47,12 +47,7 @@ pub fn gemm<T: Scalar>(
     let (m, ka) = (av.rows, av.cols);
     let (kb, n) = (bv.rows, bv.cols);
     assert_eq!(ka, kb, "gemm: inner dimensions differ ({ka} vs {kb})");
-    assert_eq!(
-        c.shape(),
-        (m, n),
-        "gemm: C has shape {:?}, expected ({m}, {n})",
-        c.shape()
-    );
+    assert_eq!(c.shape(), (m, n), "gemm: C has shape {:?}, expected ({m}, {n})", c.shape());
     counters::record(Kernel::Gemm, flops::gemm(m, n, ka));
     gemm_dispatch(alpha, av, bv, beta, c);
 }
@@ -78,18 +73,17 @@ fn gemm_dispatch<T: Scalar>(alpha: T, a: View<'_, T>, b: View<'_, T>, beta: T, c
     }
     let rows_per = m.div_ceil(threads);
     let width = c.cols();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, chunk) in c.as_mut_slice().chunks_mut(rows_per * width).enumerate() {
             let r0 = ci * rows_per;
             let rows = chunk.len() / width;
             let a_chunk = a.sub(r0, r0 + rows, 0, a.cols);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cv = MutView { data: chunk, rows, cols: width, rs: width };
                 gemm_serial(alpha, a_chunk, b, beta, &mut cv);
             });
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 /// Serial blocked GEMM over strided views (also the building block for TRMM
@@ -161,11 +155,8 @@ fn pack_a<T: Scalar>(buf: &mut [T], a: View<'_, T>, ic: usize, mc: usize, pc: us
         let rows = MR.min(mc - p * MR);
         for kk in 0..kc {
             for ir in 0..MR {
-                buf[base + kk * MR + ir] = if ir < rows {
-                    a.get(ic + p * MR + ir, pc + kk)
-                } else {
-                    T::ZERO
-                };
+                buf[base + kk * MR + ir] =
+                    if ir < rows { a.get(ic + p * MR + ir, pc + kk) } else { T::ZERO };
             }
         }
     }
@@ -181,11 +172,8 @@ fn pack_b<T: Scalar>(buf: &mut [T], b: View<'_, T>, pc: usize, kc: usize, jc: us
         let cols = NR.min(nc - p * NR);
         for kk in 0..kc {
             for jr in 0..NR {
-                buf[base + kk * NR + jr] = if jr < cols {
-                    b.get(pc + kk, jc + p * NR + jr)
-                } else {
-                    T::ZERO
-                };
+                buf[base + kk * NR + jr] =
+                    if jr < cols { b.get(pc + kk, jc + p * NR + jr) } else { T::ZERO };
             }
         }
     }
@@ -216,10 +204,10 @@ fn macro_block<T: Scalar>(
             let rows = MR.min(mc - ip * MR);
             let acc = micro_kernel(kc, pa, pb);
             // Accumulate the tile: C[i0.., j0..] += alpha * acc.
-            for ir in 0..rows {
+            for (ir, acc_row) in acc.iter().enumerate().take(rows) {
                 let crow = &mut c.data[(i0 + ir) * c.rs + j0..(i0 + ir) * c.rs + j0 + cols];
-                for (jr, cv) in crow.iter_mut().enumerate() {
-                    *cv = alpha.mul_add(acc[ir][jr], *cv);
+                for (cv, &av) in crow.iter_mut().zip(acc_row) {
+                    *cv = alpha.mul_add(av, *cv);
                 }
             }
         }

@@ -47,9 +47,8 @@ pub fn gemv<T: Scalar>(
         Trans::Yes => {
             // Aᵀx: accumulate axpy-style over the rows of A (contiguous).
             let mut acc = vec![T::ZERO; m];
-            for j in 0..k {
+            for (j, &xj) in xs.iter().enumerate().take(k) {
                 let row = &a.as_slice()[j * a.cols()..j * a.cols() + m];
-                let xj = xs[j];
                 for (ai, &aji) in acc.iter_mut().zip(row) {
                     *ai = xj.mul_add(aji, *ai);
                 }
@@ -133,15 +132,8 @@ mod tests {
         let y = g.col_vector::<f64>(4);
         let mut a = Matrix::<f64>::zeros(6, 4);
         ger(1.0, &x, &y, &mut a);
-        let want = reference::gemm_naive(
-            1.0,
-            &x,
-            Trans::No,
-            &y,
-            Trans::Yes,
-            0.0,
-            &Matrix::zeros(6, 4),
-        );
+        let want =
+            reference::gemm_naive(1.0, &x, Trans::No, &y, Trans::Yes, 0.0, &Matrix::zeros(6, 4));
         assert!(a.approx_eq(&want, 1e-13));
     }
 

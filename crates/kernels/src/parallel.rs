@@ -3,8 +3,8 @@
 //! The paper measures single-threaded execution (Sec. III), so the default
 //! thread count is 1. The thread-scaling ablation and the `Flow` profile's
 //! parallel `tridiagonal_matmul` raise it via [`set_num_threads`]. Worker
-//! threads are crossbeam *scoped* threads: no pool lifetime management, no
-//! `'static` bounds, and data-race freedom enforced by disjoint `&mut`
+//! threads are `std::thread` *scoped* threads: no pool lifetime management,
+//! no `'static` bounds, and data-race freedom enforced by disjoint `&mut`
 //! row chunks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,13 +40,12 @@ where
         return;
     }
     let rows_per = rows.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, chunk) in buf[..rows * width].chunks_mut(rows_per * width).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(ci * rows_per, chunk));
+            s.spawn(move || f(ci * rows_per, chunk));
         }
-    })
-    .expect("kernel worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -146,8 +146,7 @@ mod tests {
         let a = Matrix::<f64>::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
         let b = Matrix::<f64>::from_fn(2, 4, |i, j| (i * 4 + j) as f64);
         // AᵀB computed two ways: flags vs explicit materialization.
-        let with_flag =
-            gemm_naive(1.0, &a, Trans::Yes, &b, Trans::No, 0.0, &Matrix::zeros(3, 4));
+        let with_flag = gemm_naive(1.0, &a, Trans::Yes, &b, Trans::No, 0.0, &Matrix::zeros(3, 4));
         let at = a.transpose();
         let explicit = gemm_naive(1.0, &at, Trans::No, &b, Trans::No, 0.0, &Matrix::zeros(3, 4));
         assert_eq!(with_flag, explicit);

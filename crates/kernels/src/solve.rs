@@ -126,7 +126,9 @@ pub fn cholesky<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>, usize> {
     let mut colk = vec![T::ZERO; n];
     for k in 0..n {
         let d = m[(k, k)];
-        if !(d > T::ZERO) || !d.is_finite() {
+        // NaN pivots must land in the error branch: `d > 0` is false for
+        // NaN, so requiring finite-and-positive keeps that behavior.
+        if !(d.is_finite() && d > T::ZERO) {
             return Err(k);
         }
         let dk = d.sqrt();

@@ -145,15 +145,8 @@ mod tests {
         let u = g.upper_triangular::<f64>(70);
         let b = g.matrix::<f64>(70, 30);
         let c = trmm(1.0, &u, UpLo::Upper, &b);
-        let want = reference::gemm_naive(
-            1.0,
-            &u,
-            Trans::No,
-            &b,
-            Trans::No,
-            0.0,
-            &Matrix::zeros(70, 30),
-        );
+        let want =
+            reference::gemm_naive(1.0, &u, Trans::No, &b, Trans::No, 0.0, &Matrix::zeros(70, 30));
         assert!(c.approx_eq(&want, 1e-12));
     }
 

@@ -41,13 +41,7 @@ impl<'a, T: Scalar> View<'a, T> {
     pub fn sub(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> View<'a, T> {
         debug_assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
         let off = r0 * self.rs + c0 * self.cs;
-        View {
-            data: &self.data[off..],
-            rows: r1 - r0,
-            cols: c1 - c0,
-            rs: self.rs,
-            cs: self.cs,
-        }
+        View { data: &self.data[off..], rows: r1 - r0, cols: c1 - c0, rs: self.rs, cs: self.cs }
     }
 }
 
@@ -76,12 +70,7 @@ impl<'a, T: Scalar> MutView<'a, T> {
     pub fn sub(&mut self, r0: usize, r1: usize, c0: usize, c1: usize) -> MutView<'_, T> {
         debug_assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
         let off = r0 * self.rs + c0;
-        MutView {
-            data: &mut self.data[off..],
-            rows: r1 - r0,
-            cols: c1 - c0,
-            rs: self.rs,
-        }
+        MutView { data: &mut self.data[off..], rows: r1 - r0, cols: c1 - c0, rs: self.rs }
     }
 }
 

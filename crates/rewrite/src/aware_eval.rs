@@ -82,10 +82,7 @@ fn go<'e, T: Scalar>(expr: &Expr, env: &'e Env<T>, ctx: &Context) -> Val<'e, T> 
                 return Val::Owned(laab_kernels::diag_matmul(&Diagonal::from_dense(va), vb));
             }
             if pa.contains(Props::TRIDIAGONAL) {
-                return Val::Owned(laab_kernels::tridiag_matmul(
-                    &Tridiagonal::from_dense(va),
-                    vb,
-                ));
+                return Val::Owned(laab_kernels::tridiag_matmul(&Tridiagonal::from_dense(va), vb));
             }
             if pa.contains(Props::LOWER_TRIANGULAR) {
                 return Val::Owned(trmm(T::ONE, va, UpLo::Lower, vb));
@@ -96,8 +93,7 @@ fn go<'e, T: Scalar>(expr: &Expr, env: &'e Env<T>, ctx: &Context) -> Val<'e, T> 
             // Structured right factor: B·L = (Lᵀ·Bᵀ)ᵀ (O(n²) transposes
             // around the half-FLOP kernel).
             if pb.contains(Props::DIAGONAL) {
-                let r =
-                    laab_kernels::diag_matmul(&Diagonal::from_dense(vb), &va.transpose());
+                let r = laab_kernels::diag_matmul(&Diagonal::from_dense(vb), &va.transpose());
                 return Val::Owned(r.transpose());
             }
             if pb.contains(Props::LOWER_TRIANGULAR) {
@@ -147,16 +143,11 @@ fn go<'e, T: Scalar>(expr: &Expr, env: &'e Env<T>, ctx: &Context) -> Val<'e, T> 
             let v = go(x, env, ctx);
             Val::Owned(Matrix::col_vector(&v.get().col(*j)))
         }
-        Expr::VCat(a, b) => {
-            Val::Owned(go(a, env, ctx).get().vcat(go(b, env, ctx).get()))
+        Expr::VCat(a, b) => Val::Owned(go(a, env, ctx).get().vcat(go(b, env, ctx).get())),
+        Expr::HCat(a, b) => Val::Owned(go(a, env, ctx).get().hcat(go(b, env, ctx).get())),
+        Expr::BlockDiag(a, b) => {
+            Val::Owned(Matrix::block_diag(go(a, env, ctx).get(), go(b, env, ctx).get()))
         }
-        Expr::HCat(a, b) => {
-            Val::Owned(go(a, env, ctx).get().hcat(go(b, env, ctx).get()))
-        }
-        Expr::BlockDiag(a, b) => Val::Owned(Matrix::block_diag(
-            go(a, env, ctx).get(),
-            go(b, env, ctx).get(),
-        )),
     }
 }
 
@@ -175,13 +166,15 @@ mod tests {
         let l = g.lower_triangular::<f64>(n);
         let b = g.matrix::<f64>(n, n);
         let env = Env::new().with("L", l).with("B", b);
-        let ctx = env.context_with(|name| {
-            if name == "L" {
-                Props::LOWER_TRIANGULAR
-            } else {
-                Props::NONE
-            }
-        });
+        let ctx = env.context_with(
+            |name| {
+                if name == "L" {
+                    Props::LOWER_TRIANGULAR
+                } else {
+                    Props::NONE
+                }
+            },
+        );
         let e = var("L") * var("B");
         let (got, c) = counters::measure(|| aware_eval(&e, &env, &ctx));
         assert_eq!(c.calls(Kernel::Trmm), 1);
@@ -196,13 +189,15 @@ mod tests {
         let l = g.lower_triangular::<f64>(n);
         let b = g.matrix::<f64>(n, n);
         let env = Env::new().with("L", l).with("B", b);
-        let ctx = env.context_with(|name| {
-            if name == "L" {
-                Props::LOWER_TRIANGULAR
-            } else {
-                Props::NONE
-            }
-        });
+        let ctx = env.context_with(
+            |name| {
+                if name == "L" {
+                    Props::LOWER_TRIANGULAR
+                } else {
+                    Props::NONE
+                }
+            },
+        );
         let e = var("B") * var("L");
         let (got, c) = counters::measure(|| aware_eval(&e, &env, &ctx));
         assert_eq!(c.calls(Kernel::Trmm), 1);
@@ -234,10 +229,7 @@ mod tests {
         let t = g.tridiagonal::<f64>(n);
         let d = g.diagonal::<f64>(n);
         let b = g.matrix::<f64>(n, n);
-        let env = Env::new()
-            .with("T", t.to_dense())
-            .with("D", d.to_dense())
-            .with("B", b);
+        let env = Env::new().with("T", t.to_dense()).with("D", d.to_dense()).with("B", b);
         let ctx = env.context_with(|name| match name {
             "T" => Props::TRIDIAGONAL,
             "D" => Props::DIAGONAL,
@@ -258,13 +250,8 @@ mod tests {
         let q = g.orthogonal::<f64>(n);
         let b = g.matrix::<f64>(n, n);
         let env = Env::new().with("Q", q).with("B", b.clone());
-        let ctx = env.context_with(|name| {
-            if name == "Q" {
-                Props::ORTHOGONAL
-            } else {
-                Props::NONE
-            }
-        });
+        let ctx =
+            env.context_with(|name| if name == "Q" { Props::ORTHOGONAL } else { Props::NONE });
         let e = (var("Q").t() * var("Q")) * var("B");
         let (got, c) = counters::measure(|| aware_eval(&e, &env, &ctx));
         assert_eq!(c.calls(Kernel::Gemm) + c.calls(Kernel::Syrk), 0, "no O(n³) work");

@@ -252,9 +252,7 @@ mod tests {
     #[test]
     fn aware_search_eliminates_orthogonal_product() {
         let n = 64;
-        let c = Context::new()
-            .with_props("Q", n, n, Props::ORTHOGONAL)
-            .with("B", n, n);
+        let c = Context::new().with_props("Q", n, n, Props::ORTHOGONAL).with("B", n, n);
         let e = (var("Q").t() * var("Q")) * var("B");
         let r = optimize_expr(&e, &c, CostKind::AwareShared);
         assert_eq!(r.best, var("B"));
@@ -285,10 +283,7 @@ mod tests {
             .with("C", g.matrix(n, n));
         let want = eval(&e, &env);
         for v in &variants {
-            assert!(
-                eval(v, &env).approx_eq(&want, 1e-10),
-                "variant `{v}` differs from original"
-            );
+            assert!(eval(v, &env).approx_eq(&want, 1e-10), "variant `{v}` differs from original");
         }
     }
 

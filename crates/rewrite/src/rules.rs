@@ -46,12 +46,12 @@ pub fn distribute(e: &Expr, _ctx: &Context) -> Vec<Expr> {
     let mut out = Vec::new();
     if let Expr::Mul(a, bc) = e {
         match &**bc {
-            Expr::Add(b, c) => out.push(
-                Expr::Mul(a.clone(), b.clone()) + Expr::Mul(a.clone(), c.clone()),
-            ),
-            Expr::Sub(b, c) => out.push(
-                Expr::Mul(a.clone(), b.clone()) - Expr::Mul(a.clone(), c.clone()),
-            ),
+            Expr::Add(b, c) => {
+                out.push(Expr::Mul(a.clone(), b.clone()) + Expr::Mul(a.clone(), c.clone()))
+            }
+            Expr::Sub(b, c) => {
+                out.push(Expr::Mul(a.clone(), b.clone()) - Expr::Mul(a.clone(), c.clone()))
+            }
             _ => {}
         }
         if let Expr::Add(x, y) = &**a {
@@ -144,8 +144,7 @@ pub fn identity_eliminate(e: &Expr, ctx: &Context) -> Vec<Expr> {
         }
     }
     // Collapse a non-trivial identity-valued expression to the literal.
-    if !matches!(e, Expr::Identity(_) | Expr::Var(_)) && e.props(ctx).contains(Props::IDENTITY)
-    {
+    if !matches!(e, Expr::Identity(_) | Expr::Var(_)) && e.props(ctx).contains(Props::IDENTITY) {
         if let Ok(s) = e.try_shape(ctx) {
             if s.is_square() {
                 out.push(Expr::Identity(s.rows));
@@ -431,24 +430,13 @@ mod tests {
 
     #[test]
     fn blocked_split_checks_conformality() {
-        let c = Context::new()
-            .with("A1", 2, 2)
-            .with("A2", 3, 3)
-            .with("B1", 2, 4)
-            .with("B2", 3, 4);
-        let e = laab_expr::block_diag(var("A1"), var("A2"))
-            * laab_expr::vcat(var("B1"), var("B2"));
+        let c = Context::new().with("A1", 2, 2).with("A2", 3, 3).with("B1", 2, 4).with("B2", 3, 4);
+        let e = laab_expr::block_diag(var("A1"), var("A2")) * laab_expr::vcat(var("B1"), var("B2"));
         let got = blocked_split(&e, &c);
-        assert_eq!(
-            got,
-            vec![laab_expr::vcat(var("A1") * var("B1"), var("A2") * var("B2"))]
-        );
+        assert_eq!(got, vec![laab_expr::vcat(var("A1") * var("B1"), var("A2") * var("B2"))]);
         // Non-conformal blocks: no rewrite.
-        let bad_ctx = Context::new()
-            .with("A1", 2, 3)
-            .with("A2", 3, 2)
-            .with("B1", 2, 4)
-            .with("B2", 3, 4);
+        let bad_ctx =
+            Context::new().with("A1", 2, 3).with("A2", 3, 2).with("B1", 2, 4).with("B2", 3, 4);
         assert!(blocked_split(&e, &bad_ctx).is_empty());
     }
 
@@ -461,10 +449,7 @@ mod tests {
             vec![laab_expr::elem(var("A"), 2, 2) + laab_expr::elem(var("B"), 2, 2)]
         );
         let prod = laab_expr::elem(var("A") * var("B"), 2, 2);
-        assert_eq!(
-            slicing_pushdown(&prod, &c),
-            vec![var("A").row(2) * var("B").col(2)]
-        );
+        assert_eq!(slicing_pushdown(&prod, &c), vec![var("A").row(2) * var("B").col(2)]);
         let tr = laab_expr::elem(var("A").t(), 1, 3);
         assert_eq!(slicing_pushdown(&tr, &c), vec![laab_expr::elem(var("A"), 3, 1)]);
         let rowp = (var("A") * var("B")).row(1);

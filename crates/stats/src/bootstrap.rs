@@ -78,9 +78,7 @@ mod tests {
 
     fn jittered(base: f64, n: usize, amp: f64) -> Samples {
         // Deterministic sawtooth jitter around `base`.
-        Samples::new(
-            (0..n).map(|i| base + amp * ((i % 7) as f64 - 3.0) / 3.0).collect(),
-        )
+        Samples::new((0..n).map(|i| base + amp * ((i % 7) as f64 - 3.0) / 3.0).collect())
     }
 
     #[test]

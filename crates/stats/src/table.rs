@@ -1,13 +1,13 @@
 //! Paper-style result tables.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A result table: headers, rows, free-form footnotes.
 ///
 /// Renders as aligned plain text (`Display`) and as markdown
 /// ([`Table::to_markdown`]); serializes to JSON for EXPERIMENTS.md
 /// round-tripping.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Table {
     /// Title, e.g. `"Table II: CSE (n = 3000)"`.
     pub title: String,
@@ -61,10 +61,7 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut s = format!("### {}\n\n", self.title);
         s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        s.push_str(&format!(
-            "|{}\n",
-            self.headers.iter().map(|_| "---|").collect::<String>()
-        ));
+        s.push_str(&format!("|{}\n", self.headers.iter().map(|_| "---|").collect::<String>()));
         for row in &self.rows {
             s.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -79,16 +76,10 @@ impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let w = self.widths();
         writeln!(f, "{}", self.title)?;
-        let line: String =
-            w.iter().map(|n| "-".repeat(n + 2)).collect::<Vec<_>>().join("+");
+        let line: String = w.iter().map(|n| "-".repeat(n + 2)).collect::<Vec<_>>().join("+");
         writeln!(f, "+{line}+")?;
         let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .zip(&w)
-                .map(|(c, n)| format!(" {c:<n$} "))
-                .collect::<Vec<_>>()
-                .join("|")
+            cells.iter().zip(&w).map(|(c, n)| format!(" {c:<n$} ")).collect::<Vec<_>>().join("|")
         };
         writeln!(f, "|{}|", fmt_row(&self.headers))?;
         writeln!(f, "+{line}+")?;
@@ -111,8 +102,6 @@ pub fn fmt_secs(t: f64) -> String {
     }
     if t >= 0.0995 {
         format!("{t:.2}")
-    } else if t >= 0.0095 {
-        format!("{t:.3}")
     } else if t >= 0.00095 {
         format!("{t:.3}")
     } else if t > 0.0 {

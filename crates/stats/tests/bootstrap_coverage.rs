@@ -11,7 +11,8 @@ fn timing_like(rng: &mut StdRng, base: f64, noise: f64, n: usize) -> Samples {
     Samples::new(
         (0..n)
             .map(|_| {
-                let spike = if rng.gen::<f64>() < 0.1 { rng.gen::<f64>() * 4.0 * noise } else { 0.0 };
+                let spike =
+                    if rng.gen::<f64>() < 0.1 { rng.gen::<f64>() * 4.0 * noise } else { 0.0 };
                 base + rng.gen::<f64>() * noise + spike
             })
             .collect(),
@@ -50,10 +51,7 @@ fn false_positive_rate_is_bounded() {
             false_pos += 1;
         }
     }
-    assert!(
-        false_pos <= trials / 4,
-        "too many false positives: {false_pos}/{trials}"
-    );
+    assert!(false_pos <= trials / 4, "too many false positives: {false_pos}/{trials}");
 }
 
 /// Verdicts are antisymmetric: swapping the arguments flips the sign.

@@ -70,10 +70,7 @@ fn main() {
     );
     let found_aware = optimize_expr(&expr, &ctx, CostKind::AwareShared);
     if found_aware.best != found.best {
-        println!(
-            "rewriter + awareness: `{}` at {} FLOPs",
-            found_aware.best, found_aware.best_cost
-        );
+        println!("rewriter + awareness: `{}` at {} FLOPs", found_aware.best, found_aware.best_cost);
     }
 
     // Measured.

@@ -16,8 +16,7 @@ use laab_stats::{fmt_secs, time_reps};
 
 fn main() {
     let dims: Vec<usize> = {
-        let d: Vec<usize> =
-            std::env::args().skip(1).filter_map(|v| v.parse().ok()).collect();
+        let d: Vec<usize> = std::env::args().skip(1).filter_map(|v| v.parse().ok()).collect();
         if d.len() >= 2 {
             d
         } else {
@@ -40,12 +39,14 @@ fn main() {
     }
     println!("\nDP selects {} at {} FLOPs", best_tree.render(), best_cost);
     let ltr = left_to_right(m).cost(&dims);
-    println!("left-to-right (the frameworks' default) costs {ltr} FLOPs ({:.1}x)", ltr as f64 / best_cost as f64);
+    println!(
+        "left-to-right (the frameworks' default) costs {ltr} FLOPs ({:.1}x)",
+        ltr as f64 / best_cost as f64
+    );
 
     // Execute both orders on random operands.
     let mut gen = OperandGen::new(3);
-    let mats: Vec<Matrix<f32>> =
-        (0..m).map(|i| gen.matrix(dims[i], dims[i + 1])).collect();
+    let mats: Vec<Matrix<f32>> = (0..m).map(|i| gen.matrix(dims[i], dims[i + 1])).collect();
     let refs: Vec<&Matrix<f32>> = mats.iter().collect();
 
     let cfg = TimingConfig { reps: 10, warmup: 2 };

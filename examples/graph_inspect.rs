@@ -27,11 +27,7 @@ fn main() {
     let initial = f2.unoptimized_graph();
     let optimized = f2.graph();
     println!("Fig 3 — {e2}");
-    println!(
-        "  initial graph:   {} nodes, {} matmuls",
-        initial.len(),
-        initial.matmul_count()
-    );
+    println!("  initial graph:   {} nodes, {} matmuls", initial.len(), initial.matmul_count());
     println!(
         "  optimized graph: {} nodes, {} matmuls ({:?})",
         optimized.len(),
@@ -43,11 +39,8 @@ fn main() {
         initial.to_dot("fig3 initial: (AtB)t(AtB)"),
     )
     .expect("write fig3_initial.dot");
-    std::fs::write(
-        format!("{out_dir}/fig3_optimized.dot"),
-        optimized.to_dot("fig3 optimized"),
-    )
-    .expect("write fig3_optimized.dot");
+    std::fs::write(format!("{out_dir}/fig3_optimized.dot"), optimized.to_dot("fig3 optimized"))
+        .expect("write fig3_optimized.dot");
 
     // Fig. 4: the flat chain (AᵀB)ᵀAᵀB — no duplicate subtree, CSE finds
     // nothing.

@@ -71,10 +71,7 @@ fn main() {
             "variant 2: Hᵀy + x − Hᵀ(Hx)",
             hv.t() * yv.clone() + xv.clone() - hv.t() * (hv.clone() * xv.clone()),
         ),
-        (
-            "variant 3: Hᵀ(y − Hx) + x",
-            hv.t() * (yv.clone() - hv.clone() * xv.clone()) + xv.clone(),
-        ),
+        ("variant 3: Hᵀ(y − Hx) + x", hv.t() * (yv.clone() - hv.clone() * xv.clone()) + xv.clone()),
     ];
 
     let flow = Framework::flow();

@@ -19,9 +19,7 @@ fn main() {
 
     // 1. Operands (seeded, f32 — the frameworks' default precision).
     let mut gen = OperandGen::new(42);
-    let env = Env::<f32>::new()
-        .with("A", gen.matrix(n, n))
-        .with("B", gen.matrix(n, n));
+    let env = Env::<f32>::new().with("A", gen.matrix(n, n)).with("B", gen.matrix(n, n));
     let ctx = Context::new().with("A", n, n).with("B", n, n);
 
     // 2. The test expression, written like on a blackboard.

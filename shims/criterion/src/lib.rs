@@ -1,0 +1,352 @@
+//! Offline stand-in for `criterion`, implementing the harness surface the
+//! LAAB benches use: `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `bench_function`/`bench_with_input`, throughput annotation and
+//! the `sample_size`/`warm_up_time`/`measurement_time` builder.
+//!
+//! Measurement model (simpler than upstream's linear regression, same
+//! protocol as the paper): warm up for `warm_up_time`, then take
+//! `sample_size` wall-clock samples of an adaptively sized iteration
+//! batch and report min / median / mean per iteration. Results go to
+//! stdout; there is no HTML report. See `shims/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark (upstream default 100).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// How long to run the routine before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Read a benchmark-name filter from the command line, like upstream
+    /// (`cargo bench -- <substring>`). Harness flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--quiet" | "-q" | "--verbose" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                s if s.starts_with('-') => {
+                    // Unknown harness flag with a possible value; skip it.
+                    if !s.contains('=') {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        self.run_one(&id.full_name(), None, f);
+        self
+    }
+
+    fn run_one<F>(&self, name: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name, throughput);
+    }
+}
+
+/// A named benchmark with an optional parameter, e.g. `gemm/512`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("gemm", 512)` → `gemm/512`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id that is only the parameter, e.g. for per-size groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (n, Some(p)) => format!("{n}/{p}"),
+            (n, None) => n.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s, parameter: None }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements (e.g. FLOPs or matrix entries) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group (accepted for source
+    /// compatibility; the shim applies the harness-level setting).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `self.name/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        self.criterion.run_one(&full, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        self.criterion.run_one(&full, self.throughput.as_ref(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream writes reports here; the shim prints as it
+    /// goes, so this is a no-op kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing per-iteration seconds for each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters.max(1) as f64;
+
+        // Batch size so that `sample_size` samples fill measurement_time.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)).round() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>12}/s", fmt_rate(*e as f64 / min))
+            }
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>11}B/s", fmt_rate(*b as f64 / min))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<50} min {}  median {}  mean {}{rate}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>8.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:>8.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>8.3} µs", secs * 1e6)
+    } else {
+        format!("{:>8.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.2} ")
+    }
+}
+
+/// Define a benchmark group: either the `name/config/targets` form or the
+/// positional `criterion_group!(benches, f, g)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64.wrapping_mul(7)));
+            ran += 1;
+        });
+        assert_eq!(ran, 1);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `proptest`, implementing the subset LAAB's property
+//! tests use: the `proptest!` macro with `#![proptest_config(...)]`, range
+//! and `any::<T>()` strategies, `prop_map`, `collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Differences from upstream (deliberate, see `shims/README.md`):
+//!
+//! * no shrinking — a failing case prints its fully-instantiated inputs
+//!   instead, which is enough to reproduce (the RNG is deterministic per
+//!   test name and case index);
+//! * `prop_assert!` panics immediately rather than returning `Err`;
+//! * `PROPTEST_CASES` still overrides the per-test case count.
+
+/// Deterministic per-test RNG and case bookkeeping.
+pub mod test_runner {
+    /// Per-case deterministic RNG (SplitMix64 over a hash of the test
+    /// name and case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test uniquely named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "TestRng::below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-run configuration (subset of upstream's).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// The case count to actually run: `PROPTEST_CASES` env override, or
+    /// the config's value. Lets CI dial property tests down or up without
+    /// code changes, like upstream.
+    pub fn resolved_cases(cfg: &Config) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(cfg.cases)
+    }
+
+    /// Why a single case did not pass (upstream: `TestCaseError`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property failed with a message; the run aborts.
+        Fail(String),
+        /// The inputs were rejected (`prop_assume!`); the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing outcome with a message.
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        /// A rejected-input outcome with a message.
+        pub fn reject(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+pub use test_runner::TestCaseError;
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value` (upstream: `Strategy`).
+    /// No shrinking: `sample` draws directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A constant strategy (upstream: `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// Types with a canonical "any value" strategy (upstream: `Arbitrary`).
+    pub trait Arb: Sized {
+        /// Draw an arbitrary value.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arb for bool {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arb for u64 {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arb for u32 {
+        fn arb(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arb for usize {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arb for i64 {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arb for f64 {
+        fn arb(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, spanning several magnitudes — a
+            // pragmatic default for numeric property tests.
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arb> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arb>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A half-open length range for collection strategies (upstream:
+    /// `SizeRange`). Concrete `From` impls keep untyped integer literals
+    /// inferring as `usize`, exactly like upstream's conversions.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { start: *r.start(), end: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { start: n, end: n + 1 }
+        }
+    }
+
+    /// A strategy for `Vec<E>` with length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E> {
+        element: E,
+        len: SizeRange,
+    }
+
+    /// `vec(element, 3..8)` — vectors whose length is drawn from `len`.
+    pub fn vec<E: Strategy>(element: E, len: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in one import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Assert inside a property; panics with the message (no `Err` plumbing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when `cond` does not hold (upstream rejects and
+/// resamples; the shim's expansion returns `Reject` from the case body and
+/// the runner moves on to the next case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(...)]` followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items. Each expands
+/// to a plain `#[test]` that samples the strategies for `cases` iterations;
+/// on failure the concrete inputs are printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::resolved_cases(&cfg);
+            for case in 0..cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )*
+                let __inputs = format!(
+                    concat!("case {}/{}:" $(, " ", stringify!($arg), " = {:?}")*),
+                    case,
+                    cases
+                    $(, &$arg)*
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) | Ok(Err($crate::TestCaseError::Reject(_))) => {}
+                    Ok(Err($crate::TestCaseError::Fail(msg))) => {
+                        panic!(
+                            "proptest {} failed at {}: {}",
+                            stringify!($name),
+                            __inputs,
+                            msg
+                        );
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest {} failed at {}",
+                            stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for non-generic structs with named fields —
+//! the only shape LAAB serializes. Written against the built-in
+//! `proc_macro` API only (no `syn`/`quote`; the build container has no
+//! registry access, see `shims/README.md`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let pushes: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{pushes}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (shim) for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(v.get(\"{f}\")\
+                     .ok_or_else(|| serde::DeError(format!(\
+                         \"missing field `{f}` in {name}\")))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+/// Extract `(struct_name, field_names)` from a struct definition.
+///
+/// Panics (derive-time error) on enums, tuple structs, and generic structs:
+/// the shim intentionally supports only what the workspace derives on.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut it = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "enum" || s == "union" {
+                panic!("serde shim derive supports structs only, got `{s}`");
+            }
+            if s == "struct" {
+                match it.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, got {other:?}"),
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: no `struct` keyword found");
+
+    // The next token must be the named-field brace group (no generics).
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive does not support generic structs");
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple structs");
+            }
+            Some(_) => continue,
+            None => panic!("serde shim derive: struct `{name}` has no body"),
+        }
+    };
+
+    // Fields: `[attrs] [vis] ident : TYPE ,` — collect the idents before `:`
+    // at depth 0 (types may contain `,` only inside <...> or (...) groups,
+    // and `<`/`>` never nest with a top-level comma in between for the
+    // simple types used here).
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next(); // the [...] group
+        }
+        // Skip visibility.
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(
+                toks.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                toks.next();
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+    }
+    (name, fields)
+}

@@ -1,0 +1,210 @@
+//! `laab` — the unified runner for the Linear Algebra Awareness Benchmark.
+//!
+//! ```text
+//! laab run [OPTIONS] [EXPERIMENT]...   run experiments (default: all)
+//! laab list                            list experiment names
+//! laab help                            this message
+//! ```
+//!
+//! See `laab help` (or the README) for the option reference.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use laab::suite::runner::{self, Experiment};
+use laab::suite::ExperimentConfig;
+use laab_stats::TimingConfig;
+
+const USAGE: &str = "\
+laab — Linear Algebra Awareness Benchmark runner (arXiv:2202.09888)
+
+USAGE:
+    laab run [OPTIONS] [EXPERIMENT]...
+    laab list
+    laab help
+
+EXPERIMENTS:
+    fig1 table1 table2 table3 table4 table5 table6 fig6 fig7 ext_solve
+    (none given: run everything in paper order)
+
+OPTIONS:
+    --quick          smoke protocol: n = 64, 5 reps (for CI and try-outs)
+    --n N            problem size          [default: 512; paper: 3000]
+    --reps R         timed repetitions     [default: 20]
+    --warmup W       discarded warmup runs [default: 2]
+    --seed S         operand seed          [default: 6827 (0x1AAB)]
+    --no-check       skip numeric cross-validation of variants
+    --json           print the machine-readable report to stdout
+                     (tables are suppressed; combine with --out to keep both)
+    --out PATH       write the JSON report to PATH (BENCH_*.json format)
+    --md             print results as markdown instead of plain text
+    --strict         exit non-zero unless every paper finding reproduces
+";
+
+struct RunArgs {
+    cfg: ExperimentConfig,
+    names: Vec<String>,
+    json_stdout: bool,
+    out: Option<String>,
+    markdown: bool,
+    strict: bool,
+}
+
+/// Set once stdout's downstream pipe closes (e.g. `laab list | head`).
+/// Rust ignores SIGPIPE, so a plain `println!` would panic; instead later
+/// stdout writes become no-ops while the run itself — `--out` files and
+/// the `--strict` exit code — still completes.
+static STDOUT_CLOSED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Print a line to stdout, tolerating a closed pipe.
+fn emit(text: &str) {
+    use std::sync::atomic::Ordering;
+    if STDOUT_CLOSED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut out = std::io::stdout().lock();
+    if out.write_all(text.as_bytes()).and_then(|()| out.write_all(b"\n")).is_err() {
+        STDOUT_CLOSED.store(true, Ordering::Relaxed);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => match parse_run_args(args) {
+            Ok(Some(run_args)) => run(run_args),
+            Ok(None) => {
+                emit(USAGE);
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("list") => {
+            for e in Experiment::ALL {
+                emit(&format!("{:<10} {}", e.id(), e.describe()));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            emit(USAGE);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse `laab run` arguments. `Ok(None)` means `--help` was requested.
+fn parse_run_args(args: impl Iterator<Item = String>) -> Result<Option<RunArgs>, String> {
+    let mut cfg = ExperimentConfig::default();
+    let mut out = RunArgs {
+        cfg,
+        names: Vec::new(),
+        json_stdout: false,
+        out: None,
+        markdown: false,
+        strict: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                cfg.n = 64;
+                cfg.timing = TimingConfig::quick();
+            }
+            "--n" => cfg.n = parse_num(args.next(), "--n")?,
+            "--reps" => cfg.timing.reps = parse_num(args.next(), "--reps")?,
+            "--warmup" => cfg.timing.warmup = parse_num(args.next(), "--warmup")?,
+            "--seed" => cfg.seed = parse_num(args.next(), "--seed")?,
+            "--no-check" => cfg.check_numerics = false,
+            "--json" => out.json_stdout = true,
+            "--out" => {
+                out.out = Some(args.next().ok_or("--out requires a path")?);
+            }
+            "--md" => out.markdown = true,
+            "--strict" => out.strict = true,
+            "--help" | "-h" => return Ok(None),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            name => out.names.push(name.to_string()),
+        }
+    }
+    if cfg.timing.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    out.cfg = cfg;
+    Ok(Some(out))
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse().map_err(|_| format!("invalid value `{v}` for {flag}"))
+}
+
+fn run(args: RunArgs) -> ExitCode {
+    let plan = match runner::parse_experiments(&args.names) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = runner::run_with(&args.cfg, &plan, |exp, record| {
+        // Stream results as they land. With --json, stdout is reserved for
+        // the report, so only a progress line goes to stderr.
+        if args.json_stdout {
+            eprintln!("# finished {} in {:.2}s", exp.id(), record.wall_secs);
+        } else if args.markdown {
+            emit(&record.result.to_markdown());
+        } else {
+            emit(&format_result_text(&record.result, record.wall_secs));
+        }
+    });
+
+    if !args.json_stdout {
+        emit(&report.summary_table().to_string());
+    }
+
+    let json = report.to_json();
+    if args.json_stdout {
+        emit(&json);
+    }
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.write_all(b"\n")))
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if args.strict && !report.all_checks_pass() {
+        eprintln!("strict mode: not every paper finding reproduced");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn format_result_text(result: &laab::suite::ExperimentResult, wall: f64) -> String {
+    let mut s = format!("=== {} ({}) — {wall:.2}s ===\n", result.title, result.id);
+    s.push_str(&format!("{}\n", result.table));
+    s.push_str(&format!("{}\n", result.analysis));
+    s.push_str("paper findings:\n");
+    for c in &result.checks {
+        s.push_str(&format!(
+            "  [{}] {} — {}\n",
+            if c.passed { "ok" } else { "XX" },
+            c.name,
+            c.detail
+        ));
+    }
+    s
+}

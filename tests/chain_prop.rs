@@ -3,8 +3,7 @@
 
 use laab::prelude::*;
 use laab_chain::{
-    enumerate_parenthesizations, left_to_right, multi_dot, optimal_parenthesization,
-    right_to_left,
+    enumerate_parenthesizations, left_to_right, multi_dot, optimal_parenthesization, right_to_left,
 };
 use proptest::prelude::*;
 

@@ -86,9 +86,9 @@ fn table3_kernel_dispatch_matches_paper() {
     let (h, x, y) = (var("H"), var("x"), var("y"));
     // (expression, GEMMs, GEMVs)
     let cases: Vec<(Expr, u64, u64)> = vec![
-        (h.t() * h.clone() * x.clone(), 1, 1), // O(n³): the GEMM runs
+        (h.t() * h.clone() * x.clone(), 1, 1),   // O(n³): the GEMM runs
         (h.t() * (h.clone() * x.clone()), 0, 2), // O(n²)
-        (y.t() * h.t() * h.clone(), 0, 2),     // default L→R is optimal
+        (y.t() * h.t() * h.clone(), 0, 2),       // default L→R is optimal
         (h.t() * y.clone() * x.t() * h.clone(), 2, 1), // O(n³)
         ((h.t() * y.clone()) * (x.t() * h.clone()), 1, 2), // outer product is a k=1 GEMM
     ];
@@ -174,13 +174,8 @@ fn table5_blocked_identity_and_flops() {
         .with("A2", g.matrix(h, h))
         .with("B1", g.matrix(h, n))
         .with("B2", g.matrix(h, n));
-    let ctx = Context::new()
-        .with("A1", h, h)
-        .with("A2", h, h)
-        .with("B1", h, n)
-        .with("B2", h, n);
-    let lhs = laab_expr::block_diag(var("A1"), var("A2"))
-        * laab_expr::vcat(var("B1"), var("B2"));
+    let ctx = Context::new().with("A1", h, h).with("A2", h, h).with("B1", h, n).with("B2", h, n);
+    let lhs = laab_expr::block_diag(var("A1"), var("A2")) * laab_expr::vcat(var("B1"), var("B2"));
     let rhs = laab_expr::vcat(var("A1") * var("B1"), var("A2") * var("B2"));
     let flow = Framework::flow();
     let fl = flow.function_from_expr(&lhs, &ctx);
@@ -199,7 +194,7 @@ fn full_suite_reproduces_all_findings() {
     let results = run_all(&cfg);
     assert_eq!(results.len(), 10, "nine paper artifacts + the solver extension");
     for r in &results {
-        for c in &r.checks {
+        for c in r.asserted_checks() {
             assert!(c.passed, "[{}] failed: {} — {}", r.id, c.name, c.detail);
         }
         assert!(!r.to_markdown().is_empty());

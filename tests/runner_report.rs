@@ -1,0 +1,87 @@
+//! Integration tests for the `laab` runner: the JSON report round-trips
+//! through serde byte-for-byte, and experiment-name parsing rejects
+//! unknown names with an actionable error.
+
+use laab::suite::runner::{self, Experiment, RunReport, REPORT_SCHEMA};
+use laab::suite::ExperimentConfig;
+
+fn tiny_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(24);
+    // One rep is enough: these tests exercise the report plumbing, not the
+    // timing statistics. The seed sits above 2^53 to pin exact (non-f64)
+    // integer round-tripping.
+    cfg.timing.reps = 1;
+    cfg.timing.warmup = 0;
+    cfg.seed = (1 << 53) + 1;
+    cfg
+}
+
+#[test]
+fn report_round_trips_via_serde() {
+    let cfg = tiny_cfg();
+    let plan = runner::parse_experiments(&["table2".into(), "fig7".into()]).unwrap();
+    let report = runner::run(&cfg, &plan);
+
+    assert_eq!(report.schema, REPORT_SCHEMA);
+    assert_eq!(report.n, 24);
+    assert_eq!(report.seed, (1 << 53) + 1);
+    let ids: Vec<&str> = report.experiments.iter().map(|r| r.id.as_str()).collect();
+    assert_eq!(ids, ["table2", "fig7"]);
+
+    let json = report.to_json();
+    let back = RunReport::from_json(&json).unwrap();
+    assert_eq!(back, report, "decode(encode(report)) != report");
+
+    // Encoding the decoded report reproduces the exact bytes: field order
+    // is stable, so BENCH_*.json diffs are meaningful across runs.
+    assert_eq!(back.to_json(), json);
+}
+
+#[test]
+fn report_preserves_tables_and_checks() {
+    let cfg = tiny_cfg();
+    let report = runner::run(&cfg, &[Experiment::Table3]);
+    let back = RunReport::from_json(&report.to_json()).unwrap();
+
+    let (orig, parsed) = (&report.experiments[0], &back.experiments[0]);
+    assert_eq!(parsed.result.table.headers, orig.result.table.headers);
+    assert_eq!(parsed.result.table.rows, orig.result.table.rows);
+    assert_eq!(parsed.result.analysis, orig.result.analysis);
+    assert_eq!(parsed.checks_total, orig.result.checks.len());
+    assert_eq!(parsed.checks_passed, orig.result.checks.iter().filter(|c| c.passed).count());
+    // Unicode expression labels (ᵀ, ≈) survive the JSON escaping.
+    assert!(parsed.result.table.rows.iter().flatten().any(|c| c.contains('ᵀ')));
+}
+
+#[test]
+fn from_json_rejects_garbage_and_wrong_schema() {
+    assert!(RunReport::from_json("not json at all").is_err());
+    assert!(RunReport::from_json("{\"schema\": \"laab-bench-v1\"}").is_err(), "missing fields");
+
+    let cfg = tiny_cfg();
+    let report = runner::run(&cfg, &[Experiment::Table2]);
+    let wrong_schema = report.to_json().replace(REPORT_SCHEMA, "laab-bench-v999");
+    let err = RunReport::from_json(&wrong_schema).unwrap_err();
+    assert!(err.to_string().contains("laab-bench-v999"), "got: {err}");
+}
+
+#[test]
+fn parse_experiments_rejects_unknown_names() {
+    for bogus in ["table9", "fig2", "", "tableone", "ext-solve"] {
+        let err = runner::parse_experiments(&[bogus.to_string()])
+            .expect_err(&format!("`{bogus}` must be rejected"));
+        assert_eq!(err.name, bogus);
+        assert!(err.to_string().contains("valid:"), "error lists the menu");
+    }
+    // A good name mixed with a bad one still fails (no partial plans).
+    assert!(runner::parse_experiments(&["table1".into(), "table9".into()]).is_err());
+}
+
+#[test]
+fn parse_experiments_accepts_all_ids_case_insensitively() {
+    for e in Experiment::ALL {
+        let plan = runner::parse_experiments(&[e.id().to_uppercase()]).unwrap();
+        assert_eq!(plan, vec![e]);
+    }
+    assert_eq!(runner::parse_experiments(&[]).unwrap().len(), Experiment::ALL.len());
+}
