@@ -2,9 +2,10 @@
 //! 1/2/4 kernel threads.
 //!
 //! The paper measures single-threaded; this ablation exercises the
-//! row-partitioned parallel path (crossbeam scoped threads). On a
-//! single-core host the extra threads only add spawn overhead — the
-//! interesting shape appears on multi-core machines.
+//! persistent-pool parallel path (2-D tile grid for GEMM, row chunks for
+//! the structured kernels). On a single-core host the extra threads only
+//! add hand-off overhead — the interesting shape appears on multi-core
+//! machines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laab_dense::gen::OperandGen;

@@ -30,6 +30,7 @@
 
 pub mod baselines;
 pub mod experiments;
+pub mod gemm_bench;
 pub mod runner;
 pub mod workloads;
 

@@ -27,7 +27,7 @@ mod matrix;
 mod scalar;
 mod structured;
 
-pub use matrix::Matrix;
+pub use matrix::{ColIter, Matrix};
 pub use scalar::Scalar;
 pub use structured::{Diagonal, Tridiagonal};
 

@@ -170,6 +170,21 @@ impl<T: Scalar> Matrix<T> {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Borrowed strided iterator over column `j` — no allocation, unlike
+    /// [`Matrix::col`]. The workhorse of the column-slicing hot paths
+    /// (`B[:,j]` nodes in the graph executor and evaluators).
+    pub fn col_iter(&self, j: usize) -> ColIter<'_, T> {
+        assert!(j < self.cols, "col index {j} out of bounds ({} cols)", self.cols);
+        let data = if self.rows == 0 { &self.data[..] } else { &self.data[j..] };
+        ColIter { data, step: self.cols, remaining: self.rows }
+    }
+
+    /// Column `j` as an owned `rows×1` matrix, built in a single pass
+    /// (where `Matrix::col_vector(&m.col(j))` would allocate twice).
+    pub fn col_matrix(&self, j: usize) -> Matrix<T> {
+        Matrix { rows: self.rows, cols: 1, data: self.col_iter(j).collect() }
+    }
+
     /// Element accessor with bounds check in debug builds.
     #[inline(always)]
     pub fn get(&self, i: usize, j: usize) -> T {
@@ -339,6 +354,62 @@ impl<T: Scalar> Matrix<T> {
     }
 }
 
+/// Borrowed strided iterator over one matrix column (see
+/// [`Matrix::col_iter`]).
+#[derive(Clone)]
+pub struct ColIter<'a, T: Scalar> {
+    /// Remaining storage, starting at the next column element.
+    data: &'a [T],
+    /// Row stride (the matrix's column count).
+    step: usize,
+    remaining: usize,
+}
+
+impl<T: Scalar> Iterator for ColIter<'_, T> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let v = self.data[0];
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            self.data = &self.data[self.step..];
+        }
+        Some(v)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T: Scalar> ExactSizeIterator for ColIter<'_, T> {}
+
+/// Elementwise in-place sum `self += other` — the buffer-reuse form of
+/// [`Matrix::add`] for uniquely-owned intermediates.
+impl<T: Scalar> std::ops::AddAssign<&Matrix<T>> for Matrix<T> {
+    fn add_assign(&mut self, other: &Matrix<T>) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (o, b) in self.data.iter_mut().zip(&other.data) {
+            *o += *b;
+        }
+    }
+}
+
+/// Elementwise in-place difference `self -= other`.
+impl<T: Scalar> std::ops::SubAssign<&Matrix<T>> for Matrix<T> {
+    fn sub_assign(&mut self, other: &Matrix<T>) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign: shape mismatch");
+        for (o, b) in self.data.iter_mut().zip(&other.data) {
+            *o -= *b;
+        }
+    }
+}
+
 impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline(always)]
@@ -388,6 +459,40 @@ mod tests {
         assert_eq!(m[(1, 2)], 12.0);
         assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
         assert_eq!(m.col(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = Matrix::<f64>::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        for j in 0..3 {
+            let it = m.col_iter(j);
+            assert_eq!(it.len(), 5);
+            assert_eq!(it.collect::<Vec<_>>(), m.col(j));
+            assert_eq!(m.col_matrix(j).as_slice(), &m.col(j)[..]);
+            assert_eq!(m.col_matrix(j).shape(), (5, 1));
+        }
+        // Single-row matrices must not index past the backing storage.
+        let row = Matrix::<f64>::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(row.col_iter(2).collect::<Vec<_>>(), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_iter_rejects_bad_index() {
+        let m = Matrix::<f64>::zeros(2, 2);
+        let _ = m.col_iter(2);
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign_match_out_of_place() {
+        let a = Matrix::<f64>::from_fn(3, 4, |i, j| (i + j) as f64);
+        let b = Matrix::<f64>::from_fn(3, 4, |i, j| (i * j) as f64 + 1.0);
+        let mut sum = a.clone();
+        sum += &b;
+        assert_eq!(sum, a.add(&b));
+        let mut diff = a.clone();
+        diff -= &b;
+        assert_eq!(diff, a.sub(&b));
     }
 
     #[test]

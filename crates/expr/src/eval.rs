@@ -101,11 +101,29 @@ fn eval_val<'e, T: Scalar>(expr: &Expr, env: &'e Env<T>) -> Val<'e, T> {
         }
         Expr::Add(a, b) => {
             let (va, vb) = (eval_val(a, env), eval_val(b, env));
-            Val::Owned(va.get().add(vb.get()))
+            // Reuse an owned operand buffer instead of allocating; IEEE
+            // addition commutes exactly, so either side may accumulate.
+            match (va, vb) {
+                (Val::Owned(mut m), vb) => {
+                    m += vb.get();
+                    Val::Owned(m)
+                }
+                (Val::Ref(r), Val::Owned(mut m)) => {
+                    m += r;
+                    Val::Owned(m)
+                }
+                (Val::Ref(r), Val::Ref(r2)) => Val::Owned(r.add(r2)),
+            }
         }
         Expr::Sub(a, b) => {
             let (va, vb) = (eval_val(a, env), eval_val(b, env));
-            Val::Owned(va.get().sub(vb.get()))
+            match va {
+                Val::Owned(mut m) => {
+                    m -= vb.get();
+                    Val::Owned(m)
+                }
+                Val::Ref(r) => Val::Owned(r.sub(vb.get())),
+            }
         }
         Expr::Scale(c, x) => Val::Owned(eval_val(x, env).get().scale(T::from_f64(c.0))),
         Expr::Elem(x, i, j) => {
@@ -118,7 +136,7 @@ fn eval_val<'e, T: Scalar>(expr: &Expr, env: &'e Env<T>) -> Val<'e, T> {
         }
         Expr::Col(x, j) => {
             let v = eval_val(x, env);
-            Val::Owned(Matrix::col_vector(&v.get().col(*j)))
+            Val::Owned(v.get().col_matrix(*j))
         }
         Expr::VCat(a, b) => {
             let (va, vb) = (eval_val(a, env), eval_val(b, env));

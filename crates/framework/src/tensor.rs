@@ -135,7 +135,7 @@ impl<T: Scalar> Tensor<T> {
     pub fn row(&self, i: usize) -> Tensor<T> {
         counters::record(Kernel::Slice, 0);
         if self.trans {
-            Tensor::new(Matrix::row_vector(&self.data.col(i)))
+            Tensor::new(Matrix::from_vec(1, self.data.rows(), self.data.col_iter(i).collect()))
         } else {
             Tensor::new(Matrix::row_vector(self.data.row(i)))
         }
@@ -147,7 +147,7 @@ impl<T: Scalar> Tensor<T> {
         if self.trans {
             Tensor::new(Matrix::col_vector(self.data.row(j)))
         } else {
-            Tensor::new(Matrix::col_vector(&self.data.col(j)))
+            Tensor::new(self.data.col_matrix(j))
         }
     }
 

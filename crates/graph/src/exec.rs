@@ -15,9 +15,9 @@
 use laab_dense::{Matrix, Scalar, Tridiagonal};
 use laab_expr::eval::Env;
 use laab_kernels::counters::{self, Kernel};
-use laab_kernels::{matmul_dispatch, tridiag_matmul};
+use laab_kernels::{geadd_assign, gescale_assign, matmul_dispatch, tridiag_matmul};
 
-use crate::ir::{Graph, OpKind};
+use crate::ir::{Graph, NodeId, OpKind};
 
 enum Val<'e, T: Scalar> {
     Ref(&'e Matrix<T>),
@@ -36,6 +36,24 @@ impl<'e, T: Scalar> Val<'e, T> {
             Val::Ref(m) => m.clone(),
             Val::Owned(m) => m,
         }
+    }
+}
+
+/// Steal the buffer of `id` when this node is its only remaining consumer
+/// and the value is an owned intermediate (not a borrowed feed). The freed
+/// slot stays `None`; the release loop after the node tolerates that.
+fn take_unique<'e, T: Scalar>(
+    values: &mut [Option<Val<'e, T>>],
+    remaining: &[u32],
+    id: NodeId,
+) -> Option<Matrix<T>> {
+    if remaining[id.idx()] == 1 && matches!(values[id.idx()], Some(Val::Owned(_))) {
+        match values[id.idx()].take() {
+            Some(Val::Owned(m)) => Some(m),
+            _ => unreachable!("checked Owned just above"),
+        }
+    } else {
+        None
     }
 }
 
@@ -72,19 +90,48 @@ pub fn execute<'e, T: Scalar>(g: &Graph, env: &'e Env<T>) -> Vec<Matrix<T>> {
                 Val::Owned(matmul_dispatch(alpha, a, *ta, b, *tb))
             }
             OpKind::Add => {
-                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
-                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
-                Val::Owned(laab_kernels::geadd(T::ONE, a, T::ONE, b))
+                // Reuse a uniquely-owned operand buffer instead of
+                // allocating a fresh output (addition commutes exactly, so
+                // either side may accumulate the other).
+                if let Some(mut a) = take_unique(&mut values, &remaining, node.inputs[0]) {
+                    let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                    geadd_assign(T::ONE, &mut a, T::ONE, b);
+                    Val::Owned(a)
+                } else if let Some(mut b) = take_unique(&mut values, &remaining, node.inputs[1]) {
+                    let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                    geadd_assign(T::ONE, &mut b, T::ONE, a);
+                    Val::Owned(b)
+                } else {
+                    let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                    let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                    Val::Owned(laab_kernels::geadd(T::ONE, a, T::ONE, b))
+                }
             }
             OpKind::Sub => {
-                let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
-                let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
-                Val::Owned(laab_kernels::geadd(T::ONE, a, -T::ONE, b))
+                if let Some(mut a) = take_unique(&mut values, &remaining, node.inputs[0]) {
+                    let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                    geadd_assign(T::ONE, &mut a, -T::ONE, b);
+                    Val::Owned(a)
+                } else if let Some(mut b) = take_unique(&mut values, &remaining, node.inputs[1]) {
+                    // a − b == (−1)·b + a, exactly, in either operand order.
+                    let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                    geadd_assign(-T::ONE, &mut b, T::ONE, a);
+                    Val::Owned(b)
+                } else {
+                    let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                    let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
+                    Val::Owned(laab_kernels::geadd(T::ONE, a, -T::ONE, b))
+                }
             }
             OpKind::Scale(bits) => {
-                let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
                 let c = T::from_f64(f64::from_bits(*bits));
-                Val::Owned(laab_kernels::geadd(c, x, T::ZERO, x))
+                if let Some(mut x) = take_unique(&mut values, &remaining, node.inputs[0]) {
+                    gescale_assign(c, &mut x);
+                    Val::Owned(x)
+                } else {
+                    let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
+                    Val::Owned(laab_kernels::geadd(c, x, T::ZERO, x))
+                }
             }
             OpKind::Transpose => {
                 let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
@@ -104,7 +151,7 @@ pub fn execute<'e, T: Scalar>(g: &Graph, env: &'e Env<T>) -> Vec<Matrix<T>> {
             OpKind::Col(c) => {
                 let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
                 counters::record(Kernel::Slice, 0);
-                Val::Owned(Matrix::col_vector(&x.col(*c)))
+                Val::Owned(x.col_matrix(*c))
             }
             OpKind::VCat => {
                 let a = values[node.inputs[0].idx()].as_ref().unwrap().get();

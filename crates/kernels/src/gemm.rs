@@ -1,30 +1,75 @@
-//! Packed, blocked GEMM with a register-tiled microkernel.
+//! Packed, blocked GEMM with 2-D parallel tiling and specialized
+//! microkernels.
 //!
 //! The structure follows the BLIS/Goto decomposition: three cache-blocking
 //! loops (`NC`/`KC`/`MC`) around packed panels of `A` and `B`, with an
-//! `MR×NR` register-tile microkernel innermost. Transposition is absorbed by
-//! the packing routines (the strided [`View`](crate::view::View) simply swaps
-//! strides), so `op(A)·op(B)` costs the same for every flag combination —
-//! the behaviour the paper observes for MKL-backed `AᵀB` in Table I.
+//! `MR×NR` register-tile microkernel innermost. Transposition is absorbed
+//! by the packing routines (the strided [`View`](crate::view::View) simply
+//! swaps strides), so `op(A)·op(B)` costs the same for every flag
+//! combination — the behaviour the paper observes for MKL-backed `AᵀB` in
+//! Table I.
+//!
+//! ## Execution engine
+//!
+//! Within each `(jc, pc)` step, `B` is packed **once** into a shared
+//! panel, and the `mc×nc` macro-space is cut into a 2-D grid of
+//! `(MC-row-block × column-chunk)` tiles drained from the persistent
+//! worker pool ([`crate::parallel_for`]). Short-and-wide products (small
+//! `m`, large `n`) — which the previous rows-only split ran serially —
+//! parallelize over column chunks; tall products parallelize over row
+//! blocks; big squares over both. Each tile packs its `A` block into a
+//! **reusable thread-local workspace** ([`crate::workspace`]), so
+//! steady-state calls allocate nothing.
+//!
+//! ## Determinism
+//!
+//! The tile grid only partitions *independent* output regions; every
+//! `C[i,j]` is accumulated in the same order (`pc` loop outermost, fixed
+//! `k`-order microkernel) regardless of the thread count, so 1-thread and
+//! N-thread runs are **bit-identical**.
+
+use std::any::TypeId;
 
 use laab_dense::{Matrix, Scalar};
 
 use crate::counters::{self, Kernel};
+use crate::parallel::parallel_for;
+use crate::simd::fma_f32;
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "fma",
+    any(target_feature = "avx512f", target_feature = "avx2")
+)))]
+use crate::simd::fma_f64;
 use crate::view::{MutView, View};
+use crate::workspace::{with_packed_a, with_packed_b};
 use crate::{flops, num_threads, Trans};
 
-/// Register tile rows. 4×8 accumulators keep f32 microkernels within the
-/// 16 SIMD registers of SSE/NEON baselines while letting LLVM vectorize the
-/// `NR`-wide inner updates.
-const MR: usize = 4;
-/// Register tile columns.
-const NR: usize = 8;
-/// Rows of the packed A block (L2-resident panel height).
-const MC: usize = 128;
-/// Depth of the packed panels (L1/L2-resident).
-const KC: usize = 256;
-/// Columns of the packed B block (L3-resident panel width).
+/// Register tile rows. With `NR` accumulator lanes per row, 6 rows keep
+/// 12 SIMD accumulators live — the classic FMA-latency-hiding shape that
+/// still fits the 16 architectural vector registers of AVX2 (and leaves
+/// headroom under AVX-512).
+pub(crate) const MR: usize = 6;
+/// Register tile columns. On AVX-512 targets the `f64` microkernel is
+/// written with explicit 512-bit intrinsics (the autovectorizer prefers
+/// 256-bit vectors there), so a row is two zmm registers — 12 zmm
+/// accumulators out of 32. Elsewhere, 8 columns are two 256-bit lanes and
+/// the 6×8 accumulator set fills 12 of the 16 architectural registers.
+pub(crate) const NR: usize =
+    if cfg!(all(target_arch = "x86_64", target_feature = "avx512f")) { 16 } else { 8 };
+/// Rows of the packed A block (L2-resident panel height, multiple of `MR`).
+const MC: usize = 120;
+/// Depth of the packed panels. Deep panels (L2-resident A block) halve
+/// the number of read-modify-write passes over `C` relative to the
+/// classic L1-sized choice — measurably faster here, where the
+/// microkernel is FMA-bound and `C` traffic is the next cost.
+const KC: usize = 1024;
+/// Columns of the packed B block (L3-resident panel width, multiple of `NR`).
 const NC: usize = 2048;
+
+/// Below this many FLOPs (`2mnk`) the spawn/handoff overhead of the pool
+/// outweighs the work; run serially even when threads are configured.
+const PAR_MIN_FLOPS: u64 = 2_000_000;
 
 /// `C := α·op(A)·op(B) + β·C`.
 ///
@@ -49,7 +94,8 @@ pub fn gemm<T: Scalar>(
     assert_eq!(ka, kb, "gemm: inner dimensions differ ({ka} vs {kb})");
     assert_eq!(c.shape(), (m, n), "gemm: C has shape {:?}, expected ({m}, {n})", c.shape());
     counters::record(Kernel::Gemm, flops::gemm(m, n, ka));
-    gemm_dispatch(alpha, av, bv, beta, c);
+    let threads = effective_threads(m, n, ka);
+    gemm_blocked(alpha, av, bv, beta, &mut MutView::of(c), threads);
 }
 
 /// Convenience wrapper allocating the output: `op(A)·op(B)`.
@@ -61,29 +107,22 @@ pub fn matmul<T: Scalar>(a: &Matrix<T>, ta: Trans, b: &Matrix<T>, tb: Trans) -> 
     c
 }
 
-/// Choose serial or row-parallel execution. Parallelism splits the rows of
-/// `C` (and correspondingly of `op(A)`) into contiguous chunks; `op(B)` is
-/// shared read-only, so each worker packs it independently.
-fn gemm_dispatch<T: Scalar>(alpha: T, a: View<'_, T>, b: View<'_, T>, beta: T, c: &mut Matrix<T>) {
-    let threads = num_threads();
-    let m = a.rows;
-    if threads <= 1 || m < 2 * MR * threads {
-        gemm_serial(alpha, a, b, beta, &mut MutView::of(c));
-        return;
+/// Thread count for a product of the given logical shape: the configured
+/// count, unless the product is too small to amortize pool hand-off. The
+/// decision looks at total FLOPs — *not* at `m` alone, so wide-but-short
+/// products (small `m`, large `n`) parallelize over columns instead of
+/// silently degrading to one thread.
+fn effective_threads(m: usize, n: usize, k: usize) -> usize {
+    let t = num_threads();
+    if t <= 1 {
+        return 1;
     }
-    let rows_per = m.div_ceil(threads);
-    let width = c.cols();
-    std::thread::scope(|s| {
-        for (ci, chunk) in c.as_mut_slice().chunks_mut(rows_per * width).enumerate() {
-            let r0 = ci * rows_per;
-            let rows = chunk.len() / width;
-            let a_chunk = a.sub(r0, r0 + rows, 0, a.cols);
-            s.spawn(move || {
-                let mut cv = MutView { data: chunk, rows, cols: width, rs: width };
-                gemm_serial(alpha, a_chunk, b, beta, &mut cv);
-            });
-        }
-    });
+    let flops = 2u64 * m as u64 * n as u64 * k as u64;
+    if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        t
+    }
 }
 
 /// Serial blocked GEMM over strided views (also the building block for TRMM
@@ -95,6 +134,46 @@ pub(crate) fn gemm_serial<T: Scalar>(
     beta: T,
     c: &mut MutView<'_, T>,
 ) {
+    gemm_blocked(alpha, a, b, beta, c, 1);
+}
+
+/// Raw pointer to the output panel, shared across tile workers. Tiles
+/// write disjoint `(row, column-range)` fragments, so the aliasing `&mut`
+/// slices manufactured in [`RawC::row_mut`] never overlap.
+struct RawC<T> {
+    ptr: *mut T,
+    rs: usize,
+}
+
+// SAFETY: see the struct docs — the tile scheduler hands every fragment to
+// exactly one task, and `T: Send` moves element access across threads.
+unsafe impl<T: Send> Sync for RawC<T> {}
+
+impl<T: Scalar> RawC<T> {
+    /// Mutable fragment of row `i`, columns `[j, j+len)`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrently live fragment overlaps.
+    /// The `&mut`-from-`&self` is the point: `RawC` is the shared handle
+    /// through which disjoint tiles write, so the aliasing discipline
+    /// lives in the tile scheduler, not the borrow checker.
+    #[allow(clippy::mut_from_ref)]
+    #[inline(always)]
+    unsafe fn row_mut(&self, i: usize, j: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr.add(i * self.rs + j), len)
+    }
+}
+
+/// The blocked driver: shared packed-B panel per `(jc, pc)` step, 2-D
+/// `(row-block × column-chunk)` tile grid on the worker pool.
+fn gemm_blocked<T: Scalar>(
+    alpha: T,
+    a: View<'_, T>,
+    b: View<'_, T>,
+    beta: T,
+    c: &mut MutView<'_, T>,
+    threads: usize,
+) {
     let (m, k) = (a.rows, a.cols);
     let n = b.cols;
     debug_assert_eq!(b.rows, k);
@@ -103,28 +182,49 @@ pub(crate) fn gemm_serial<T: Scalar>(
     // Apply beta once, up front: C := beta*C. (beta == 0 writes zeros so
     // uninitialized NaNs never propagate, matching BLAS semantics.)
     scale_c(beta, c);
-    if m == 0 || n == 0 {
-        return;
-    }
-    if k == 0 {
+    if m == 0 || n == 0 || k == 0 {
         return;
     }
 
-    let mut packed_a = vec![T::ZERO; MC.min(m).next_multiple_of(MR) * KC.min(k)];
-    let mut packed_b = vec![T::ZERO; KC.min(k) * NC.min(n).next_multiple_of(NR)];
-
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(&mut packed_b, b, pc, kc, jc, nc);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(&mut packed_a, a, ic, mc, pc, kc);
-                macro_block(alpha, &packed_a, &packed_b, mc, nc, kc, ic, jc, c);
+    let raw = RawC { ptr: c.data.as_mut_ptr(), rs: c.rs };
+    let b_len = KC.min(k) * NC.min(n).next_multiple_of(NR);
+    with_packed_b::<T, _>(b_len, |packed_b| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(packed_b, b, pc, kc, jc, nc);
+                let m_tiles = m.div_ceil(MC);
+                let (n_chunks, chunk_cols) = column_chunks(nc, m_tiles, threads);
+                let pb: &[T] = packed_b;
+                parallel_for(threads, m_tiles * n_chunks, |t| {
+                    let ic = (t % m_tiles) * MC;
+                    let mc = MC.min(m - ic);
+                    let j0 = (t / m_tiles) * chunk_cols;
+                    let j1 = (j0 + chunk_cols).min(nc);
+                    with_packed_a::<T, _>(mc.next_multiple_of(MR) * kc, |pa| {
+                        pack_a(pa, a, ic, mc, pc, kc);
+                        let pb_chunk = &pb[(j0 / NR) * NR * kc..];
+                        macro_block(alpha, pa, pb_chunk, mc, j1 - j0, kc, ic, jc + j0, &raw);
+                    });
+                });
             }
         }
+    });
+}
+
+/// Split the `nc`-wide panel into column chunks so the tile grid exposes
+/// roughly `2·threads` units of work even when there are few row blocks
+/// (the wide-but-short case). Chunks are `NR`-aligned so packed-B panel
+/// boundaries stay intact; with one thread the panel is a single chunk
+/// (no redundant A packing).
+fn column_chunks(nc: usize, m_tiles: usize, threads: usize) -> (usize, usize) {
+    if threads <= 1 || m_tiles >= 2 * threads {
+        return (1, nc);
     }
+    let want = (2 * threads).div_ceil(m_tiles).min(nc.div_ceil(NR));
+    let chunk = nc.div_ceil(want).next_multiple_of(NR);
+    (nc.div_ceil(chunk), chunk)
 }
 
 fn scale_c<T: Scalar>(beta: T, c: &mut MutView<'_, T>) {
@@ -146,66 +246,110 @@ fn scale_c<T: Scalar>(beta: T, c: &mut MutView<'_, T>) {
 }
 
 /// Pack `mc×kc` of `A` (from `(ic, pc)`) into row-panels of height `MR`,
-/// zero-padding the ragged final panel.
+/// zero-padding the ragged final panel. The unit-column-stride fast path
+/// reads each source row contiguously.
 fn pack_a<T: Scalar>(buf: &mut [T], a: View<'_, T>, ic: usize, mc: usize, pc: usize, kc: usize) {
     let panels = mc.div_ceil(MR);
     debug_assert!(buf.len() >= panels * MR * kc);
     for p in 0..panels {
-        let base = p * MR * kc;
+        let out = &mut buf[p * MR * kc..(p + 1) * MR * kc];
         let rows = MR.min(mc - p * MR);
-        for kk in 0..kc {
-            for ir in 0..MR {
-                buf[base + kk * MR + ir] =
-                    if ir < rows { a.get(ic + p * MR + ir, pc + kk) } else { T::ZERO };
+        if rows < MR {
+            out.fill(T::ZERO);
+        }
+        let r0 = ic + p * MR;
+        if a.cs == 1 {
+            for ir in 0..rows {
+                let src = &a.data[(r0 + ir) * a.rs + pc..][..kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    out[kk * MR + ir] = v;
+                }
+            }
+        } else {
+            // Transposed (or generally strided) source: for a fixed kk the
+            // `ir` run strides by `a.rs` (contiguous when rs == 1).
+            for kk in 0..kc {
+                let base = (pc + kk) * a.cs + r0 * a.rs;
+                for ir in 0..rows {
+                    out[kk * MR + ir] = a.data[base + ir * a.rs];
+                }
             }
         }
     }
 }
 
 /// Pack `kc×nc` of `B` (from `(pc, jc)`) into column-panels of width `NR`,
-/// zero-padding the ragged final panel.
+/// zero-padding the ragged final panel. The unit-column-stride fast path
+/// is a straight row-fragment copy.
 fn pack_b<T: Scalar>(buf: &mut [T], b: View<'_, T>, pc: usize, kc: usize, jc: usize, nc: usize) {
     let panels = nc.div_ceil(NR);
     debug_assert!(buf.len() >= panels * NR * kc);
     for p in 0..panels {
-        let base = p * NR * kc;
+        let out = &mut buf[p * NR * kc..(p + 1) * NR * kc];
         let cols = NR.min(nc - p * NR);
-        for kk in 0..kc {
-            for jr in 0..NR {
-                buf[base + kk * NR + jr] =
-                    if jr < cols { b.get(pc + kk, jc + p * NR + jr) } else { T::ZERO };
+        if cols < NR {
+            out.fill(T::ZERO);
+        }
+        let c0 = jc + p * NR;
+        if b.cs == 1 {
+            for kk in 0..kc {
+                let src = &b.data[(pc + kk) * b.rs + c0..][..cols];
+                out[kk * NR..kk * NR + cols].copy_from_slice(src);
+            }
+        } else {
+            for jr in 0..cols {
+                let base = (c0 + jr) * b.cs + pc * b.rs;
+                for kk in 0..kc {
+                    out[kk * NR + jr] = b.data[base + kk * b.rs];
+                }
             }
         }
     }
 }
 
-/// Sweep all `MR×NR` tiles of one `mc×nc` macro-block.
+/// Sweep all `MR×NR` tiles of one `mc × chunk_n` macro-tile, accumulating
+/// `alpha`-scaled results into `C` through disjoint row fragments.
 #[allow(clippy::too_many_arguments)]
 fn macro_block<T: Scalar>(
     alpha: T,
     packed_a: &[T],
     packed_b: &[T],
     mc: usize,
-    nc: usize,
+    chunk_n: usize,
     kc: usize,
-    ic: usize,
-    jc: usize,
-    c: &mut MutView<'_, T>,
+    i0: usize,
+    j0: usize,
+    c: &RawC<T>,
 ) {
     let a_panels = mc.div_ceil(MR);
-    let b_panels = nc.div_ceil(NR);
+    let b_panels = chunk_n.div_ceil(NR);
     for jp in 0..b_panels {
         let pb = &packed_b[jp * NR * kc..(jp + 1) * NR * kc];
-        let j0 = jc + jp * NR;
-        let cols = NR.min(nc - jp * NR);
+        let cols = NR.min(chunk_n - jp * NR);
         for ip in 0..a_panels {
             let pa = &packed_a[ip * MR * kc..(ip + 1) * MR * kc];
-            let i0 = ic + ip * MR;
             let rows = MR.min(mc - ip * MR);
-            let acc = micro_kernel(kc, pa, pb);
-            // Accumulate the tile: C[i0.., j0..] += alpha * acc.
+            // Pull the C destination rows towards the core while the
+            // microkernel runs — the write-back below is the only
+            // non-packed memory traffic in the macro sweep.
+            #[cfg(target_arch = "x86_64")]
+            for ir in 0..rows {
+                // SAFETY: in-bounds row fragment start (same indices the
+                // write-back uses); prefetch has no architectural effect.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(
+                        c.ptr.add((i0 + ip * MR + ir) * c.rs + j0 + jp * NR).cast(),
+                        std::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+            let mut acc = [[T::ZERO; NR]; MR];
+            micro_kernel(kc, pa, pb, &mut acc);
+            // Accumulate the tile: C[i0+ip*MR.., j0+jp*NR..] += alpha * acc.
             for (ir, acc_row) in acc.iter().enumerate().take(rows) {
-                let crow = &mut c.data[(i0 + ir) * c.rs + j0..(i0 + ir) * c.rs + j0 + cols];
+                // SAFETY: this tile owns rows [i0, i0+mc) × cols
+                // [j0, j0+chunk_n) exclusively (disjoint tile grid).
+                let crow = unsafe { c.row_mut(i0 + ip * MR + ir, j0 + jp * NR, cols) };
                 for (cv, &av) in crow.iter_mut().zip(acc_row) {
                     *cv = alpha.mul_add(av, *cv);
                 }
@@ -214,17 +358,176 @@ fn macro_block<T: Scalar>(
     }
 }
 
-/// The register-tile microkernel: `acc[MR][NR] = Σ_k a[k][·] ⊗ b[k][·]`.
-///
-/// Written so the `NR`-wide inner updates are straight-line code over a
-/// contiguous slice, which LLVM vectorizes at `opt-level ≥ 2`.
+/// The register-tile microkernel: `acc[MR][NR] = Σ_k a[k][·] ⊗ b[k][·]`,
+/// dispatching to the fused `f32`/`f64` specializations. `acc` must be
+/// zero-initialized by the caller.
 #[inline(always)]
-fn micro_kernel<T: Scalar>(kc: usize, pa: &[T], pb: &[T]) -> [[T; NR]; MR] {
-    let mut acc = [[T::ZERO; NR]; MR];
+fn micro_kernel<T: Scalar>(kc: usize, pa: &[T], pb: &[T], acc: &mut [[T; NR]; MR]) {
     debug_assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
-    for kk in 0..kc {
-        let a = &pa[kk * MR..kk * MR + MR];
-        let b = &pb[kk * NR..kk * NR + NR];
+    if TypeId::of::<T>() == TypeId::of::<f64>() {
+        // SAFETY: T == f64, so the reinterpretations are identities.
+        let pa = unsafe { &*(pa as *const [T] as *const [f64]) };
+        let pb = unsafe { &*(pb as *const [T] as *const [f64]) };
+        let acc = unsafe { &mut *(acc as *mut [[T; NR]; MR]).cast::<[[f64; NR]; MR]>() };
+        micro_kernel_f64(kc, pa, pb, acc);
+    } else if TypeId::of::<T>() == TypeId::of::<f32>() {
+        // SAFETY: T == f32, so the reinterpretations are identities.
+        let pa = unsafe { &*(pa as *const [T] as *const [f32]) };
+        let pb = unsafe { &*(pb as *const [T] as *const [f32]) };
+        let acc = unsafe { &mut *(acc as *mut [[T; NR]; MR]).cast::<[[f32; NR]; MR]>() };
+        micro_kernel_f32(kc, pa, pb, acc);
+    } else {
+        micro_kernel_generic(kc, pa, pb, acc);
+    }
+}
+
+macro_rules! micro_kernel_impl {
+    ($name:ident, $t:ty, $fma:ident) => {
+        /// Fixed-size, fully unrolled rank-1-update sweep: per `k` step,
+        /// `MR` broadcasts against one `NR`-wide packed row, every update a
+        /// hardware FMA when the target has one. The constant trip counts
+        /// let LLVM keep all `MR×NR` accumulators in vector registers.
+        #[inline(always)]
+        fn $name(kc: usize, pa: &[$t], pb: &[$t], acc: &mut [[$t; NR]; MR]) {
+            for (a, b) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
+                let a: &[$t; MR] = a.try_into().unwrap();
+                let b: &[$t; NR] = b.try_into().unwrap();
+                for ir in 0..MR {
+                    let av = a[ir];
+                    let row = &mut acc[ir];
+                    for jr in 0..NR {
+                        row[jr] = $fma(av, b[jr], row[jr]);
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "fma",
+    any(target_feature = "avx512f", target_feature = "avx2")
+)))]
+micro_kernel_impl!(micro_kernel_f64, f64, fma_f64);
+micro_kernel_impl!(micro_kernel_f32, f32, fma_f32);
+
+/// Explicit 256-bit `f64` microkernel for AVX2+FMA targets without
+/// AVX-512: 6 rows × 2 ymm accumulators — the classic Haswell 6×8 dgemm
+/// shape, which the autovectorizer cannot hold in the 16 architectural
+/// registers without spilling. Reduction order matches the scalar-FMA
+/// formulation exactly.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(target_feature = "avx512f")
+))]
+#[inline(always)]
+fn micro_kernel_f64(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
+    use std::arch::x86_64::{
+        _mm256_broadcast_sd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+        _mm_prefetch, _MM_HINT_T0,
+    };
+    debug_assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+    // SAFETY: gated on compile-time avx2+fma; pointer arithmetic stays
+    // inside the packed panels per the debug_assert'd lengths (prefetch
+    // lookahead uses wrapping_add and has no architectural effect).
+    unsafe {
+        let mut lo = [_mm256_setzero_pd(); MR];
+        let mut hi = [_mm256_setzero_pd(); MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        const LOOKAHEAD: usize = 8;
+        for _ in 0..kc {
+            _mm_prefetch(bp.wrapping_add(NR * LOOKAHEAD).cast(), _MM_HINT_T0);
+            let b0 = _mm256_loadu_pd(bp);
+            let b1 = _mm256_loadu_pd(bp.add(4));
+            for ir in 0..MR {
+                let av = _mm256_broadcast_sd(&*ap.add(ir));
+                lo[ir] = _mm256_fmadd_pd(av, b0, lo[ir]);
+                hi[ir] = _mm256_fmadd_pd(av, b1, hi[ir]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for ir in 0..MR {
+            _mm256_storeu_pd(acc[ir].as_mut_ptr(), lo[ir]);
+            _mm256_storeu_pd(acc[ir].as_mut_ptr().add(4), hi[ir]);
+        }
+    }
+}
+
+/// Explicit 512-bit `f64` microkernel: 6 rows × 2 zmm accumulators, one
+/// broadcast + two fused updates per row per `k` step. Each output lane is
+/// an independent fused chain in fixed `k` order, so results are bitwise
+/// identical to the scalar-FMA formulation (and to any thread count).
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f", target_feature = "fma"))]
+#[inline(always)]
+fn micro_kernel_f64(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; NR]; MR]) {
+    use std::arch::x86_64::{
+        _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_set1_pd, _mm512_setzero_pd, _mm512_storeu_pd,
+        _mm_prefetch, _MM_HINT_T0,
+    };
+    debug_assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+    // SAFETY: gated on compile-time avx512f; pointer arithmetic stays
+    // inside the packed panels per the debug_assert'd lengths (prefetches
+    // may run past the panel end — they are architecturally side-effect
+    // free).
+    unsafe {
+        let mut lo = [_mm512_setzero_pd(); MR];
+        let mut hi = [_mm512_setzero_pd(); MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        // How far ahead (in k steps) to pull the streamed B panel.
+        const LOOKAHEAD: usize = 8;
+        // Two k steps per trip cuts the loop-control share of the
+        // front-end budget; the odd tail runs one plain step.
+        for _ in 0..kc / 2 {
+            // wrapping_add: the lookahead may point past the panel, which
+            // is fine for a prefetch but would be UB for `add`.
+            _mm_prefetch(bp.wrapping_add(NR * LOOKAHEAD).cast(), _MM_HINT_T0);
+            _mm_prefetch(bp.wrapping_add(NR * LOOKAHEAD + 8).cast(), _MM_HINT_T0);
+            _mm_prefetch(bp.wrapping_add(NR * (LOOKAHEAD + 1)).cast(), _MM_HINT_T0);
+            _mm_prefetch(bp.wrapping_add(NR * (LOOKAHEAD + 1) + 8).cast(), _MM_HINT_T0);
+            let b0 = _mm512_loadu_pd(bp);
+            let b1 = _mm512_loadu_pd(bp.add(8));
+            for ir in 0..MR {
+                let av = _mm512_set1_pd(*ap.add(ir));
+                lo[ir] = _mm512_fmadd_pd(av, b0, lo[ir]);
+                hi[ir] = _mm512_fmadd_pd(av, b1, hi[ir]);
+            }
+            let b0 = _mm512_loadu_pd(bp.add(NR));
+            let b1 = _mm512_loadu_pd(bp.add(NR + 8));
+            for ir in 0..MR {
+                let av = _mm512_set1_pd(*ap.add(MR + ir));
+                lo[ir] = _mm512_fmadd_pd(av, b0, lo[ir]);
+                hi[ir] = _mm512_fmadd_pd(av, b1, hi[ir]);
+            }
+            ap = ap.add(2 * MR);
+            bp = bp.add(2 * NR);
+        }
+        if kc % 2 == 1 {
+            let b0 = _mm512_loadu_pd(bp);
+            let b1 = _mm512_loadu_pd(bp.add(8));
+            for ir in 0..MR {
+                let av = _mm512_set1_pd(*ap.add(ir));
+                lo[ir] = _mm512_fmadd_pd(av, b0, lo[ir]);
+                hi[ir] = _mm512_fmadd_pd(av, b1, hi[ir]);
+            }
+        }
+        for ir in 0..MR {
+            _mm512_storeu_pd(acc[ir].as_mut_ptr(), lo[ir]);
+            _mm512_storeu_pd(acc[ir].as_mut_ptr().add(8), hi[ir]);
+        }
+    }
+}
+
+/// Generic fallback for hypothetical further `Scalar` types: same shape,
+/// unfused updates.
+#[inline(always)]
+fn micro_kernel_generic<T: Scalar>(kc: usize, pa: &[T], pb: &[T], acc: &mut [[T; NR]; MR]) {
+    for (a, b) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
         for ir in 0..MR {
             let av = a[ir];
             let row = &mut acc[ir];
@@ -233,7 +536,6 @@ fn micro_kernel<T: Scalar>(kc: usize, pa: &[T], pb: &[T]) -> [[T; NR]; MR] {
             }
         }
     }
-    acc
 }
 
 #[cfg(test)]
@@ -342,6 +644,49 @@ mod tests {
         let parallel = matmul(&a, Trans::No, &b, Trans::No);
         crate::set_num_threads(1);
         assert!(parallel.approx_eq(&serial, 1e-13));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_above_dispatch_threshold() {
+        // 160³ (> PAR_MIN_FLOPS) actually engages the tile scheduler.
+        let mut g = OperandGen::new(78);
+        let a = g.matrix::<f64>(160, 160);
+        let b = g.matrix::<f64>(160, 160);
+        let serial = matmul(&a, Trans::No, &b, Trans::No);
+        crate::set_num_threads(4);
+        let parallel = matmul(&a, Trans::No, &b, Trans::No);
+        crate::set_num_threads(1);
+        assert_eq!(serial.as_slice(), parallel.as_slice(), "tile grid changed reduction order");
+    }
+
+    #[test]
+    fn wide_short_shapes_parallelize_over_columns() {
+        // m = 8 < MR*2: the old heuristic ran this serially; the column
+        // chunker must now expose > 1 tile.
+        let (chunks, width) = column_chunks(2048, 1, 4);
+        assert!(chunks > 1, "wide-short shape left serial");
+        assert_eq!(width % NR, 0, "chunks must be NR-aligned");
+        let mut g = OperandGen::new(79);
+        let a = g.matrix::<f64>(8, 300);
+        let b = g.matrix::<f64>(300, 1500);
+        let serial = matmul(&a, Trans::No, &b, Trans::No);
+        crate::set_num_threads(4);
+        let parallel = matmul(&a, Trans::No, &b, Trans::No);
+        crate::set_num_threads(1);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn seed_and_engine_agree() {
+        let mut g = OperandGen::new(80);
+        let a = g.matrix::<f64>(70, 90);
+        let b = g.matrix::<f64>(90, 40);
+        let c0 = g.matrix::<f64>(70, 40);
+        let mut c_new = c0.clone();
+        gemm(1.25, &a, Trans::No, &b, Trans::No, -0.5, &mut c_new);
+        let mut c_seed = c0.clone();
+        crate::seed::gemm_seed(1.25, &a, Trans::No, &b, Trans::No, -0.5, &mut c_seed);
+        assert!(c_new.approx_eq(&c_seed, 1e-12));
     }
 
     #[test]

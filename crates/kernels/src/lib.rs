@@ -26,10 +26,14 @@
 //! ## Parallelism
 //!
 //! The paper's measurements are single-threaded; so is the default here.
-//! [`set_num_threads`] enables a row-partitioned parallel path (crossbeam
-//! scoped threads) in GEMM and the structured kernels, used by the
-//! thread-scaling ablation and by the `Flow` profile's
-//! `tridiagonal_matmul` (the paper notes TF parallelizes the row scalings).
+//! [`set_num_threads`] enables the persistent worker pool: GEMM schedules
+//! a 2-D (row-block × column-chunk) tile grid over a shared packed-B
+//! panel via [`parallel_for`], and the structured kernels split row
+//! chunks the same way. The tile decomposition preserves each element's
+//! reduction order, so 1-thread and N-thread runs are bit-identical. Used
+//! by the thread-scaling ablation, `laab bench`, and the `Flow` profile's
+//! `tridiagonal_matmul` (the paper notes TF parallelizes the row
+//! scalings).
 
 #![deny(missing_docs)]
 
@@ -41,18 +45,21 @@ mod level1;
 mod level2;
 mod parallel;
 pub mod reference;
+pub mod seed;
+mod simd;
 pub mod solve;
 mod structured;
 mod trmm_syrk;
 mod view;
+mod workspace;
 
 pub use dispatch::matmul_dispatch;
 pub use gemm::{gemm, matmul};
 pub use level1::{axpy, dot, nrm2, scal};
 pub use level2::{gemv, gemv_alloc, ger};
-pub use parallel::{num_threads, parallel_row_chunks, set_num_threads};
+pub use parallel::{num_threads, parallel_for, parallel_row_chunks, set_num_threads};
 pub use solve::{cholesky, cholesky_solve, lu_factor, lu_solve, lu_solve_full, trsm};
-pub use structured::{diag_matmul, geadd, tridiag_matmul};
+pub use structured::{diag_matmul, geadd, geadd_assign, gescale_assign, tridiag_matmul};
 pub use trmm_syrk::{symmetrize_lower, syrk, trmm, UpLo};
 
 /// Transposition flag for Level-2/3 kernels, mirroring the BLAS `trans`

@@ -19,6 +19,7 @@
 use laab_dense::{Matrix, Scalar};
 
 use crate::counters::{self, Kernel};
+use crate::simd::fused_axpy;
 use crate::UpLo;
 
 /// FLOPs of a triangular solve with `m` right-hand sides.
@@ -67,10 +68,7 @@ pub fn trsm<T: Scalar>(l: &Matrix<T>, uplo: UpLo, b: &Matrix<T>) -> Matrix<T> {
                     }
                     let (head, tail) = x.as_mut_slice().split_at_mut(i * m);
                     let xk = &head[k * m..(k + 1) * m];
-                    let xi = &mut tail[..m];
-                    for (xiv, &xkv) in xi.iter_mut().zip(xk) {
-                        *xiv = (-lik).mul_add(xkv, *xiv);
-                    }
+                    fused_axpy(-lik, xk, &mut tail[..m]);
                 }
                 let d = l[(i, i)];
                 assert!(d != T::ZERO, "trsm: zero diagonal at row {i}");
@@ -89,11 +87,7 @@ pub fn trsm<T: Scalar>(l: &Matrix<T>, uplo: UpLo, b: &Matrix<T>) -> Matrix<T> {
                         continue;
                     }
                     let (head, tail) = x.as_mut_slice().split_at_mut(k * m);
-                    let xi = &mut head[i * m..(i + 1) * m];
-                    let xk = &tail[..m];
-                    for (xiv, &xkv) in xi.iter_mut().zip(xk) {
-                        *xiv = (-uik).mul_add(xkv, *xiv);
-                    }
+                    fused_axpy(-uik, &tail[..m], &mut head[i * m..(i + 1) * m]);
                 }
                 let d = l[(i, i)];
                 assert!(d != T::ZERO, "trsm: zero diagonal at row {i}");
@@ -147,13 +141,9 @@ pub fn cholesky<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>, usize> {
             if nlik == T::ZERO {
                 continue;
             }
-            // Slice iteration (not an inclusive index range) so the update
-            // vectorizes like the LU kernel's row AXPY.
-            let row = &mut m.row_mut(i)[k + 1..i + 1];
-            let ck = &colk[k + 1..i + 1];
-            for (rv, &cv) in row.iter_mut().zip(ck) {
-                *rv = nlik.mul_add(cv, *rv);
-            }
+            // Fused slice AXPY (not an inclusive index range) so the
+            // update vectorizes like the LU kernel's row update.
+            fused_axpy(nlik, &colk[k + 1..i + 1], &mut m.row_mut(i)[k + 1..i + 1]);
         }
     }
     // Zero the strictly-upper part (the factor is lower triangular).
@@ -210,10 +200,7 @@ pub fn lu_factor<T: Scalar>(a: &Matrix<T>) -> Result<(Matrix<T>, Vec<usize>), us
             }
             let (top, bottom) = lu.as_mut_slice().split_at_mut(i * n);
             let urow = &top[k * n..(k + 1) * n];
-            let irow = &mut bottom[..n];
-            for j in k + 1..n {
-                irow[j] = (-lik).mul_add(urow[j], irow[j]);
-            }
+            fused_axpy(-lik, &urow[k + 1..], &mut bottom[k + 1..n]);
         }
     }
     Ok((lu, piv))
@@ -245,11 +232,7 @@ pub fn lu_solve<T: Scalar>(lu: &Matrix<T>, piv: &[usize], b: &Matrix<T>) -> Matr
                 continue;
             }
             let (head, tail) = x.as_mut_slice().split_at_mut(i * m);
-            let xk = &head[k * m..(k + 1) * m];
-            let xi = &mut tail[..m];
-            for (xiv, &xkv) in xi.iter_mut().zip(xk) {
-                *xiv = (-lik).mul_add(xkv, *xiv);
-            }
+            fused_axpy(-lik, &head[k * m..(k + 1) * m], &mut tail[..m]);
         }
     }
     for i in (0..n).rev() {
@@ -259,11 +242,7 @@ pub fn lu_solve<T: Scalar>(lu: &Matrix<T>, piv: &[usize], b: &Matrix<T>) -> Matr
                 continue;
             }
             let (head, tail) = x.as_mut_slice().split_at_mut(k * m);
-            let xi = &mut head[i * m..(i + 1) * m];
-            let xk = &tail[..m];
-            for (xiv, &xkv) in xi.iter_mut().zip(xk) {
-                *xiv = (-uik).mul_add(xkv, *xiv);
-            }
+            fused_axpy(-uik, &tail[..m], &mut head[i * m..(i + 1) * m]);
         }
         let inv = T::ONE / lu[(i, i)];
         for v in x.row_mut(i) {

@@ -91,6 +91,30 @@ pub fn geadd<T: Scalar>(alpha: T, a: &Matrix<T>, beta: T, b: &Matrix<T>) -> Matr
     c
 }
 
+/// In-place elementwise update `A := α·A + β·B` — the buffer-reuse form of
+/// [`geadd`] the graph executor applies when the `A` intermediate is
+/// uniquely owned (same kernel accounting, no output allocation).
+pub fn geadd_assign<T: Scalar>(alpha: T, a: &mut Matrix<T>, beta: T, b: &Matrix<T>) {
+    assert_eq!(a.shape(), b.shape(), "geadd_assign: shape mismatch");
+    let (m, n) = a.shape();
+    counters::record(Kernel::GeAdd, flops::geadd(m, n));
+    for (av, &bv) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *av = alpha * *av + beta * bv;
+    }
+}
+
+/// In-place scaling `A := α·A + 0·A`, lowered and accounted exactly like
+/// the allocating `Scale`-node form `geadd(α, A, 0, A)`. The `+ 0·A` term
+/// is kept so the in-place and allocating paths are **bitwise identical**
+/// even on non-finite inputs (`0·inf = NaN`) and signed zeros.
+pub fn gescale_assign<T: Scalar>(alpha: T, a: &mut Matrix<T>) {
+    let (m, n) = a.shape();
+    counters::record(Kernel::GeAdd, flops::geadd(m, n));
+    for av in a.as_mut_slice().iter_mut() {
+        *av = alpha * *av + T::ZERO * *av;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +171,45 @@ mod tests {
         assert_eq!(geadd(1.0, &a, 1.0, &b)[(0, 0)], 14.0); // add
         assert_eq!(geadd(1.0, &a, -1.0, &b)[(1, 2)], -6.0); // sub
         assert_eq!(geadd(2.0, &a, 0.0, &b)[(0, 1)], 8.0); // scale
+    }
+
+    #[test]
+    fn geadd_assign_matches_geadd() {
+        let mut g = OperandGen::new(36);
+        let a = g.matrix::<f64>(7, 5);
+        let b = g.matrix::<f64>(7, 5);
+        let want = geadd(2.0, &a, -3.0, &b);
+        let mut acc = a.clone();
+        geadd_assign(2.0, &mut acc, -3.0, &b);
+        assert_eq!(acc, want, "in-place form must be bitwise identical");
+
+        let scaled = geadd(-0.5, &a, 0.0, &a);
+        let mut acc2 = a.clone();
+        gescale_assign(-0.5, &mut acc2);
+        assert_eq!(acc2, scaled);
+
+        // Non-finite and signed-zero inputs must agree bitwise too
+        // (0·inf = NaN must appear on both paths or neither).
+        let tricky0 = Matrix::<f64>::from_rows(&[&[f64::INFINITY, 0.0, -0.0, -3.0]]);
+        let want = geadd(0.5, &tricky0, 0.0, &tricky0);
+        let mut tricky = tricky0.clone();
+        gescale_assign(0.5, &mut tricky);
+        for (got, want) in tricky.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn geadd_assign_records_same_counters() {
+        counters::reset();
+        let a0 = Matrix::<f32>::filled(4, 6, 1.0);
+        let b = Matrix::<f32>::filled(4, 6, 2.0);
+        let mut a = a0.clone();
+        geadd_assign(1.0, &mut a, 1.0, &b);
+        gescale_assign(2.0, &mut a);
+        let s = counters::snapshot();
+        assert_eq!(s.calls(Kernel::GeAdd), 2);
+        assert_eq!(s.flops(Kernel::GeAdd), 2 * flops::geadd(4, 6));
     }
 
     #[test]

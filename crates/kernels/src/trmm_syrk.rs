@@ -10,6 +10,7 @@ use laab_dense::{Matrix, Scalar};
 
 use crate::counters::{self, Kernel};
 use crate::gemm::gemm_serial;
+use crate::simd::fused_axpy;
 use crate::view::{MutView, View};
 use crate::{flops, Trans};
 
@@ -47,7 +48,8 @@ pub fn trmm<T: Scalar>(alpha: T, l: &Matrix<T>, uplo: UpLo, b: &Matrix<T>) -> Ma
 
     for i0 in (0..n).step_by(NB) {
         let i1 = (i0 + NB).min(n);
-        // Triangular diagonal block: accumulate row-by-row (row-major axpy).
+        // Triangular diagonal block: accumulate row-by-row with the fused
+        // AXPY (the same FMA-specialized update the GEMM microkernel uses).
         for i in i0..i1 {
             let (k_lo, k_hi) = match uplo {
                 UpLo::Lower => (i0, i + 1),
@@ -57,9 +59,7 @@ pub fn trmm<T: Scalar>(alpha: T, l: &Matrix<T>, uplo: UpLo, b: &Matrix<T>) -> Ma
                 let lik = alpha * l[(i, k)];
                 let brow = &bv.data[k * bv.rs..k * bv.rs + m];
                 let crow = &mut cv.data[i * cv.rs..i * cv.rs + m];
-                for (cj, &bj) in crow.iter_mut().zip(brow) {
-                    *cj = lik.mul_add(bj, *cj);
-                }
+                fused_axpy(lik, brow, crow);
             }
         }
         // Rectangular off-diagonal part via packed GEMM:

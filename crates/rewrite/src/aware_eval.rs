@@ -141,7 +141,7 @@ fn go<'e, T: Scalar>(expr: &Expr, env: &'e Env<T>, ctx: &Context) -> Val<'e, T> 
         }
         Expr::Col(x, j) => {
             let v = go(x, env, ctx);
-            Val::Owned(Matrix::col_vector(&v.get().col(*j)))
+            Val::Owned(v.get().col_matrix(*j))
         }
         Expr::VCat(a, b) => Val::Owned(go(a, env, ctx).get().vcat(go(b, env, ctx).get())),
         Expr::HCat(a, b) => Val::Owned(go(a, env, ctx).get().hcat(go(b, env, ctx).get())),

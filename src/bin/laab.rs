@@ -11,6 +11,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use laab::suite::gemm_bench::{self, GemmBenchConfig};
 use laab::suite::runner::{self, Experiment};
 use laab::suite::ExperimentConfig;
 use laab_stats::TimingConfig;
@@ -20,6 +21,7 @@ laab — Linear Algebra Awareness Benchmark runner (arXiv:2202.09888)
 
 USAGE:
     laab run [OPTIONS] [EXPERIMENT]...
+    laab bench [BENCH OPTIONS]
     laab list
     laab help
 
@@ -39,6 +41,15 @@ OPTIONS:
     --out PATH       write the JSON report to PATH (BENCH_*.json format)
     --md             print results as markdown instead of plain text
     --strict         exit non-zero unless every paper finding reproduces
+
+BENCH OPTIONS (laab bench — GEMM engine GFLOP/s trajectory):
+    --quick          tiny shapes for CI smoke runs
+    --reps R         timed repetitions per shape   [default: 5]
+    --warmup W       discarded warmups per shape   [default: 1]
+    --threads N      N-thread measurements         [default: detected cores]
+    --seed S         operand seed                  [default: 6827 (0x1AAB)]
+    --json           print the machine-readable report to stdout
+    --out PATH       write the JSON report to PATH (BENCH_gemm.json format)
 ";
 
 struct RunArgs {
@@ -73,6 +84,17 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("run") => match parse_run_args(args) {
             Ok(Some(run_args)) => run(run_args),
+            Ok(None) => {
+                emit(USAGE);
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("bench") => match parse_bench_args(args) {
+            Ok(Some(bench_args)) => run_bench(bench_args),
             Ok(None) => {
                 emit(USAGE);
                 ExitCode::SUCCESS
@@ -140,6 +162,70 @@ fn parse_run_args(args: impl Iterator<Item = String>) -> Result<Option<RunArgs>,
     }
     out.cfg = cfg;
     Ok(Some(out))
+}
+
+struct BenchArgs {
+    cfg: GemmBenchConfig,
+    json_stdout: bool,
+    out: Option<String>,
+}
+
+/// Parse `laab bench` arguments. `Ok(None)` means `--help` was requested.
+fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<Option<BenchArgs>, String> {
+    let mut out = BenchArgs { cfg: GemmBenchConfig::default(), json_stdout: false, out: None };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => out.cfg.quick = true,
+            "--reps" => out.cfg.reps = parse_num(args.next(), "--reps")?,
+            "--warmup" => out.cfg.warmup = parse_num(args.next(), "--warmup")?,
+            "--threads" => out.cfg.threads = parse_num(args.next(), "--threads")?,
+            "--seed" => out.cfg.seed = parse_num(args.next(), "--seed")?,
+            "--json" => out.json_stdout = true,
+            "--out" => out.out = Some(args.next().ok_or("--out requires a path")?),
+            "--help" | "-h" => return Ok(None),
+            flag => return Err(format!("unknown option `{flag}` for `laab bench`")),
+        }
+    }
+    if out.cfg.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(Some(out))
+}
+
+fn run_bench(args: BenchArgs) -> ExitCode {
+    eprintln!(
+        "benchmarking GEMM engine ({} protocol, {} reps)...",
+        if args.cfg.quick { "quick" } else { "full" },
+        args.cfg.reps
+    );
+    let report = gemm_bench::run(&args.cfg);
+    if args.json_stdout {
+        emit(&report.to_json());
+    } else {
+        emit(&report.summary_table().to_string());
+        emit(&format!(
+            "engine {:.2} GFLOP/s vs seed kernel {:.2} GFLOP/s on {} (1 thread): {:.2}x\n\
+             wide-short parallel speedup ({} threads): {:.2}x",
+            report.summary.engine_gflops,
+            report.summary.seed_gflops,
+            report.summary.anchor,
+            report.summary.speedup_vs_seed,
+            report.summary.threads,
+            report.summary.wide_short_parallel_speedup,
+        ));
+    }
+    if let Some(path) = &args.out {
+        let json = report.to_json();
+        if let Err(e) = std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.write_all(b"\n")))
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn parse_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> Result<T, String> {
