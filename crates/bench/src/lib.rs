@@ -9,6 +9,8 @@
 //! The `paper_tables` binary accepts `--n`, `--reps` and `--experiment`
 //! flags — see `cargo run --release -p laab-bench --bin paper_tables -- --help`.
 
+#![deny(missing_docs)]
+
 use laab_expr::eval::Env;
 use laab_expr::Context;
 

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod baselines;
+pub mod bench_registry;
 pub mod experiments;
 pub mod gemm_bench;
 pub mod runner;

@@ -1,6 +1,6 @@
 //! Memory-traffic model.
 //!
-//! The paper's Fig. 6 discussion (after Peise & Bientinesi [34]) notes that
+//! The paper's Fig. 6 discussion (after Peise & Bientinesi \[34\]) notes that
 //! variants with identical FLOP counts can differ in execution time because
 //! of memory overheads, and that "minimizing FLOP count does not always
 //! minimize execution time, especially when the overheads due to memory

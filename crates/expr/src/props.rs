@@ -47,6 +47,13 @@ impl Props {
             | Self::SPD.0,
     );
 
+    /// The raw bit pattern — a stable, order-independent encoding of the
+    /// property set (used by `laab-serve`'s signature hash).
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
     /// Union of two property sets.
     #[inline]
     pub const fn union(self, other: Props) -> Props {

@@ -204,6 +204,20 @@ impl Function {
     pub fn pass_stats(&self) -> PassStats {
         self.stats
     }
+
+    /// Decompose the function into its compiled artifacts: the optimized
+    /// graph, the tracing+optimization wall time, and the pass statistics.
+    ///
+    /// This is the plan-extraction hook for `laab-serve`: a serving system
+    /// keeps the optimized graph (plus a precomputed
+    /// [`laab_graph::Schedule`]) as a cached `Plan` and re-executes it with
+    /// fresh operand bindings, instead of holding whole [`Function`]s —
+    /// mirroring how `tf.function` caches *concrete functions*, not
+    /// tracing contexts. The pre-optimization trace is dropped; use
+    /// [`Function::unoptimized_graph`] before extraction if you need it.
+    pub fn into_plan_parts(self) -> (Graph, Duration, PassStats) {
+        (self.graph, self.build_time, self.stats)
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +294,29 @@ mod tests {
         assert!(out[0].approx_eq(&want, 1e-12));
         // Tracing measurably takes time but is tiny.
         assert!(f.build_time() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn into_plan_parts_extracts_the_optimized_graph() {
+        let n = 8;
+        let f = Function::build(Profile::Flow, PassConfig::all(), |fb| {
+            let a = fb.input("A", n, n);
+            let b = fb.input("B", n, n);
+            let at = fb.t(a);
+            vec![fb.matmul(at, b)]
+        });
+        let build_time = f.build_time();
+        let expect_graph = f.graph().clone();
+        let (graph, extracted_time, stats) = f.into_plan_parts();
+        assert_eq!(graph, expect_graph);
+        assert_eq!(extracted_time, build_time);
+        assert!(stats.transposes_folded >= 1);
+        // The extracted graph executes stand-alone.
+        let mut g = OperandGen::new(73);
+        let env = Env::<f64>::new().with("A", g.matrix(n, n)).with("B", g.matrix(n, n));
+        let out = laab_graph::execute_scheduled(&graph, &laab_graph::Schedule::new(&graph), &env);
+        let want = laab_expr::eval::eval(&(laab_expr::var("A").t() * laab_expr::var("B")), &env);
+        assert!(out[0].approx_eq(&want, 1e-12));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The DAG executor.
+//! The DAG executor and the precomputed execution [`Schedule`].
 //!
 //! A single forward sweep in topological order. Every node dispatches to a
 //! `laab-kernels` entry point, so the thread-local FLOP/call counters give a
@@ -11,6 +11,14 @@
 //! frameworks' `matmul` lowers to MKL: `1×k · k×1` → `DOT`,
 //! `m×k · k×1` → `GEMV`, `1×k · k×n` → `GEMV` on the transpose, everything
 //! else → `GEMM` (with transposition and `alpha` as kernel attributes).
+//!
+//! [`execute`] recomputes the reference counts on every call — fine for a
+//! one-shot experiment. A serving system re-executing the same graph per
+//! request amortizes that bookkeeping through a [`Schedule`]: the use
+//! counts, per-node output sizes, and the peak-live workspace layout are
+//! computed once at plan-compile time and re-used by
+//! [`execute_scheduled`] with fresh operand bindings (the `tf.function`
+//! concrete-function analogue that `laab-serve` caches).
 
 use laab_dense::{Matrix, Scalar, Tridiagonal};
 use laab_expr::eval::Env;
@@ -57,15 +65,126 @@ fn take_unique<'e, T: Scalar>(
     }
 }
 
+/// The precomputed execution plan for one [`Graph`]: everything the
+/// executor derives from graph *structure* (as opposed to operand
+/// *values*), hoisted out of the per-call path.
+///
+/// A schedule is valid only for the exact graph it was built from;
+/// [`execute_scheduled`] cross-checks the node count and (in debug
+/// builds) the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Per-node reference counts (operand edges + output fetches), the
+    /// seed of the executor's free-after-last-use sweep.
+    use_counts: Vec<u32>,
+    /// Per-node output element counts (`rows · cols`).
+    out_elems: Vec<usize>,
+    /// Peak sum of live intermediate elements across the sweep — the
+    /// workspace-size layout a serving system reserves per in-flight
+    /// request. Fed inputs are borrowed, not allocated, so they are
+    /// excluded; in-place buffer reuse (Add/Sub/Scale stealing a
+    /// uniquely-owned operand) only lowers the true footprint, so this
+    /// is a safe upper bound.
+    peak_live_elems: usize,
+}
+
+impl Schedule {
+    /// Precompute the schedule for `g` by simulating the executor's
+    /// reference-counting sweep without touching any operand data.
+    pub fn new(g: &Graph) -> Self {
+        let use_counts = g.use_counts();
+        let out_elems: Vec<usize> = g.nodes.iter().map(|n| n.shape.len()).collect();
+        let mut remaining = use_counts.clone();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for (i, node) in g.nodes.iter().enumerate() {
+            if !matches!(node.kind, OpKind::Input(_)) {
+                live += out_elems[i];
+                peak = peak.max(live);
+            }
+            for inp in &node.inputs {
+                remaining[inp.idx()] -= 1;
+                if remaining[inp.idx()] == 0 && !matches!(g.nodes[inp.idx()].kind, OpKind::Input(_))
+                {
+                    live -= out_elems[inp.idx()];
+                }
+            }
+        }
+        Self { use_counts, out_elems, peak_live_elems: peak }
+    }
+
+    /// Number of scheduled nodes.
+    pub fn len(&self) -> usize {
+        self.use_counts.len()
+    }
+
+    /// `true` for the empty graph's schedule.
+    pub fn is_empty(&self) -> bool {
+        self.use_counts.is_empty()
+    }
+
+    /// The per-node reference counts the executor starts from.
+    pub fn use_counts(&self) -> &[u32] {
+        &self.use_counts
+    }
+
+    /// Output element count of node `id`.
+    pub fn out_elems(&self, id: NodeId) -> usize {
+        self.out_elems[id.idx()]
+    }
+
+    /// Peak live intermediate elements (see the field docs for what is
+    /// and is not counted).
+    pub fn peak_live_elems(&self) -> usize {
+        self.peak_live_elems
+    }
+
+    /// The peak-live workspace in bytes for element type `T`.
+    pub fn workspace_bytes<T: Scalar>(&self) -> usize {
+        self.peak_live_elems * std::mem::size_of::<T>()
+    }
+}
+
 /// Execute the graph against the fed operands, returning the outputs in
 /// fetch order.
 ///
 /// # Panics
 /// On missing feeds, feed-shape mismatches, or (in debug builds) a graph
 /// violating the topological invariant.
-pub fn execute<'e, T: Scalar>(g: &Graph, env: &'e Env<T>) -> Vec<Matrix<T>> {
+pub fn execute<T: Scalar>(g: &Graph, env: &Env<T>) -> Vec<Matrix<T>> {
+    execute_with_counts(g, g.use_counts(), env)
+}
+
+/// Execute the graph under a precomputed [`Schedule`], skipping the
+/// per-call reference-count derivation. Numerically this is the *same
+/// sweep* as [`execute`] — kernel dispatch, buffer stealing, and free
+/// order are identical — so a plan-cache hit is bitwise-identical to a
+/// cold trace.
+///
+/// # Panics
+/// When `schedule` was built for a graph with a different node count, plus
+/// everything [`execute`] panics on.
+pub fn execute_scheduled<T: Scalar>(
+    g: &Graph,
+    schedule: &Schedule,
+    env: &Env<T>,
+) -> Vec<Matrix<T>> {
+    assert_eq!(
+        schedule.len(),
+        g.len(),
+        "schedule was built for a graph with {} nodes, this graph has {}",
+        schedule.len(),
+        g.len()
+    );
+    execute_with_counts(g, schedule.use_counts.clone(), env)
+}
+
+fn execute_with_counts<'e, T: Scalar>(
+    g: &Graph,
+    mut remaining: Vec<u32>,
+    env: &'e Env<T>,
+) -> Vec<Matrix<T>> {
     debug_assert_eq!(g.check_topology(), Ok(()));
-    let mut remaining = g.use_counts();
     let mut values: Vec<Option<Val<'e, T>>> = Vec::with_capacity(g.len());
 
     for node in g.nodes.iter() {
@@ -379,6 +498,68 @@ mod tests {
         assert_eq!(c.calls(Kernel::Gemm), 0);
         let oracle = laab_kernels::reference::tridiag_matmul_naive(&t, &b);
         assert!(out[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn scheduled_execution_is_bitwise_identical() {
+        let n = 16;
+        let e = env(n, 23);
+        let mut g = fig3_graph(n);
+        optimize(&mut g, &PassConfig::all());
+        let plain = execute(&g, &e);
+        let schedule = Schedule::new(&g);
+        let scheduled = execute_scheduled(&g, &schedule, &e);
+        // Same sweep, same kernels: exact equality, not approx.
+        assert_eq!(plain, scheduled);
+    }
+
+    #[test]
+    fn schedule_counts_and_workspace() {
+        let n = 8;
+        let mut gb = GraphBuilder::new();
+        let a = gb.input("A", n, n);
+        let b = gb.input("B", n, n);
+        let ab = gb.matmul(a, b); // n² live
+        let s = gb.add(ab, a); // steals or allocates; schedule counts both
+        let g = gb.finish(vec![s]);
+        let schedule = Schedule::new(&g);
+        assert_eq!(schedule.len(), g.len());
+        assert_eq!(schedule.use_counts(), g.use_counts().as_slice());
+        assert_eq!(schedule.out_elems(ab), n * n);
+        // Peak: `ab` and the add's output are simultaneously live; the
+        // borrowed inputs are not counted.
+        assert_eq!(schedule.peak_live_elems(), 2 * n * n);
+        assert_eq!(schedule.workspace_bytes::<f64>(), 2 * n * n * 8);
+        assert_eq!(schedule.workspace_bytes::<f32>(), 2 * n * n * 4);
+        assert!(!schedule.is_empty());
+    }
+
+    #[test]
+    fn schedule_frees_intermediates_in_peak_accounting() {
+        // A chain a·b·c·d of square matmuls keeps at most two
+        // intermediates live at once (the running product and the next).
+        let n = 4;
+        let mut gb = GraphBuilder::new();
+        let a = gb.input("A", n, n);
+        let mut acc = a;
+        for name in ["B", "C", "D"] {
+            let m = gb.input(name, n, n);
+            acc = gb.matmul(acc, m);
+        }
+        let g = gb.finish(vec![acc]);
+        let schedule = Schedule::new(&g);
+        assert_eq!(schedule.peak_live_elems(), 2 * n * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule was built for a graph")]
+    fn stale_schedule_is_rejected() {
+        let e = env(8, 29);
+        let g_small = fig3_graph(8);
+        let schedule = Schedule::new(&g_small);
+        let mut g_opt = fig3_graph(8);
+        optimize(&mut g_opt, &PassConfig::all());
+        let _ = execute_scheduled(&g_opt, &schedule, &e);
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   because that is what the paper measures the frameworks doing.
 //! * [`exec`] — a reference-counting executor that walks the DAG in
 //!   topological order and dispatches each node to `laab-kernels`,
-//!   recording kernel calls and FLOPs for the analytical tables.
+//!   recording kernel calls and FLOPs for the analytical tables. For
+//!   systems that re-execute one graph many times (the `laab-serve` plan
+//!   cache), [`Schedule`] precomputes the structural bookkeeping — use
+//!   counts and the peak-live workspace layout — and
+//!   [`execute_scheduled`] re-runs the identical sweep against fresh
+//!   operand bindings.
 //! * [`Graph::to_dot`] — Graphviz export regenerating the paper's
 //!   Figs. 3 & 4.
 
@@ -29,6 +34,6 @@ pub mod exec;
 mod ir;
 pub mod passes;
 
-pub use exec::execute;
+pub use exec::{execute, execute_scheduled, Schedule};
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind};
 pub use passes::{optimize, PassConfig, PassStats};

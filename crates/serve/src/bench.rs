@@ -1,0 +1,443 @@
+//! The multi-client serving loop and its machine-readable report.
+//!
+//! Clients are tasks on the `laab-kernels` persistent worker pool
+//! ([`parallel_for`]): each drains requests from the shared queue,
+//! computes the request's [`Signature`](crate::Signature), resolves a
+//! [`Plan`] through the
+//! [`PlanCache`] (compiling on a miss — the cold trace), executes it
+//! against the family's operand pool, and records its end-to-end latency.
+//! The harness reports requests/s, p50/p99 latency, the cold-trace vs
+//! cache-hit latency split (the amortization `tf.function` exists for),
+//! and the cache counters, as a `BENCH_serve.json` document.
+//!
+//! Like every timing in the suite, numbers are *recorded* unconditionally
+//! and *asserted* only under `LAAB_STRICT_TIMING=1`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use laab_expr::eval::Env;
+use laab_framework::Framework;
+use laab_kernels::parallel_for;
+use laab_stats::Samples;
+
+use crate::cache::{Lookup, PlanCache};
+use crate::plan::Plan;
+use crate::signature::Dtype;
+use crate::workload::{synthetic_mix, Family};
+
+/// Schema tag of the `BENCH_serve.json` report, bumped on breaking
+/// changes.
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v1";
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Synthetic requests to drain.
+    pub requests: usize,
+    /// Serving clients (pool tasks); `0` means detected hardware
+    /// parallelism (capped at 8 — beyond that the 1-socket kernels are
+    /// the bottleneck, not the serving layer).
+    pub clients: usize,
+    /// Base operand size of the request families.
+    pub n: usize,
+    /// Seed for the request stream and the operand pools.
+    pub seed: u64,
+    /// `true` for the CI smoke protocol (recorded in the report).
+    pub smoke: bool,
+    /// Plan-cache capacity (total resident plans).
+    pub cache_capacity: usize,
+    /// Plan-cache shard count.
+    pub shards: usize,
+    /// Every `churn_every`-th request changes signature (0 disables);
+    /// see [`synthetic_mix`].
+    pub churn_every: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            requests: 2048,
+            clients: 0,
+            n: 192,
+            seed: 0x1AAB,
+            smoke: false,
+            cache_capacity: 64,
+            shards: 8,
+            churn_every: 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The CI smoke protocol: tiny operands, a short stream, the same
+    /// mixed-signature shape as the full run.
+    pub fn smoke() -> Self {
+        Self { requests: 320, n: 48, smoke: true, ..Self::default() }
+    }
+
+    /// The resolved client count.
+    pub fn resolved_clients(&self) -> usize {
+        if self.clients > 0 {
+            self.clients
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        }
+    }
+}
+
+/// Cache counters as they appear in the JSON report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheStatsRecord {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a plan.
+    pub misses: u64,
+    /// Misses whose callsite was already compiled under a different
+    /// signature (the `tf.function` retrace event).
+    pub retraces: u64,
+    /// Plans evicted by the LRU bound.
+    pub evictions: u64,
+    /// Plans resident at the end of the run.
+    pub entries: usize,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+/// Per-family latency aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyRecord {
+    /// Family identifier ([`Family::id`]).
+    pub family: String,
+    /// The paper experiment the family is drawn from.
+    pub experiment: String,
+    /// Requests of this family in the stream.
+    pub requests: usize,
+    /// How many were served from the plan cache.
+    pub hits: usize,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// The full machine-readable report (`BENCH_serve.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Format tag ([`SERVE_REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Whether the smoke protocol was used.
+    pub smoke: bool,
+    /// Requests drained.
+    pub requests: usize,
+    /// Serving clients.
+    pub clients: usize,
+    /// Base operand size.
+    pub base_n: usize,
+    /// Stream/operand seed.
+    pub seed: u64,
+    /// Distinct signatures in the stream (the compile workload).
+    pub distinct_signatures: usize,
+    /// Wall-clock seconds for the whole drain.
+    pub wall_secs: f64,
+    /// Sustained throughput over the drain.
+    pub requests_per_sec: f64,
+    /// Median end-to-end request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency of requests that compiled (trace + optimize +
+    /// schedule + execute), milliseconds.
+    pub cold_trace_mean_ms: f64,
+    /// Mean latency of requests served from the plan cache (execute
+    /// only), milliseconds. `0.0` when the stream produced no hits (every
+    /// signature distinct).
+    pub cache_hit_mean_ms: f64,
+    /// `cold_trace_mean_ms / cache_hit_mean_ms` — the amortization a
+    /// cache hit buys (> 1 when caching pays; `0.0` when the stream
+    /// produced no hits).
+    pub cache_hit_speedup: f64,
+    /// Cache counters.
+    pub cache: CacheStatsRecord,
+    /// Per-family aggregates, in experiment order.
+    pub families: Vec<FamilyRecord>,
+}
+
+impl ServeReport {
+    /// Serialize as pretty-printed JSON (the on-disk `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ServeReport serializes infallibly")
+    }
+
+    /// Parse a report back from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        let report: ServeReport = serde_json::from_str(text)?;
+        if report.schema != SERVE_REPORT_SCHEMA {
+            return Err(serde_json::Error(format!(
+                "unsupported report schema `{}` (expected `{SERVE_REPORT_SCHEMA}`)",
+                report.schema
+            )));
+        }
+        Ok(report)
+    }
+
+    /// One-row-per-family overview for terminal output.
+    pub fn summary_table(&self) -> laab_stats::Table {
+        let mut t = laab_stats::Table::new(
+            format!(
+                "laab serve — {} requests, {} clients, {:.0} req/s, hit rate {:.3}",
+                self.requests, self.clients, self.requests_per_sec, self.cache.hit_rate
+            ),
+            &["family", "experiment", "requests", "hits", "p50 [ms]", "mean [ms]"],
+        );
+        for f in &self.families {
+            t.push_row(vec![
+                f.family.clone(),
+                f.experiment.clone(),
+                f.requests.to_string(),
+                f.hits.to_string(),
+                format!("{:.3}", f.p50_ms),
+                format!("{:.3}", f.mean_ms),
+            ]);
+        }
+        t
+    }
+}
+
+/// Per-dtype operand bindings for one `(family, n)` pool entry.
+struct EnvPair {
+    f64: Env<f64>,
+    f32: Env<f32>,
+}
+
+/// Lookup-outcome codes stored in the per-request slot array.
+const OUTCOME_HIT: u8 = 1;
+const OUTCOME_COMPILED: u8 = 2;
+
+/// Drain a synthetic request stream through the plan cache and collect
+/// the report.
+///
+/// Operand pools are generated up front (a client serving traffic already
+/// holds its data; operand generation is not request latency). Request
+/// latency covers signature canonicalization, the cache lookup, any
+/// compile, and plan execution — the components a `tf.function` call
+/// pays.
+pub fn run(cfg: &ServeConfig) -> ServeReport {
+    let clients = cfg.resolved_clients();
+    let mix = synthetic_mix(cfg.requests, cfg.n, cfg.seed, cfg.churn_every);
+
+    // Pre-generate operands and count the distinct signatures.
+    let mut pools: HashMap<(Family, usize), EnvPair> = HashMap::new();
+    let mut distinct = HashSet::new();
+    for req in &mix {
+        pools.entry((req.family, req.n)).or_insert_with(|| EnvPair {
+            f64: req.family.env::<f64>(req.n, cfg.seed),
+            f32: req.family.env::<f32>(req.n, cfg.seed),
+        });
+        distinct.insert(req.signature().hash());
+    }
+
+    let cache = PlanCache::with_shards(cfg.cache_capacity, cfg.shards);
+    let fw = Framework::flow();
+    let latency_nanos: Vec<AtomicU64> = (0..mix.len()).map(|_| AtomicU64::new(0)).collect();
+    let outcomes: Vec<AtomicU8> = (0..mix.len()).map(|_| AtomicU8::new(0)).collect();
+
+    let t0 = Instant::now();
+    parallel_for(clients, mix.len(), |i| {
+        let req = &mix[i];
+        let pool = &pools[&(req.family, req.n)];
+        let t = Instant::now();
+        let sig = req.signature();
+        let (plan, lookup) = cache.get_or_compile(sig, || {
+            Plan::compile(&fw, &req.family.expr(req.n), &req.family.ctx(req.n))
+        });
+        match req.dtype {
+            Dtype::F64 => {
+                std::hint::black_box(plan.execute::<f64>(&pool.f64));
+            }
+            Dtype::F32 => {
+                std::hint::black_box(plan.execute::<f32>(&pool.f32));
+            }
+        }
+        latency_nanos[i].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        outcomes[i].store(
+            if lookup == Lookup::Hit { OUTCOME_HIT } else { OUTCOME_COMPILED },
+            Ordering::Relaxed,
+        );
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let lat: Vec<f64> = latency_nanos.iter().map(|a| ms(a.load(Ordering::Relaxed))).collect();
+    let out: Vec<u8> = outcomes.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let all = Samples::new(lat.clone());
+    // 0.0, not NaN, for an empty split: the serde_json shim writes NaN as
+    // `null`, which would make the emitted document violate its own f64
+    // schema. A short all-distinct stream legitimately has zero hits.
+    let mean_of = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let cold: Vec<f64> =
+        lat.iter().zip(&out).filter(|&(_, &o)| o == OUTCOME_COMPILED).map(|(&l, _)| l).collect();
+    let hits: Vec<f64> =
+        lat.iter().zip(&out).filter(|&(_, &o)| o == OUTCOME_HIT).map(|(&l, _)| l).collect();
+    let cold_trace_mean_ms = mean_of(&cold);
+    let cache_hit_mean_ms = mean_of(&hits);
+
+    let mut families = Vec::new();
+    for family in Family::ALL {
+        let idx: Vec<usize> = (0..mix.len()).filter(|&i| mix[i].family == family).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let fam_lat: Vec<f64> = idx.iter().map(|&i| lat[i]).collect();
+        families.push(FamilyRecord {
+            family: family.id().to_string(),
+            experiment: family.experiment().to_string(),
+            requests: idx.len(),
+            hits: idx.iter().filter(|&&i| out[i] == OUTCOME_HIT).count(),
+            p50_ms: Samples::new(fam_lat.clone()).median(),
+            mean_ms: mean_of(&fam_lat),
+        });
+    }
+
+    let stats = cache.stats();
+    ServeReport {
+        schema: SERVE_REPORT_SCHEMA.to_string(),
+        smoke: cfg.smoke,
+        requests: cfg.requests,
+        clients,
+        base_n: cfg.n,
+        seed: cfg.seed,
+        distinct_signatures: distinct.len(),
+        wall_secs,
+        requests_per_sec: cfg.requests as f64 / wall_secs,
+        p50_ms: all.median(),
+        p99_ms: all.quantile(0.99),
+        cold_trace_mean_ms,
+        cache_hit_mean_ms,
+        cache_hit_speedup: if cache_hit_mean_ms > 0.0 {
+            cold_trace_mean_ms / cache_hit_mean_ms
+        } else {
+            0.0
+        },
+        cache: CacheStatsRecord {
+            hits: stats.hits,
+            misses: stats.misses,
+            retraces: stats.retraces,
+            evictions: stats.evictions,
+            entries: stats.entries,
+            hit_rate: stats.hit_rate(),
+        },
+        families,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeConfig {
+        // Small operands, full mixed-signature stream: plumbing, not perf.
+        ServeConfig {
+            requests: 400,
+            n: 12,
+            clients: 2,
+            seed: 7,
+            smoke: true,
+            ..ServeConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run(&tiny_cfg());
+        let back = ServeReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(back, report);
+        assert_eq!(report.schema, SERVE_REPORT_SCHEMA);
+    }
+
+    #[test]
+    fn bad_schema_is_rejected() {
+        let mut report = run(&ServeConfig { requests: 24, ..tiny_cfg() });
+        report.schema = "laab-serve-bench-v0".into();
+        assert!(ServeReport::from_json(&report.to_json()).is_err());
+    }
+
+    #[test]
+    fn repeated_signature_workload_mostly_hits() {
+        let report = run(&tiny_cfg());
+        assert!(
+            report.cache.hit_rate > 0.9,
+            "hit rate {:.3} not > 0.9 over {} distinct signatures",
+            report.cache.hit_rate,
+            report.distinct_signatures
+        );
+        assert_eq!(report.cache.hits + report.cache.misses, report.requests as u64);
+        // Churn requests force chain-callsite retraces.
+        assert!(report.cache.retraces >= 1, "churned stream must retrace");
+        // Every family appears and the counters are consistent.
+        assert_eq!(report.families.len(), Family::ALL.len());
+        let fam_requests: usize = report.families.iter().map(|f| f.requests).sum();
+        assert_eq!(fam_requests, report.requests);
+        let fam_hits: usize = report.families.iter().map(|f| f.hits).sum();
+        assert_eq!(fam_hits as u64, report.cache.hits);
+        assert!(report.requests_per_sec > 0.0);
+        assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.cold_trace_mean_ms.is_finite() && report.cache_hit_mean_ms.is_finite());
+    }
+
+    #[test]
+    fn schema_is_registered_in_laab_core() {
+        // The registry lives below this crate in the dependency graph and
+        // mirrors the tag; this is the drift guard the registry promises.
+        let spec = laab_core::bench_registry::find("serve").expect("serve is registered");
+        assert_eq!(spec.schema, SERVE_REPORT_SCHEMA);
+        assert_eq!(spec.artifact, "BENCH_serve.json");
+        assert_eq!(laab_core::bench_registry::SERVE_SCHEMA, SERVE_REPORT_SCHEMA);
+    }
+
+    #[test]
+    fn single_client_run_works() {
+        let report = run(&ServeConfig { requests: 32, clients: 1, ..tiny_cfg() });
+        assert_eq!(report.clients, 1);
+        assert_eq!(report.requests, 32);
+    }
+
+    #[test]
+    fn zero_hit_stream_still_emits_valid_json() {
+        // 5 requests over a mixed stream are (almost certainly) all
+        // distinct signatures → zero hits. The report must stay within
+        // its own f64 schema (no NaN → null) and round-trip.
+        let report = run(&ServeConfig { requests: 5, churn_every: 2, ..tiny_cfg() });
+        assert!(report.cache_hit_mean_ms.is_finite());
+        assert!(report.cache_hit_speedup.is_finite());
+        let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn strict_timing_hit_speedup() {
+        // Timing-sensitive: a cache hit skips trace + optimize + schedule,
+        // so its mean latency must sit below the cold-trace mean. Asserted
+        // only under LAAB_STRICT_TIMING=1 (shared runners are too noisy).
+        if std::env::var("LAAB_STRICT_TIMING").as_deref() != Ok("1") {
+            return;
+        }
+        let report = run(&ServeConfig::smoke());
+        assert!(
+            report.cache_hit_speedup > 1.0,
+            "cache-hit speedup {:.2}x not > 1x (cold {:.3}ms, hit {:.3}ms)",
+            report.cache_hit_speedup,
+            report.cold_trace_mean_ms,
+            report.cache_hit_mean_ms
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # laab-serve — the compiled-plan cache and request-serving layer
+//!
+//! The paper's graph-mode columns exist because `tf.function` does not
+//! re-trace on every call: it keys a cache of compiled *concrete
+//! functions* on the call signature (structure, shapes, dtype) and
+//! amortizes tracing + optimization across calls, retracing only when the
+//! signature changes. The experiment suite (`laab-core`) exercises that
+//! machinery once per experiment; this crate builds the layer that
+//! *amortizes* it — turning the one-shot benchmark into a system that
+//! sustains load, the ROADMAP's serving direction:
+//!
+//! * [`Signature`] — a canonical description of one request: expression
+//!   structure, operand shapes, property flags, and element dtype, with a
+//!   fast stable (FNV-1a) hash. Two calls with equal signatures may share
+//!   a compiled plan; a changed signature must retrace.
+//! * [`Plan`] — the compiled artifact: the pass-optimized
+//!   [`Graph`](laab_graph::Graph) extracted from a traced
+//!   [`Function`](laab_framework::Function) plus a precomputed
+//!   [`Schedule`](laab_graph::Schedule) (reference counts and the
+//!   peak-live workspace layout). Built once per signature, re-executed
+//!   with fresh operand bindings; a plan-cache hit is bitwise-identical
+//!   to a cold trace.
+//! * [`PlanCache`] — a sharded, LRU-bounded concurrent cache from
+//!   signature to plan, with hit/miss/retrace/eviction counters
+//!   mirroring `tf.function`'s retrace semantics.
+//! * [`workload`] — synthetic request families drawn from the paper's
+//!   Experiments 1–5 (CSE traps, chains, Gram products, slicing,
+//!   distributivity, solver residuals).
+//! * [`mod@bench`] — the multi-client serving loop: clients on the
+//!   `laab-kernels` worker pool drain a queue of mixed requests through
+//!   the cache and report requests/s, p50/p99 latency, cold-trace vs
+//!   cache-hit latency, and cache statistics as a machine-readable
+//!   `BENCH_serve.json` ([`bench::SERVE_REPORT_SCHEMA`]).
+//!
+//! Surfaced on the CLI as `laab serve`.
+
+#![deny(missing_docs)]
+
+pub mod bench;
+mod cache;
+mod plan;
+mod signature;
+pub mod workload;
+
+pub use bench::{run, ServeConfig, ServeReport};
+pub use cache::{CacheStats, Lookup, PlanCache};
+pub use plan::Plan;
+pub use signature::{Dtype, Signature};

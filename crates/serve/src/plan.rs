@@ -1,0 +1,113 @@
+//! The compiled plan: optimized graph + precomputed execution schedule.
+
+use std::time::Instant;
+
+use laab_dense::{Matrix, Scalar};
+use laab_expr::eval::Env;
+use laab_expr::{Context, Expr};
+use laab_framework::Framework;
+use laab_graph::{execute_scheduled, Graph, PassStats, Schedule};
+
+/// A compiled, reusable execution plan — the `ConcreteFunction` of the
+/// `tf.function` analogy.
+///
+/// Built once per [`Signature`](crate::Signature) by tracing the
+/// expression through the framework's graph mode, running the full
+/// optimizer pipeline, and precomputing the execution [`Schedule`]
+/// (reference counts + workspace layout). [`Plan::execute`] then re-runs
+/// the identical sweep with fresh operand bindings: a cache hit pays no
+/// tracing, no optimization, and no schedule derivation, and its result
+/// is bitwise-identical to a cold trace.
+#[derive(Debug)]
+pub struct Plan {
+    graph: Graph,
+    schedule: Schedule,
+    build_secs: f64,
+    stats: PassStats,
+}
+
+impl Plan {
+    /// Trace `expr` over the shapes in `ctx` through `fw`'s graph mode,
+    /// optimize, and precompute the schedule. This is the full cold-trace
+    /// cost a cache hit amortizes away.
+    pub fn compile(fw: &Framework, expr: &Expr, ctx: &Context) -> Plan {
+        let t0 = Instant::now();
+        let function = fw.function_from_expr(expr, ctx);
+        let (graph, _trace_time, stats) = function.into_plan_parts();
+        let schedule = Schedule::new(&graph);
+        Plan { build_secs: t0.elapsed().as_secs_f64(), graph, schedule, stats }
+    }
+
+    /// Execute the plan against fresh operand bindings.
+    pub fn execute<T: Scalar>(&self, env: &Env<T>) -> Vec<Matrix<T>> {
+        execute_scheduled(&self.graph, &self.schedule, env)
+    }
+
+    /// The optimized graph (inspection, DOT export).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The precomputed execution schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Wall-clock seconds the compile took (trace + optimize + schedule) —
+    /// the per-signature cost the cache amortizes.
+    pub fn build_secs(&self) -> f64 {
+        self.build_secs
+    }
+
+    /// What the optimizer pipeline did during compilation.
+    pub fn pass_stats(&self) -> PassStats {
+        self.stats
+    }
+
+    /// Peak intermediate workspace one in-flight execution needs, in
+    /// bytes, for element type `T` (see
+    /// [`Schedule::peak_live_elems`]).
+    pub fn workspace_bytes<T: Scalar>(&self) -> usize {
+        self.schedule.workspace_bytes::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_dense::gen::OperandGen;
+    use laab_expr::var;
+
+    #[test]
+    fn plan_matches_function_call_bitwise() {
+        let n = 12;
+        let fw = Framework::flow();
+        let s = var("A").t() * var("B");
+        let expr = s.clone().t() * s;
+        let ctx = Context::new().with("A", n, n).with("B", n, n);
+        let mut g = OperandGen::new(91);
+        let env = Env::<f64>::new().with("A", g.matrix(n, n)).with("B", g.matrix(n, n));
+
+        let cold = fw.function_from_expr(&expr, &ctx).call(&env);
+        let plan = Plan::compile(&fw, &expr, &ctx);
+        // Two executions of the same plan, and the cold trace: all equal,
+        // bit for bit.
+        assert_eq!(plan.execute(&env), cold);
+        assert_eq!(plan.execute(&env), cold);
+        assert!(plan.build_secs() > 0.0);
+        // CSE fired during compilation: one shared AᵀB.
+        assert_eq!(plan.graph().matmul_count(), 2);
+        assert!(plan.pass_stats().nodes_deduped >= 1);
+    }
+
+    #[test]
+    fn workspace_layout_is_dtype_scaled() {
+        let n = 10;
+        let fw = Framework::flow();
+        let expr = var("A") * var("B");
+        let ctx = Context::new().with("A", n, n).with("B", n, n);
+        let plan = Plan::compile(&fw, &expr, &ctx);
+        assert_eq!(plan.workspace_bytes::<f64>(), 2 * plan.workspace_bytes::<f32>());
+        assert_eq!(plan.schedule().peak_live_elems(), n * n);
+    }
+}

