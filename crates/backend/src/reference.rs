@@ -1,0 +1,46 @@
+//! The naive triple-loop backend: the correctness oracle.
+
+use laab_dense::{Matrix, Scalar, Tridiagonal};
+use laab_kernels::{reference, Trans};
+
+use crate::{Backend, BackendId};
+
+/// Textbook loops from [`laab_kernels::reference`] for every node kind.
+///
+/// No blocking, no packing, no FMA contraction, no counters — results are
+/// exactly what the mathematical definition evaluates left to right, so
+/// this backend is the oracle the optimized backends are property-tested
+/// against (and the slow end of every serve-side A/B). O(n³) products:
+/// use it at oracle sizes, not paper sizes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceBackend;
+
+impl<T: Scalar> Backend<T> for ReferenceBackend {
+    fn id(&self) -> BackendId {
+        BackendId::REFERENCE
+    }
+
+    fn matmul(&self, alpha: T, a: &Matrix<T>, ta: Trans, b: &Matrix<T>, tb: Trans) -> Matrix<T> {
+        let (m, _) = ta.dims(a.rows(), a.cols());
+        let (_, n) = tb.dims(b.rows(), b.cols());
+        reference::gemm_naive(alpha, a, ta, b, tb, T::ZERO, &Matrix::zeros(m, n))
+    }
+
+    fn geadd(&self, alpha: T, a: &Matrix<T>, beta: T, b: &Matrix<T>) -> Matrix<T> {
+        reference::geadd_naive(alpha, a, beta, b)
+    }
+
+    fn geadd_assign(&self, alpha: T, a: &mut Matrix<T>, beta: T, b: &Matrix<T>) {
+        // The oracle allocates even in the "in-place" form — simplicity
+        // over speed, and bitwise-identical to `geadd` by construction.
+        *a = reference::geadd_naive(alpha, a, beta, b);
+    }
+
+    fn scale_assign(&self, alpha: T, x: &mut Matrix<T>) {
+        *x = reference::gescale_naive(alpha, x);
+    }
+
+    fn tridiag_matmul(&self, t: &Tridiagonal<T>, b: &Matrix<T>) -> Matrix<T> {
+        reference::tridiag_matmul_naive(t, b)
+    }
+}

@@ -1,0 +1,60 @@
+//! The frozen PR-1 kernels as a backend: the perf-trajectory yardstick.
+
+use laab_dense::{Matrix, Scalar, Tridiagonal};
+use laab_kernels::counters::{self, Kernel};
+use laab_kernels::{flops, matmul_dispatch, seed, Trans};
+
+use crate::{Backend, BackendId, EngineBackend};
+
+/// The frozen PR-1 GEMM ([`laab_kernels::seed`]) behind the shared shape
+/// dispatch.
+///
+/// Only the matrix-matrix GEMM was frozen when the engine was overhauled;
+/// vector-shaped products (DOT/GEMV) and the elementwise/structured nodes
+/// were never part of that overhaul and share the engine implementations.
+/// An `engine` vs `seed` A/B under identical traffic therefore isolates
+/// exactly the GEMM engine's evolution — the same way the paper pins one
+/// BLAS and varies the framework above it.
+///
+/// The frozen kernel itself records no counters (it predates nothing —
+/// it must never change); the backend records the `Gemm` call here, at
+/// the dispatch layer, so kernel-count analytics stay faithful when
+/// serving through `seed`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeedBackend;
+
+impl<T: Scalar> Backend<T> for SeedBackend {
+    fn id(&self) -> BackendId {
+        BackendId::SEED
+    }
+
+    fn matmul(&self, alpha: T, a: &Matrix<T>, ta: Trans, b: &Matrix<T>, tb: Trans) -> Matrix<T> {
+        let (m, ka) = ta.dims(a.rows(), a.cols());
+        let (kb, n) = tb.dims(b.rows(), b.cols());
+        assert_eq!(ka, kb, "seed matmul: inner dimensions differ ({ka} vs {kb})");
+        if m == 1 || n == 1 {
+            // Level-1/2 shapes were never frozen: shared with the engine.
+            return matmul_dispatch(alpha, a, ta, b, tb);
+        }
+        counters::record(Kernel::Gemm, flops::gemm(m, n, ka));
+        let mut c = Matrix::zeros(m, n);
+        seed::gemm_seed(alpha, a, ta, b, tb, T::ZERO, &mut c);
+        c
+    }
+
+    fn geadd(&self, alpha: T, a: &Matrix<T>, beta: T, b: &Matrix<T>) -> Matrix<T> {
+        Backend::<T>::geadd(&EngineBackend, alpha, a, beta, b)
+    }
+
+    fn geadd_assign(&self, alpha: T, a: &mut Matrix<T>, beta: T, b: &Matrix<T>) {
+        Backend::<T>::geadd_assign(&EngineBackend, alpha, a, beta, b)
+    }
+
+    fn scale_assign(&self, alpha: T, x: &mut Matrix<T>) {
+        Backend::<T>::scale_assign(&EngineBackend, alpha, x)
+    }
+
+    fn tridiag_matmul(&self, t: &Tridiagonal<T>, b: &Matrix<T>) -> Matrix<T> {
+        Backend::<T>::tridiag_matmul(&EngineBackend, t, b)
+    }
+}

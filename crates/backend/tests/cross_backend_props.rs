@@ -1,0 +1,113 @@
+//! Cross-backend equivalence: for random plans drawn from the serving
+//! workload's E1–E5 (+ solver-residual) families, the `reference`,
+//! `seed`, and `engine` backends agree on every output.
+//!
+//! ## The numerical contract, documented
+//!
+//! Every backend accumulates each `k`-reduction in the same increasing-`p`
+//! order (the engine's tile grid never splits a reduction), so the
+//! *shape* of every sum is shared. What differs is rounding: the engine's
+//! microkernels contract multiply-adds (FMA, one rounding per step) while
+//! the reference and seed kernels round after the multiply. Per output
+//! element that is at most one extra rounding per accumulation step, so
+//! matrix-matrix products may drift by `O(k·ε)` **relative** — the ULP
+//! bound asserted here is `1e-12` (f64) / `1e-4` (f32) relative Frobenius
+//! distance at the test sizes (`k ≤ 32`), orders of magnitude tighter
+//! than any paper finding and far looser than the drift can reach.
+//!
+//! Where no reduction-order/rounding freedom exists, equality must be
+//! **bitwise**:
+//! * elementwise nodes (Add/Sub/Scale) on every backend — covered by the
+//!   unit tests in `laab-backend` itself; and
+//! * whole plans whose products are all vector-shaped (the solver
+//!   residual: GEMV/DOT shapes only), where `seed` and `engine` share
+//!   the exact same un-frozen kernels — asserted below.
+
+use laab_backend::{registry, BackendScalar};
+use laab_dense::Matrix;
+use laab_framework::Framework;
+use laab_graph::{execute_scheduled_on, Schedule};
+use laab_serve::workload::Family;
+use proptest::prelude::*;
+
+/// Compile one plan for the family (trace → optimize → schedule) and
+/// execute it on each named backend with identical operand bindings.
+fn run_backends<T: BackendScalar>(
+    family: Family,
+    n: usize,
+    seed: u64,
+    names: &[&str],
+) -> Vec<Vec<Matrix<T>>> {
+    let fw = Framework::flow();
+    let function = fw.function_from_expr(&family.expr(n), &family.ctx(n));
+    let (graph, _trace, _stats) = function.into_plan_parts();
+    let schedule = Schedule::new(&graph);
+    let env = family.env::<T>(n, seed);
+    names
+        .iter()
+        .map(|name| {
+            let backend = registry::find(name)
+                .unwrap_or_else(|| panic!("builtin `{name}` missing"))
+                .resolve::<T>()
+                .expect("builtins support both dtypes");
+            execute_scheduled_on(&graph, &schedule, &env, backend)
+        })
+        .collect()
+}
+
+fn rel_dist<T: laab_dense::Scalar>(a: &[Matrix<T>], b: &[Matrix<T>]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x.rel_dist(y)).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The headline property: all three backends agree within the
+    /// documented ULP bound on every family, size, and operand draw, at
+    /// both precisions.
+    #[test]
+    fn backends_agree_on_random_plans(
+        seed in any::<u64>(),
+        fam in 0usize..Family::ALL.len(),
+        n in 4usize..32,
+    ) {
+        let family = Family::ALL[fam];
+        let names = ["reference", "seed", "engine"];
+
+        let f64_outs = run_backends::<f64>(family, n, seed, &names);
+        for (i, name) in names.iter().enumerate() {
+            let d = rel_dist(&f64_outs[0], &f64_outs[i]);
+            prop_assert!(
+                d <= 1e-12,
+                "{name} vs reference drifted {d:e} (f64, family {}, n {n})",
+                family.id()
+            );
+        }
+
+        let f32_outs = run_backends::<f32>(family, n, seed, &names);
+        for (i, name) in names.iter().enumerate() {
+            let d = rel_dist(&f32_outs[0], &f32_outs[i]);
+            prop_assert!(
+                d <= 1e-4,
+                "{name} vs reference drifted {d:e} (f32, family {}, n {n})",
+                family.id()
+            );
+        }
+    }
+
+    /// Bitwise case: the solver-residual family lowers to GEMV/DOT
+    /// shapes and elementwise nodes only — kernels `seed` shares
+    /// verbatim with `engine` — so those two backends must agree bit for
+    /// bit, not just within tolerance.
+    #[test]
+    fn gemm_free_plans_are_bitwise_identical_between_seed_and_engine(
+        seed in any::<u64>(),
+        n in 4usize..48,
+    ) {
+        let outs = run_backends::<f64>(Family::SolveResidual, n, seed, &["seed", "engine"]);
+        prop_assert_eq!(&outs[0], &outs[1]);
+        let outs32 = run_backends::<f32>(Family::SolveResidual, n, seed, &["seed", "engine"]);
+        prop_assert_eq!(&outs32[0], &outs32[1]);
+    }
+}

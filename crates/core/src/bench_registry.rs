@@ -29,7 +29,8 @@ pub struct BenchSpec {
 /// Schema tag of `laab-serve`'s report. Mirrored here (rather than
 /// imported) because `laab-core` sits below `laab-serve` in the crate
 /// graph; `laab-serve`'s tests assert the two constants stay equal.
-pub const SERVE_SCHEMA: &str = "laab-serve-bench-v1";
+/// `v2`: multi-backend A/B — per-backend records, `executions`, `dtype`.
+pub const SERVE_SCHEMA: &str = "laab-serve-bench-v2";
 
 /// Every benchmark report format, in CLI order.
 pub const BENCHES: [BenchSpec; 3] = [
@@ -51,8 +52,9 @@ pub const BENCHES: [BenchSpec; 3] = [
         name: "serve",
         schema: SERVE_SCHEMA,
         artifact: "BENCH_serve.json",
-        command: "laab serve --smoke --out BENCH_serve.json",
-        description: "plan-cache serving throughput: req/s, p50/p99, hit rate",
+        command: "laab serve --smoke --backends engine,seed --out BENCH_serve.json",
+        description:
+            "plan-cache serving throughput + backend A/B: per-backend req/s, p50/p99, hit rate",
     },
 ];
 

@@ -8,12 +8,17 @@
 //! serially) — at 1 and N threads, and emits a machine-readable
 //! `BENCH_gemm.json` ([`GEMM_REPORT_SCHEMA`]) that CI uploads per PR.
 //!
-//! Two summary numbers anchor the trajectory:
+//! Three summary numbers anchor the trajectory:
 //!
 //! * `speedup_vs_seed` — single-thread GFLOP/s on the anchor shape
 //!   (1024³ `f64`; 256³ under `--quick`) relative to the frozen PR-1
 //!   kernel ([`laab_kernels::seed`]), measured in-process under identical
-//!   build flags; and
+//!   build flags;
+//! * `f32_over_f64` — single-thread `f32` over `f64` engine GFLOP/s on
+//!   the anchor shape (measured in the same interleave), tracking the
+//!   f32/f64 kernel gap: `f32` has twice the SIMD lanes, so the ratio
+//!   approaches 2 at microkernel parity and a sustained slide below it
+//!   means the `f32` path has fallen behind (the ROADMAP f32 item); and
 //! * `wide_short_parallel_speedup` — N-thread over 1-thread time on the
 //!   wide-short shape, which the old rows-only split could not
 //!   parallelize at all.
@@ -30,8 +35,10 @@ use laab_dense::gen::OperandGen;
 use laab_dense::Matrix;
 use laab_kernels::{gemm, seed, set_num_threads, Trans};
 
-/// Schema tag of the `BENCH_gemm.json` report, bumped on breaking changes.
-pub const GEMM_REPORT_SCHEMA: &str = "laab-gemm-bench-v1";
+/// Schema tag of the `BENCH_gemm.json` report, bumped on breaking
+/// changes. `v2`: adds the `f32` anchor (`f32_engine_gflops`,
+/// `f32_over_f64`) to the summary.
+pub const GEMM_REPORT_SCHEMA: &str = "laab-gemm-bench-v2";
 
 /// Configuration for one bench run.
 #[derive(Debug, Clone)]
@@ -98,6 +105,13 @@ pub struct GemmSummary {
     pub engine_gflops: f64,
     /// `engine_gflops / seed_gflops` (acceptance: ≥ 2 on capable runners).
     pub speedup_vs_seed: f64,
+    /// Engine single-thread `f32` GFLOP/s on the anchor shape, measured
+    /// in the same interleave as the `f64` rows.
+    pub f32_engine_gflops: f64,
+    /// `f32_engine_gflops / engine_gflops` — the f32/f64 kernel gap
+    /// (→ 2 at SIMD lane-width parity; a sustained slide below ~1.5 on
+    /// AVX2-class hardware flags the f32 microkernels lagging).
+    pub f32_over_f64: f64,
     /// Wide-short shape: 1-thread time over N-thread time (> 1 shows the
     /// previously-serial shape now parallelizes).
     pub wide_short_parallel_speedup: f64,
@@ -271,17 +285,22 @@ pub fn run(cfg: &GemmBenchConfig) -> GemmReport {
         });
     }
 
-    // Anchor comparison against the frozen seed kernel, single thread.
-    // The repetitions interleave the two kernels so transient machine load
-    // hits both measurements equally — the ratio is far more stable than
-    // two back-to-back best-of runs on a shared box.
+    // Anchor comparisons, single thread: engine vs the frozen seed
+    // kernel (f64), and engine f32 vs engine f64 — the f32/f64 kernel
+    // gap. The repetitions interleave all three kernels so transient
+    // machine load hits every measurement equally — the ratios are far
+    // more stable than back-to-back best-of runs on a shared box.
     let anchor_n = if cfg.quick { 256 } else { 1024 };
     let anchor = format!("square{anchor_n}");
-    let (engine_gflops, seed_gflops) = {
+    let (engine_gflops, seed_gflops, f32_engine_gflops) = {
         let a = g.matrix::<f64>(anchor_n, anchor_n);
         let b = g.matrix::<f64>(anchor_n, anchor_n);
         let mut c = Matrix::<f64>::zeros(anchor_n, anchor_n);
-        let (mut engine_best, mut seed_best) = (f64::INFINITY, f64::INFINITY);
+        let a32 = g.matrix::<f32>(anchor_n, anchor_n);
+        let b32 = g.matrix::<f32>(anchor_n, anchor_n);
+        let mut c32 = Matrix::<f32>::zeros(anchor_n, anchor_n);
+        let (mut engine_best, mut seed_best, mut f32_best) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for rep in 0..cfg.warmup + cfg.reps.max(1) {
             let t0 = Instant::now();
             gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
@@ -289,14 +308,19 @@ pub fn run(cfg: &GemmBenchConfig) -> GemmReport {
             let t0 = Instant::now();
             seed::gemm_seed(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
             let seed_secs = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            gemm(1.0f32, &a32, Trans::No, &b32, Trans::No, 0.0, &mut c32);
+            let f32_secs = t0.elapsed().as_secs_f64();
             if rep >= cfg.warmup {
                 engine_best = engine_best.min(engine_secs);
                 seed_best = seed_best.min(seed_secs);
+                f32_best = f32_best.min(f32_secs);
             }
         }
         (
             gflops(anchor_n, anchor_n, anchor_n, engine_best),
             gflops(anchor_n, anchor_n, anchor_n, seed_best),
+            gflops(anchor_n, anchor_n, anchor_n, f32_best),
         )
     };
 
@@ -314,6 +338,8 @@ pub fn run(cfg: &GemmBenchConfig) -> GemmReport {
             seed_gflops,
             engine_gflops,
             speedup_vs_seed: engine_gflops / seed_gflops,
+            f32_engine_gflops,
+            f32_over_f64: f32_engine_gflops / engine_gflops,
             wide_short_parallel_speedup,
             threads: n_threads,
         },
@@ -359,6 +385,13 @@ mod tests {
         assert!(report.shapes.iter().any(|r| r.dtype == "f32"), "missing f32 coverage");
         assert!(report.shapes.iter().all(|r| r.gflops > 0.0 && r.best_secs > 0.0));
         assert!(report.summary.seed_gflops > 0.0 && report.summary.engine_gflops > 0.0);
+        // The f32 anchor rides the same interleave as the seed ratio.
+        assert!(report.summary.f32_engine_gflops > 0.0, "missing f32 anchor");
+        assert!(
+            report.summary.f32_over_f64 > 0.0 && report.summary.f32_over_f64.is_finite(),
+            "f32/f64 gap must be a finite ratio, got {}",
+            report.summary.f32_over_f64
+        );
         // (No assert on num_threads() here: sibling tests run() concurrently
         // and legitimately hold the process-global count at 2 mid-flight.)
     }

@@ -1,11 +1,17 @@
 //! The DAG executor and the precomputed execution [`Schedule`].
 //!
-//! A single forward sweep in topological order. Every node dispatches to a
-//! `laab-kernels` entry point, so the thread-local FLOP/call counters give a
+//! A single forward sweep in topological order. Every kernel-backed node
+//! dispatches through a `laab-backend` [`Backend`] — the live engine by
+//! default ([`execute`] / [`execute_scheduled`]), or any registered
+//! backend via [`execute_on`] / [`execute_scheduled_on`], so identical
+//! graphs can be A/B'd across kernel strategies the way one traced
+//! `tf.function` graph dispatches to multiple runtimes. Pure data
+//! movement (transpose, slicing, concatenation) is executor-level and
+//! backend-independent. The thread-local FLOP/call counters give a
 //! faithful kernel-level trace of the graph's execution — the data behind
-//! the paper's analytical claims. Intermediate buffers are freed as soon as
-//! their last consumer has run (reference counting), bounding peak memory
-//! to the live frontier of the DAG.
+//! the paper's analytical claims. Intermediate buffers are freed as soon
+//! as their last consumer has run (reference counting), bounding peak
+//! memory to the live frontier of the DAG.
 //!
 //! Vector-shaped products dispatch to Level-1/2 kernels the way the
 //! frameworks' `matmul` lowers to MKL: `1×k · k×1` → `DOT`,
@@ -20,10 +26,10 @@
 //! [`execute_scheduled`] with fresh operand bindings (the `tf.function`
 //! concrete-function analogue that `laab-serve` caches).
 
+use laab_backend::{engine, Backend};
 use laab_dense::{Matrix, Scalar, Tridiagonal};
 use laab_expr::eval::Env;
 use laab_kernels::counters::{self, Kernel};
-use laab_kernels::{geadd_assign, gescale_assign, matmul_dispatch, tridiag_matmul};
 
 use crate::ir::{Graph, NodeId, OpKind};
 
@@ -152,7 +158,17 @@ impl Schedule {
 /// On missing feeds, feed-shape mismatches, or (in debug builds) a graph
 /// violating the topological invariant.
 pub fn execute<T: Scalar>(g: &Graph, env: &Env<T>) -> Vec<Matrix<T>> {
-    execute_with_counts(g, g.use_counts(), env)
+    execute_on(g, env, engine::<T>())
+}
+
+/// [`execute`] through an explicit execution [`Backend`] — the same
+/// sweep, buffer stealing, and free order, with every kernel-backed node
+/// dispatched to `backend`'s entry points instead of the default engine.
+///
+/// # Panics
+/// Everything [`execute`] panics on.
+pub fn execute_on<T: Scalar>(g: &Graph, env: &Env<T>, backend: &dyn Backend<T>) -> Vec<Matrix<T>> {
+    execute_with_counts(g, g.use_counts(), env, backend)
 }
 
 /// Execute the graph under a precomputed [`Schedule`], skipping the
@@ -169,6 +185,21 @@ pub fn execute_scheduled<T: Scalar>(
     schedule: &Schedule,
     env: &Env<T>,
 ) -> Vec<Matrix<T>> {
+    execute_scheduled_on(g, schedule, env, engine::<T>())
+}
+
+/// [`execute_scheduled`] through an explicit execution [`Backend`] — what
+/// `laab-serve` calls with the backend a plan was compiled for, so one
+/// request stream can be A/B'd across backends under identical schedules.
+///
+/// # Panics
+/// Everything [`execute_scheduled`] panics on.
+pub fn execute_scheduled_on<T: Scalar>(
+    g: &Graph,
+    schedule: &Schedule,
+    env: &Env<T>,
+    backend: &dyn Backend<T>,
+) -> Vec<Matrix<T>> {
     assert_eq!(
         schedule.len(),
         g.len(),
@@ -176,13 +207,14 @@ pub fn execute_scheduled<T: Scalar>(
         schedule.len(),
         g.len()
     );
-    execute_with_counts(g, schedule.use_counts.clone(), env)
+    execute_with_counts(g, schedule.use_counts.clone(), env, backend)
 }
 
 fn execute_with_counts<'e, T: Scalar>(
     g: &Graph,
     mut remaining: Vec<u32>,
     env: &'e Env<T>,
+    backend: &dyn Backend<T>,
 ) -> Vec<Matrix<T>> {
     debug_assert_eq!(g.check_topology(), Ok(()));
     let mut values: Vec<Option<Val<'e, T>>> = Vec::with_capacity(g.len());
@@ -206,7 +238,7 @@ fn execute_with_counts<'e, T: Scalar>(
                 let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
                 let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
                 let alpha = T::from_f64(f64::from_bits(*alpha_bits));
-                Val::Owned(matmul_dispatch(alpha, a, *ta, b, *tb))
+                Val::Owned(backend.matmul(alpha, a, *ta, b, *tb))
             }
             OpKind::Add => {
                 // Reuse a uniquely-owned operand buffer instead of
@@ -214,42 +246,42 @@ fn execute_with_counts<'e, T: Scalar>(
                 // either side may accumulate the other).
                 if let Some(mut a) = take_unique(&mut values, &remaining, node.inputs[0]) {
                     let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
-                    geadd_assign(T::ONE, &mut a, T::ONE, b);
+                    backend.geadd_assign(T::ONE, &mut a, T::ONE, b);
                     Val::Owned(a)
                 } else if let Some(mut b) = take_unique(&mut values, &remaining, node.inputs[1]) {
                     let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
-                    geadd_assign(T::ONE, &mut b, T::ONE, a);
+                    backend.geadd_assign(T::ONE, &mut b, T::ONE, a);
                     Val::Owned(b)
                 } else {
                     let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
                     let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
-                    Val::Owned(laab_kernels::geadd(T::ONE, a, T::ONE, b))
+                    Val::Owned(backend.geadd(T::ONE, a, T::ONE, b))
                 }
             }
             OpKind::Sub => {
                 if let Some(mut a) = take_unique(&mut values, &remaining, node.inputs[0]) {
                     let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
-                    geadd_assign(T::ONE, &mut a, -T::ONE, b);
+                    backend.geadd_assign(T::ONE, &mut a, -T::ONE, b);
                     Val::Owned(a)
                 } else if let Some(mut b) = take_unique(&mut values, &remaining, node.inputs[1]) {
                     // a − b == (−1)·b + a, exactly, in either operand order.
                     let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
-                    geadd_assign(-T::ONE, &mut b, T::ONE, a);
+                    backend.geadd_assign(-T::ONE, &mut b, T::ONE, a);
                     Val::Owned(b)
                 } else {
                     let a = values[node.inputs[0].idx()].as_ref().unwrap().get();
                     let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
-                    Val::Owned(laab_kernels::geadd(T::ONE, a, -T::ONE, b))
+                    Val::Owned(backend.geadd(T::ONE, a, -T::ONE, b))
                 }
             }
             OpKind::Scale(bits) => {
                 let c = T::from_f64(f64::from_bits(*bits));
                 if let Some(mut x) = take_unique(&mut values, &remaining, node.inputs[0]) {
-                    gescale_assign(c, &mut x);
+                    backend.scale_assign(c, &mut x);
                     Val::Owned(x)
                 } else {
                     let x = values[node.inputs[0].idx()].as_ref().unwrap().get();
-                    Val::Owned(laab_kernels::geadd(c, x, T::ZERO, x))
+                    Val::Owned(backend.scale(c, x))
                 }
             }
             OpKind::Transpose => {
@@ -294,7 +326,7 @@ fn execute_with_counts<'e, T: Scalar>(
                 let t = values[node.inputs[0].idx()].as_ref().unwrap().get();
                 let b = values[node.inputs[1].idx()].as_ref().unwrap().get();
                 let compact = Tridiagonal::from_dense(t);
-                Val::Owned(tridiag_matmul(&compact, b))
+                Val::Owned(backend.tridiag_matmul(&compact, b))
             }
         };
         values.push(Some(val));
@@ -498,6 +530,28 @@ mod tests {
         assert_eq!(c.calls(Kernel::Gemm), 0);
         let oracle = laab_kernels::reference::tridiag_matmul_naive(&t, &b);
         assert!(out[0].approx_eq(&oracle, 1e-12));
+    }
+
+    #[test]
+    fn backend_dispatch_swaps_kernels_not_results() {
+        // The same optimized graph through all three built-in backends:
+        // same sweep, different kernels. The reference backend is the
+        // oracle; engine/seed differ from it only by FMA contraction in
+        // the products, so agreement is approx (tight), not bitwise.
+        let n = 16;
+        let e = env(n, 31);
+        let mut g = fig3_graph(n);
+        optimize(&mut g, &PassConfig::all());
+        let schedule = Schedule::new(&g);
+        let via_default = execute(&g, &e);
+        for reg in laab_backend::registry::builtins() {
+            let backend = reg.resolve::<f64>().expect("builtins support f64");
+            let out = execute_on(&g, &e, backend);
+            let scheduled = execute_scheduled_on(&g, &schedule, &e, backend);
+            // Per backend, plain and scheduled sweeps are bitwise equal.
+            assert_eq!(out, scheduled, "{} scheduled sweep drifted", reg.name());
+            assert!(out[0].approx_eq(&via_default[0], 1e-13), "{} disagrees", reg.name());
+        }
     }
 
     #[test]

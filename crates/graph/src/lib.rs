@@ -18,12 +18,14 @@
 //!   no chain re-association, no property dispatch, no distributivity —
 //!   because that is what the paper measures the frameworks doing.
 //! * [`exec`] — a reference-counting executor that walks the DAG in
-//!   topological order and dispatches each node to `laab-kernels`,
-//!   recording kernel calls and FLOPs for the analytical tables. For
-//!   systems that re-execute one graph many times (the `laab-serve` plan
-//!   cache), [`Schedule`] precomputes the structural bookkeeping — use
-//!   counts and the peak-live workspace layout — and
-//!   [`execute_scheduled`] re-runs the identical sweep against fresh
+//!   topological order and dispatches each kernel-backed node through a
+//!   `laab-backend` execution backend (the live engine by default;
+//!   [`execute_on`] takes any registered backend), recording kernel calls
+//!   and FLOPs for the analytical tables. For systems that re-execute one
+//!   graph many times (the `laab-serve` plan cache), [`Schedule`]
+//!   precomputes the structural bookkeeping — use counts and the
+//!   peak-live workspace layout — and [`execute_scheduled`] /
+//!   [`execute_scheduled_on`] re-run the identical sweep against fresh
 //!   operand bindings.
 //! * [`Graph::to_dot`] — Graphviz export regenerating the paper's
 //!   Figs. 3 & 4.
@@ -34,6 +36,6 @@ pub mod exec;
 mod ir;
 pub mod passes;
 
-pub use exec::{execute, execute_scheduled, Schedule};
+pub use exec::{execute, execute_on, execute_scheduled, execute_scheduled_on, Schedule};
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind};
 pub use passes::{optimize, PassConfig, PassStats};

@@ -94,6 +94,19 @@ pub fn syrk_naive<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
     c
 }
 
+/// Naive elementwise `α·A + β·B` (no counters, like every oracle here).
+pub fn geadd_naive<T: Scalar>(alpha: T, a: &Matrix<T>, beta: T, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.shape(), b.shape(), "geadd_naive: shape mismatch");
+    Matrix::from_fn(a.rows(), a.cols(), |i, j| alpha * a[(i, j)] + beta * b[(i, j)])
+}
+
+/// Naive scaling `α·X`, in the executor's `α·x + 0·x` form so it is
+/// bitwise-identical to the optimized scale paths even on non-finite
+/// inputs (`0·inf = NaN`) and signed zeros.
+pub fn gescale_naive<T: Scalar>(alpha: T, x: &Matrix<T>) -> Matrix<T> {
+    Matrix::from_fn(x.rows(), x.cols(), |i, j| alpha * x[(i, j)] + T::ZERO * x[(i, j)])
+}
+
 /// Naive tridiagonal product `T·B` from the compact form.
 pub fn tridiag_matmul_naive<T: Scalar>(t: &Tridiagonal<T>, b: &Matrix<T>) -> Matrix<T> {
     let n = t.n();

@@ -1,14 +1,21 @@
-//! The multi-client serving loop and its machine-readable report.
+//! The multi-client, multi-backend serving loop and its report.
 //!
 //! Clients are tasks on the `laab-kernels` persistent worker pool
-//! ([`parallel_for`]): each drains requests from the shared queue,
-//! computes the request's [`Signature`](crate::Signature), resolves a
-//! [`Plan`] through the
-//! [`PlanCache`] (compiling on a miss — the cold trace), executes it
-//! against the family's operand pool, and records its end-to-end latency.
-//! The harness reports requests/s, p50/p99 latency, the cold-trace vs
-//! cache-hit latency split (the amortization `tf.function` exists for),
-//! and the cache counters, as a `BENCH_serve.json` document.
+//! ([`parallel_for`]): each drains requests from the shared queue and
+//! drives every request through **each selected backend in turn** —
+//! computing the per-backend [`Signature`](crate::Signature), resolving a
+//! [`Plan`] through the [`PlanCache`] (compiling on a miss — the cold
+//! trace), executing it against the family's operand pool, and recording
+//! the end-to-end latency per `(request, backend)`.
+//!
+//! Backends are **interleaved at request granularity**, not run
+//! back-to-back: on a noisy 1-CPU box, transient machine load then hits
+//! every backend's samples equally and the per-backend *ratios* stay
+//! stable even when absolute latencies jitter (the same protocol the
+//! GEMM bench uses for its seed-ratio anchor). The harness reports
+//! per-backend requests/s, p50/p99, hit rates, and the speedup ratio
+//! against the first-listed backend, plus the aggregate view, as a
+//! `BENCH_serve.json` document.
 //!
 //! Like every timing in the suite, numbers are *recorded* unconditionally
 //! and *asserted* only under `LAAB_STRICT_TIMING=1`.
@@ -19,6 +26,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use laab_backend::{registry, Dtype, Registration};
 use laab_expr::eval::Env;
 use laab_framework::Framework;
 use laab_kernels::parallel_for;
@@ -26,17 +34,19 @@ use laab_stats::Samples;
 
 use crate::cache::{Lookup, PlanCache};
 use crate::plan::Plan;
-use crate::signature::Dtype;
 use crate::workload::{synthetic_mix, Family};
 
 /// Schema tag of the `BENCH_serve.json` report, bumped on breaking
-/// changes.
-pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v1";
+/// changes. `v2`: multi-backend A/B — adds `executions`, `dtype`, and the
+/// per-backend `backends[]` records; top-level latency/cache aggregates
+/// now span all executions.
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v2";
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Synthetic requests to drain.
+    /// Synthetic requests to drain (each is driven through every
+    /// selected backend).
     pub requests: usize,
     /// Serving clients (pool tasks); `0` means detected hardware
     /// parallelism (capped at 8 — beyond that the 1-socket kernels are
@@ -48,13 +58,24 @@ pub struct ServeConfig {
     pub seed: u64,
     /// `true` for the CI smoke protocol (recorded in the report).
     pub smoke: bool,
-    /// Plan-cache capacity (total resident plans).
+    /// Plan-cache capacity **per backend**: the shared cache is bounded
+    /// to `cache_capacity × backends`, so total capacity scales with the
+    /// A/B width. The cache itself stays hash-sharded (not partitioned
+    /// per backend), so isolation is proportional sizing, not a hard
+    /// guarantee — size generously relative to the distinct-signature
+    /// count when eviction-free per-backend counters matter.
     pub cache_capacity: usize,
     /// Plan-cache shard count.
     pub shards: usize,
     /// Every `churn_every`-th request changes signature (0 disables);
     /// see [`synthetic_mix`].
     pub churn_every: usize,
+    /// Registry names of the backends to drive, first = the ratio
+    /// baseline. One entry is a plain serving run; several is an A/B
+    /// under identical interleaved traffic.
+    pub backends: Vec<String>,
+    /// Pin every request to one precision (`None` = mixed f32/f64).
+    pub dtype: Option<Dtype>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +89,8 @@ impl Default for ServeConfig {
             cache_capacity: 64,
             shards: 8,
             churn_every: 16,
+            backends: vec!["engine".to_string()],
+            dtype: None,
         }
     }
 }
@@ -89,6 +112,76 @@ impl ServeConfig {
     }
 }
 
+/// Why a serving run was refused before any request was dispatched.
+///
+/// These are the CLI-surface errors: `laab serve` turns them into an
+/// `error:` line and a usage exit code instead of letting an invalid
+/// backend/dtype combination panic deep inside plan dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `--backends` named a backend the registry does not know.
+    UnknownBackend {
+        /// The name as requested.
+        requested: String,
+        /// Every name the registry currently resolves.
+        available: Vec<String>,
+    },
+    /// The same backend was listed more than once.
+    DuplicateBackend(String),
+    /// A selected backend has no entry point for a dtype present in the
+    /// request stream.
+    UnsupportedDtype {
+        /// The offending backend.
+        backend: String,
+        /// The dtype it cannot execute.
+        dtype: Dtype,
+    },
+    /// The backend list was empty.
+    NoBackends,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownBackend { requested, available } => {
+                write!(f, "unknown backend `{requested}` (available: {})", available.join(", "))
+            }
+            ServeError::DuplicateBackend(name) => {
+                write!(f, "backend `{name}` is listed more than once in --backends")
+            }
+            ServeError::UnsupportedDtype { backend, dtype } => write!(
+                f,
+                "backend `{backend}` does not support dtype {dtype} \
+                 (restrict the stream with --dtype or drop the backend)"
+            ),
+            ServeError::NoBackends => write!(f, "--backends must name at least one backend"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Resolve the configured backend names against the registry, rejecting
+/// unknowns and duplicates with a CLI-grade error.
+fn resolve_backends(names: &[String]) -> Result<Vec<&'static Registration>, ServeError> {
+    if names.is_empty() {
+        return Err(ServeError::NoBackends);
+    }
+    let mut regs = Vec::with_capacity(names.len());
+    let mut seen = HashSet::new();
+    for name in names {
+        if !seen.insert(name.as_str()) {
+            return Err(ServeError::DuplicateBackend(name.clone()));
+        }
+        let reg = registry::find(name).ok_or_else(|| ServeError::UnknownBackend {
+            requested: name.clone(),
+            available: registry::names().iter().map(|n| n.to_string()).collect(),
+        })?;
+        regs.push(reg);
+    }
+    Ok(regs)
+}
+
 /// Cache counters as they appear in the JSON report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CacheStatsRecord {
@@ -96,8 +189,8 @@ pub struct CacheStatsRecord {
     pub hits: u64,
     /// Lookups that compiled a plan.
     pub misses: u64,
-    /// Misses whose callsite was already compiled under a different
-    /// signature (the `tf.function` retrace event).
+    /// Misses whose `(callsite, backend)` was already compiled under a
+    /// different signature (the `tf.function` retrace event).
     pub retraces: u64,
     /// Plans evicted by the LRU bound.
     pub evictions: u64,
@@ -107,14 +200,52 @@ pub struct CacheStatsRecord {
     pub hit_rate: f64,
 }
 
-/// Per-family latency aggregate.
+/// One backend's view of the interleaved run — the A/B row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendRecord {
+    /// Registry name ([`laab_backend::BackendId`]).
+    pub backend: String,
+    /// Logical requests driven through this backend (= the stream
+    /// length; every backend sees identical traffic).
+    pub requests: usize,
+    /// Executions served from this backend's cache entries.
+    pub hits: usize,
+    /// Executions that compiled a plan for this backend.
+    pub misses: usize,
+    /// `hits / requests` — per-backend, since every backend compiles its
+    /// own plans (no cross-backend hits by construction).
+    pub hit_rate: f64,
+    /// Estimated sustained throughput had this backend served the stream
+    /// alone at this client count: `requests / (busy_secs / clients)`.
+    /// (Backends share one interleaved run, so per-backend wall time is
+    /// not directly observable.)
+    pub requests_per_sec: f64,
+    /// Median end-to-end latency through this backend, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency through this backend, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency through this backend, milliseconds.
+    pub mean_ms: f64,
+    /// Mean latency of this backend's compiling (cold-trace) executions.
+    pub cold_trace_mean_ms: f64,
+    /// Mean latency of this backend's cache-hit executions (`0.0` when
+    /// the stream produced no hits).
+    pub cache_hit_mean_ms: f64,
+    /// First-listed backend's mean latency over this backend's mean —
+    /// `> 1` means this backend is faster than the baseline, `1.0` for
+    /// the baseline itself. This is the paper-style cross-strategy ratio
+    /// the A/B exists to measure.
+    pub speedup_vs_first: f64,
+}
+
+/// Per-family latency aggregate (across all backends).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FamilyRecord {
     /// Family identifier ([`Family::id`]).
     pub family: String,
     /// The paper experiment the family is drawn from.
     pub experiment: String,
-    /// Requests of this family in the stream.
+    /// Executions of this family (stream occurrences × backends).
     pub requests: usize,
     /// How many were served from the plan cache.
     pub hits: usize,
@@ -131,28 +262,36 @@ pub struct ServeReport {
     pub schema: String,
     /// Whether the smoke protocol was used.
     pub smoke: bool,
-    /// Requests drained.
+    /// Logical requests drained.
     pub requests: usize,
+    /// Plan executions: `requests × backends` (each request is driven
+    /// through every selected backend, interleaved).
+    pub executions: usize,
     /// Serving clients.
     pub clients: usize,
     /// Base operand size.
     pub base_n: usize,
     /// Stream/operand seed.
     pub seed: u64,
-    /// Distinct signatures in the stream (the compile workload).
+    /// The dtype filter: `"mixed"`, `"f32"`, or `"f64"`.
+    pub dtype: String,
+    /// Distinct signatures across the run (per-backend signatures — the
+    /// compile workload; `backends × ` the stream's structural variety).
     pub distinct_signatures: usize,
     /// Wall-clock seconds for the whole drain.
     pub wall_secs: f64,
-    /// Sustained throughput over the drain.
+    /// Sustained execution throughput over the drain
+    /// (`executions / wall_secs`).
     pub requests_per_sec: f64,
-    /// Median end-to-end request latency, milliseconds.
+    /// Median end-to-end execution latency, milliseconds (all backends).
     pub p50_ms: f64,
-    /// 99th-percentile end-to-end request latency, milliseconds.
+    /// 99th-percentile end-to-end execution latency, milliseconds (all
+    /// backends).
     pub p99_ms: f64,
-    /// Mean latency of requests that compiled (trace + optimize +
+    /// Mean latency of executions that compiled (trace + optimize +
     /// schedule + execute), milliseconds.
     pub cold_trace_mean_ms: f64,
-    /// Mean latency of requests served from the plan cache (execute
+    /// Mean latency of executions served from the plan cache (execute
     /// only), milliseconds. `0.0` when the stream produced no hits (every
     /// signature distinct).
     pub cache_hit_mean_ms: f64,
@@ -160,8 +299,12 @@ pub struct ServeReport {
     /// cache hit buys (> 1 when caching pays; `0.0` when the stream
     /// produced no hits).
     pub cache_hit_speedup: f64,
-    /// Cache counters.
+    /// Shared plan-cache counters (all backends; per-backend entries are
+    /// independent by signature construction).
     pub cache: CacheStatsRecord,
+    /// Per-backend A/B records, in `--backends` order (first = ratio
+    /// baseline).
+    pub backends: Vec<BackendRecord>,
     /// Per-family aggregates, in experiment order.
     pub families: Vec<FamilyRecord>,
 }
@@ -184,12 +327,39 @@ impl ServeReport {
         Ok(report)
     }
 
+    /// One-row-per-backend A/B overview for terminal output.
+    pub fn backend_table(&self) -> laab_stats::Table {
+        let mut t = laab_stats::Table::new(
+            format!(
+                "backend A/B — {} requests × {} backend(s), interleaved",
+                self.requests,
+                self.backends.len()
+            ),
+            &["backend", "req/s", "p50 [ms]", "p99 [ms]", "hit rate", "vs first"],
+        );
+        for b in &self.backends {
+            t.push_row(vec![
+                b.backend.clone(),
+                format!("{:.0}", b.requests_per_sec),
+                format!("{:.3}", b.p50_ms),
+                format!("{:.3}", b.p99_ms),
+                format!("{:.3}", b.hit_rate),
+                format!("{:.2}x", b.speedup_vs_first),
+            ]);
+        }
+        t
+    }
+
     /// One-row-per-family overview for terminal output.
     pub fn summary_table(&self) -> laab_stats::Table {
         let mut t = laab_stats::Table::new(
             format!(
-                "laab serve — {} requests, {} clients, {:.0} req/s, hit rate {:.3}",
-                self.requests, self.clients, self.requests_per_sec, self.cache.hit_rate
+                "laab serve — {} requests × {} backend(s), {} clients, {:.0} exec/s, hit rate {:.3}",
+                self.requests,
+                self.backends.len(),
+                self.clients,
+                self.requests_per_sec,
+                self.cache.hit_rate
             ),
             &["family", "experiment", "requests", "hits", "p50 [ms]", "mean [ms]"],
         );
@@ -213,23 +383,45 @@ struct EnvPair {
     f32: Env<f32>,
 }
 
-/// Lookup-outcome codes stored in the per-request slot array.
+/// Lookup-outcome codes stored in the per-execution slot array.
 const OUTCOME_HIT: u8 = 1;
 const OUTCOME_COMPILED: u8 = 2;
 
-/// Drain a synthetic request stream through the plan cache and collect
-/// the report.
+/// Drain a synthetic request stream through the plan cache, driving each
+/// request through every configured backend interleaved, and collect the
+/// report.
 ///
 /// Operand pools are generated up front (a client serving traffic already
-/// holds its data; operand generation is not request latency). Request
+/// holds its data; operand generation is not request latency). Execution
 /// latency covers signature canonicalization, the cache lookup, any
 /// compile, and plan execution — the components a `tf.function` call
 /// pays.
-pub fn run(cfg: &ServeConfig) -> ServeReport {
+///
+/// # Errors
+/// [`ServeError`] when the backend list is empty, names an unknown or
+/// duplicate backend, or selects a backend that cannot execute a dtype
+/// present in the stream — all rejected here, before any dispatch.
+pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
+    let regs = resolve_backends(&cfg.backends)?;
+    let nb = regs.len();
     let clients = cfg.resolved_clients();
-    let mix = synthetic_mix(cfg.requests, cfg.n, cfg.seed, cfg.churn_every);
+    let mix = synthetic_mix(cfg.requests, cfg.n, cfg.seed, cfg.churn_every, cfg.dtype);
 
-    // Pre-generate operands and count the distinct signatures.
+    // Validate dtype support against the dtypes actually present, so an
+    // unsupported combination is a named error here instead of a panic
+    // deep inside plan dispatch.
+    for reg in &regs {
+        for dtype in [Dtype::F32, Dtype::F64] {
+            if mix.iter().any(|r| r.dtype == dtype) && !reg.supports(dtype) {
+                return Err(ServeError::UnsupportedDtype {
+                    backend: reg.name().to_string(),
+                    dtype,
+                });
+            }
+        }
+    }
+
+    // Pre-generate operands and count the distinct per-backend signatures.
     let mut pools: HashMap<(Family, usize), EnvPair> = HashMap::new();
     let mut distinct = HashSet::new();
     for req in &mix {
@@ -237,36 +429,44 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             f64: req.family.env::<f64>(req.n, cfg.seed),
             f32: req.family.env::<f32>(req.n, cfg.seed),
         });
-        distinct.insert(req.signature().hash());
+        for reg in &regs {
+            distinct.insert(req.signature(reg.id()).hash());
+        }
     }
 
-    let cache = PlanCache::with_shards(cfg.cache_capacity, cfg.shards);
+    let cache = PlanCache::with_shards(cfg.cache_capacity * nb, cfg.shards);
     let fw = Framework::flow();
-    let latency_nanos: Vec<AtomicU64> = (0..mix.len()).map(|_| AtomicU64::new(0)).collect();
-    let outcomes: Vec<AtomicU8> = (0..mix.len()).map(|_| AtomicU8::new(0)).collect();
+    let executions = mix.len() * nb;
+    let latency_nanos: Vec<AtomicU64> = (0..executions).map(|_| AtomicU64::new(0)).collect();
+    let outcomes: Vec<AtomicU8> = (0..executions).map(|_| AtomicU8::new(0)).collect();
 
     let t0 = Instant::now();
     parallel_for(clients, mix.len(), |i| {
         let req = &mix[i];
         let pool = &pools[&(req.family, req.n)];
-        let t = Instant::now();
-        let sig = req.signature();
-        let (plan, lookup) = cache.get_or_compile(sig, || {
-            Plan::compile(&fw, &req.family.expr(req.n), &req.family.ctx(req.n))
-        });
-        match req.dtype {
-            Dtype::F64 => {
-                std::hint::black_box(plan.execute::<f64>(&pool.f64));
+        // Backends interleave at request granularity: every backend's
+        // samples see the same machine state, so the ratios are stable
+        // on a loaded box even when absolute latencies are not.
+        for (bi, reg) in regs.iter().enumerate() {
+            let t = Instant::now();
+            let sig = req.signature(reg.id());
+            let (plan, lookup) = cache.get_or_compile(sig, || {
+                Plan::compile(&fw, &req.family.expr(req.n), &req.family.ctx(req.n), reg)
+            });
+            match req.dtype {
+                Dtype::F64 => {
+                    std::hint::black_box(plan.execute::<f64>(&pool.f64));
+                }
+                Dtype::F32 => {
+                    std::hint::black_box(plan.execute::<f32>(&pool.f32));
+                }
             }
-            Dtype::F32 => {
-                std::hint::black_box(plan.execute::<f32>(&pool.f32));
-            }
+            latency_nanos[i * nb + bi].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcomes[i * nb + bi].store(
+                if lookup == Lookup::Hit { OUTCOME_HIT } else { OUTCOME_COMPILED },
+                Ordering::Relaxed,
+            );
         }
-        latency_nanos[i].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        outcomes[i].store(
-            if lookup == Lookup::Hit { OUTCOME_HIT } else { OUTCOME_COMPILED },
-            Ordering::Relaxed,
-        );
     });
     let wall_secs = t0.elapsed().as_secs_f64();
 
@@ -284,41 +484,79 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             xs.iter().sum::<f64>() / xs.len() as f64
         }
     };
-    let cold: Vec<f64> =
-        lat.iter().zip(&out).filter(|&(_, &o)| o == OUTCOME_COMPILED).map(|(&l, _)| l).collect();
-    let hits: Vec<f64> =
-        lat.iter().zip(&out).filter(|&(_, &o)| o == OUTCOME_HIT).map(|(&l, _)| l).collect();
-    let cold_trace_mean_ms = mean_of(&cold);
-    let cache_hit_mean_ms = mean_of(&hits);
+    let split_means = |idx: &[usize]| {
+        let cold: Vec<f64> =
+            idx.iter().filter(|&&e| out[e] == OUTCOME_COMPILED).map(|&e| lat[e]).collect();
+        let hit: Vec<f64> =
+            idx.iter().filter(|&&e| out[e] == OUTCOME_HIT).map(|&e| lat[e]).collect();
+        (mean_of(&cold), mean_of(&hit))
+    };
+    let all_idx: Vec<usize> = (0..executions).collect();
+    let (cold_trace_mean_ms, cache_hit_mean_ms) = split_means(&all_idx);
+
+    // Per-backend A/B records, first-listed backend as the ratio anchor.
+    let mut backends = Vec::with_capacity(nb);
+    let mut first_mean = 0.0;
+    for (bi, reg) in regs.iter().enumerate() {
+        let idx: Vec<usize> = (0..mix.len()).map(|i| i * nb + bi).collect();
+        let b_lat: Vec<f64> = idx.iter().map(|&e| lat[e]).collect();
+        let hits = idx.iter().filter(|&&e| out[e] == OUTCOME_HIT).count();
+        let busy_secs: f64 = b_lat.iter().sum::<f64>() / 1e3;
+        let mean_ms = mean_of(&b_lat);
+        if bi == 0 {
+            first_mean = mean_ms;
+        }
+        let (b_cold, b_hit) = split_means(&idx);
+        backends.push(BackendRecord {
+            backend: reg.name().to_string(),
+            requests: mix.len(),
+            hits,
+            misses: mix.len() - hits,
+            hit_rate: hits as f64 / mix.len() as f64,
+            requests_per_sec: if busy_secs > 0.0 {
+                mix.len() as f64 * clients as f64 / busy_secs
+            } else {
+                0.0
+            },
+            p50_ms: Samples::new(b_lat.clone()).median(),
+            p99_ms: Samples::new(b_lat).quantile(0.99),
+            mean_ms,
+            cold_trace_mean_ms: b_cold,
+            cache_hit_mean_ms: b_hit,
+            speedup_vs_first: if mean_ms > 0.0 { first_mean / mean_ms } else { 0.0 },
+        });
+    }
 
     let mut families = Vec::new();
     for family in Family::ALL {
-        let idx: Vec<usize> = (0..mix.len()).filter(|&i| mix[i].family == family).collect();
+        let idx: Vec<usize> = (0..executions).filter(|&e| mix[e / nb].family == family).collect();
         if idx.is_empty() {
             continue;
         }
-        let fam_lat: Vec<f64> = idx.iter().map(|&i| lat[i]).collect();
+        let fam_lat: Vec<f64> = idx.iter().map(|&e| lat[e]).collect();
         families.push(FamilyRecord {
             family: family.id().to_string(),
             experiment: family.experiment().to_string(),
             requests: idx.len(),
-            hits: idx.iter().filter(|&&i| out[i] == OUTCOME_HIT).count(),
+            hits: idx.iter().filter(|&&e| out[e] == OUTCOME_HIT).count(),
             p50_ms: Samples::new(fam_lat.clone()).median(),
             mean_ms: mean_of(&fam_lat),
         });
     }
 
     let stats = cache.stats();
-    ServeReport {
+    Ok(ServeReport {
         schema: SERVE_REPORT_SCHEMA.to_string(),
         smoke: cfg.smoke,
         requests: cfg.requests,
+        executions,
         clients,
         base_n: cfg.n,
         seed: cfg.seed,
+        dtype: cfg.dtype.map_or("mixed", Dtype::name).to_string(),
         distinct_signatures: distinct.len(),
         wall_secs,
-        requests_per_sec: cfg.requests as f64 / wall_secs,
+        requests_per_sec: executions as f64 / wall_secs,
         p50_ms: all.median(),
         p99_ms: all.quantile(0.99),
         cold_trace_mean_ms,
@@ -336,8 +574,9 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             entries: stats.entries,
             hit_rate: stats.hit_rate(),
         },
+        backends,
         families,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -356,9 +595,13 @@ mod tests {
         }
     }
 
+    fn run_ok(cfg: &ServeConfig) -> ServeReport {
+        run(cfg).expect("valid config serves")
+    }
+
     #[test]
     fn report_round_trips_through_json() {
-        let report = run(&tiny_cfg());
+        let report = run_ok(&tiny_cfg());
         let back = ServeReport::from_json(&report.to_json()).expect("parse back");
         assert_eq!(back, report);
         assert_eq!(report.schema, SERVE_REPORT_SCHEMA);
@@ -366,32 +609,129 @@ mod tests {
 
     #[test]
     fn bad_schema_is_rejected() {
-        let mut report = run(&ServeConfig { requests: 24, ..tiny_cfg() });
-        report.schema = "laab-serve-bench-v0".into();
+        let mut report = run_ok(&ServeConfig { requests: 24, ..tiny_cfg() });
+        report.schema = "laab-serve-bench-v1".into();
         assert!(ServeReport::from_json(&report.to_json()).is_err());
     }
 
     #[test]
     fn repeated_signature_workload_mostly_hits() {
-        let report = run(&tiny_cfg());
+        let report = run_ok(&tiny_cfg());
         assert!(
             report.cache.hit_rate > 0.9,
             "hit rate {:.3} not > 0.9 over {} distinct signatures",
             report.cache.hit_rate,
             report.distinct_signatures
         );
-        assert_eq!(report.cache.hits + report.cache.misses, report.requests as u64);
+        assert_eq!(report.executions, report.requests);
+        assert_eq!(report.cache.hits + report.cache.misses, report.executions as u64);
         // Churn requests force chain-callsite retraces.
         assert!(report.cache.retraces >= 1, "churned stream must retrace");
         // Every family appears and the counters are consistent.
         assert_eq!(report.families.len(), Family::ALL.len());
         let fam_requests: usize = report.families.iter().map(|f| f.requests).sum();
-        assert_eq!(fam_requests, report.requests);
+        assert_eq!(fam_requests, report.executions);
         let fam_hits: usize = report.families.iter().map(|f| f.hits).sum();
         assert_eq!(fam_hits as u64, report.cache.hits);
         assert!(report.requests_per_sec > 0.0);
         assert!(report.p99_ms >= report.p50_ms);
         assert!(report.cold_trace_mean_ms.is_finite() && report.cache_hit_mean_ms.is_finite());
+        // The default single-backend run still carries its A/B record.
+        assert_eq!(report.backends.len(), 1);
+        assert_eq!(report.backends[0].backend, "engine");
+        assert_eq!(report.backends[0].speedup_vs_first, 1.0);
+        assert_eq!(report.dtype, "mixed");
+    }
+
+    #[test]
+    fn multi_backend_run_interleaves_and_keeps_entries_independent() {
+        let cfg = ServeConfig {
+            backends: vec!["engine".into(), "seed".into(), "reference".into()],
+            ..tiny_cfg()
+        };
+        let report = run_ok(&cfg);
+        assert_eq!(report.executions, report.requests * 3);
+        assert_eq!(report.backends.len(), 3);
+
+        // Identical traffic per backend: every backend saw every request,
+        // and — because signatures embed the BackendId — each compiled
+        // its own plans. No cross-backend hits is structural: per-backend
+        // misses equal the per-backend distinct-signature count, and the
+        // resident entries are the per-backend sets side by side.
+        let per_backend_distinct = report.distinct_signatures / 3;
+        for b in &report.backends {
+            assert_eq!(b.requests, report.requests, "{}", b.backend);
+            assert_eq!(b.hits + b.misses, b.requests, "{}", b.backend);
+            assert_eq!(b.misses, per_backend_distinct, "{} compiled its own plans", b.backend);
+            assert!(b.hit_rate > 0.9, "{} hit rate {:.3}", b.backend, b.hit_rate);
+            assert!(b.p99_ms >= b.p50_ms, "{}", b.backend);
+            assert!(b.requests_per_sec > 0.0 && b.speedup_vs_first > 0.0, "{}", b.backend);
+        }
+        assert_eq!(report.cache.evictions, 0, "capacity scales with backend count");
+        assert_eq!(report.cache.entries, report.distinct_signatures);
+        assert_eq!(report.backends[0].speedup_vs_first, 1.0, "baseline anchors at 1.0");
+
+        // Hit rates are a deterministic function of the stream, so every
+        // backend's counters are identical — only latencies differ.
+        assert!(report.backends.iter().all(|b| b.hits == report.backends[0].hits));
+
+        // The JSON document round-trips with the records in order.
+        let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
+        let names: Vec<&str> = back.backends.iter().map(|b| b.backend.as_str()).collect();
+        assert_eq!(names, ["engine", "seed", "reference"]);
+    }
+
+    #[test]
+    fn unknown_backend_is_a_named_error() {
+        let cfg = ServeConfig { backends: vec!["cuda".into()], ..tiny_cfg() };
+        let err = run(&cfg).expect_err("unknown backend must not serve");
+        match &err {
+            ServeError::UnknownBackend { requested, available } => {
+                assert_eq!(requested, "cuda");
+                assert!(available.iter().any(|n| n == "engine"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("cuda") && text.contains("engine"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_and_empty_backend_lists_are_errors() {
+        let cfg = ServeConfig { backends: vec!["engine".into(), "engine".into()], ..tiny_cfg() };
+        assert_eq!(run(&cfg), Err(ServeError::DuplicateBackend("engine".into())));
+        let cfg = ServeConfig { backends: vec![], ..tiny_cfg() };
+        assert_eq!(run(&cfg), Err(ServeError::NoBackends));
+    }
+
+    #[test]
+    fn unsupported_dtype_combination_is_rejected_before_dispatch() {
+        static F64_ONLY: laab_backend::Registration = laab_backend::Registration::new(
+            "serve-test-f64-only",
+            "f64-only backend for the dtype-validation test",
+            None,
+            Some(&laab_backend::EngineBackend),
+        );
+        // Tolerate re-registration across test orders within the binary.
+        let _ = laab_backend::registry::register(&F64_ONLY);
+
+        // A mixed stream contains f32 requests → named error, no panic.
+        let cfg = ServeConfig { backends: vec!["serve-test-f64-only".into()], ..tiny_cfg() };
+        let err = run(&cfg).expect_err("mixed stream hits the missing f32 entry point");
+        assert_eq!(
+            err,
+            ServeError::UnsupportedDtype {
+                backend: "serve-test-f64-only".into(),
+                dtype: Dtype::F32
+            }
+        );
+        assert!(err.to_string().contains("--dtype"), "{err}");
+
+        // Restricting the stream to f64 makes the combination valid.
+        let cfg = ServeConfig { dtype: Some(Dtype::F64), requests: 48, ..cfg };
+        let report = run_ok(&cfg);
+        assert_eq!(report.dtype, "f64");
+        assert_eq!(report.backends[0].backend, "serve-test-f64-only");
     }
 
     #[test]
@@ -406,7 +746,7 @@ mod tests {
 
     #[test]
     fn single_client_run_works() {
-        let report = run(&ServeConfig { requests: 32, clients: 1, ..tiny_cfg() });
+        let report = run_ok(&ServeConfig { requests: 32, clients: 1, ..tiny_cfg() });
         assert_eq!(report.clients, 1);
         assert_eq!(report.requests, 32);
     }
@@ -416,7 +756,7 @@ mod tests {
         // 5 requests over a mixed stream are (almost certainly) all
         // distinct signatures → zero hits. The report must stay within
         // its own f64 schema (no NaN → null) and round-trip.
-        let report = run(&ServeConfig { requests: 5, churn_every: 2, ..tiny_cfg() });
+        let report = run_ok(&ServeConfig { requests: 5, churn_every: 2, ..tiny_cfg() });
         assert!(report.cache_hit_mean_ms.is_finite());
         assert!(report.cache_hit_speedup.is_finite());
         let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
@@ -424,20 +764,32 @@ mod tests {
     }
 
     #[test]
-    fn strict_timing_hit_speedup() {
+    fn strict_timing_hit_and_backend_speedups() {
         // Timing-sensitive: a cache hit skips trace + optimize + schedule,
-        // so its mean latency must sit below the cold-trace mean. Asserted
+        // so its mean latency must sit below the cold-trace mean; and the
+        // engine must out-serve the naive reference backend. Asserted
         // only under LAAB_STRICT_TIMING=1 (shared runners are too noisy).
         if std::env::var("LAAB_STRICT_TIMING").as_deref() != Ok("1") {
             return;
         }
-        let report = run(&ServeConfig::smoke());
+        let cfg = ServeConfig {
+            backends: vec!["engine".into(), "reference".into()],
+            ..ServeConfig::smoke()
+        };
+        let report = run_ok(&cfg);
         assert!(
             report.cache_hit_speedup > 1.0,
             "cache-hit speedup {:.2}x not > 1x (cold {:.3}ms, hit {:.3}ms)",
             report.cache_hit_speedup,
             report.cold_trace_mean_ms,
             report.cache_hit_mean_ms
+        );
+        let reference = &report.backends[1];
+        assert!(
+            reference.speedup_vs_first < 1.0,
+            "naive reference ({:.3}ms mean) should serve slower than the engine ({:.3}ms)",
+            reference.mean_ms,
+            report.backends[0].mean_ms
         );
     }
 }

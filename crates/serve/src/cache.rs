@@ -16,6 +16,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use laab_backend::BackendId;
+
 use crate::plan::Plan;
 use crate::signature::Signature;
 
@@ -114,10 +116,14 @@ pub struct PlanCache {
     misses: AtomicU64,
     retraces: AtomicU64,
     evictions: AtomicU64,
-    /// Callsite → hash of the most recently compiled signature, for the
-    /// retrace distinction. Never acquired while a shard lock is wanted
-    /// by the same thread in the other order (shard → seen only).
-    seen_funcs: Mutex<HashMap<String, u64>>,
+    /// `(callsite, backend)` → hash of the most recently compiled
+    /// signature, for the retrace distinction. The callsite is tracked
+    /// *per backend*: dispatching one callsite to a second backend is
+    /// that backend's first trace, not signature drift — an A/B run must
+    /// not inflate the retrace counter. Never acquired while a shard
+    /// lock is wanted by the same thread in the other order (shard →
+    /// seen only).
+    seen_funcs: Mutex<HashMap<(String, BackendId), u64>>,
 }
 
 impl PlanCache {
@@ -181,7 +187,7 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let retrace = {
             let mut seen = self.seen_funcs.lock().unwrap_or_else(|e| e.into_inner());
-            match seen.insert(sig.func().to_string(), sig.hash()) {
+            match seen.insert((sig.func().to_string(), sig.backend()), sig.hash()) {
                 Some(prev) => prev != sig.hash(),
                 None => false,
             }
@@ -238,19 +244,24 @@ impl PlanCache {
 mod tests {
     use super::*;
     use crate::signature::Dtype;
+    use laab_backend::registry;
     use laab_expr::{var, Context};
     use laab_framework::Framework;
 
-    fn sig(func: &str, n: usize, dtype: Dtype) -> Signature {
+    fn sig_on(func: &str, n: usize, dtype: Dtype, backend: BackendId) -> Signature {
         let expr = var("A") * var("B");
         let ctx = Context::new().with("A", n, n).with("B", n, n);
-        Signature::new(func, &expr, &ctx, dtype)
+        Signature::new(func, &expr, &ctx, dtype, backend)
+    }
+
+    fn sig(func: &str, n: usize, dtype: Dtype) -> Signature {
+        sig_on(func, n, dtype, BackendId::ENGINE)
     }
 
     fn tiny_plan(n: usize) -> Plan {
         let expr = var("A") * var("B");
         let ctx = Context::new().with("A", n, n).with("B", n, n);
-        Plan::compile(&Framework::flow(), &expr, &ctx)
+        Plan::compile(&Framework::flow(), &expr, &ctx, registry::default_backend())
     }
 
     #[test]
@@ -305,6 +316,29 @@ mod tests {
         assert_eq!(l, Lookup::Compiled { retrace: false });
         assert_eq!(cache.stats().retraces, 2);
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn backends_get_independent_entries_and_no_retrace_ping_pong() {
+        // The A/B shape: one callsite, one signature body, two backends.
+        let cache = PlanCache::new(8);
+        let e = sig_on("f", 4, Dtype::F64, BackendId::ENGINE);
+        let s = sig_on("f", 4, Dtype::F64, BackendId::SEED);
+        // Each backend's first compile is a first trace, not a retrace —
+        // the callsite is tracked per backend.
+        let (_, l) = cache.get_or_compile(e.clone(), || tiny_plan(4));
+        assert_eq!(l, Lookup::Compiled { retrace: false });
+        let (_, l) = cache.get_or_compile(s.clone(), || tiny_plan(4));
+        assert_eq!(l, Lookup::Compiled { retrace: false });
+        // No cross-backend hits: both entries are independently resident
+        // and each backend hits only its own plan.
+        assert!(cache.contains(&e) && cache.contains(&s));
+        assert_eq!(cache.len(), 2);
+        let (_, l) = cache.get_or_compile(e, || panic!("engine plan is cached"));
+        assert_eq!(l, Lookup::Hit);
+        let (_, l) = cache.get_or_compile(s, || panic!("seed plan is cached"));
+        assert_eq!(l, Lookup::Hit);
+        assert_eq!(cache.stats().retraces, 0);
     }
 
     #[test]

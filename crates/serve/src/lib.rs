@@ -32,6 +32,14 @@
 //!   cache-hit latency, and cache statistics as a machine-readable
 //!   `BENCH_serve.json` ([`bench::SERVE_REPORT_SCHEMA`]).
 //!
+//! Signatures (and therefore cached plans) carry the execution
+//! [`BackendId`] they target, so the serving
+//! loop can drive one request stream through several `laab-backend`
+//! backends *interleaved* (`laab serve --backends engine,seed`) and
+//! report per-backend throughput, latency, and speedup ratios — the
+//! paper's cross-strategy comparison axis, reproduced at the serving
+//! layer.
+//!
 //! Surfaced on the CLI as `laab serve`.
 
 #![deny(missing_docs)]
@@ -42,7 +50,8 @@ mod plan;
 mod signature;
 pub mod workload;
 
-pub use bench::{run, ServeConfig, ServeReport};
+pub use bench::{run, BackendRecord, ServeConfig, ServeError, ServeReport};
 pub use cache::{CacheStats, Lookup, PlanCache};
+pub use laab_backend::BackendId;
 pub use plan::Plan;
 pub use signature::{Dtype, Signature};

@@ -1,12 +1,13 @@
-//! The compiled plan: optimized graph + precomputed execution schedule.
+//! The compiled plan: optimized graph + schedule, bound to a backend.
 
 use std::time::Instant;
 
-use laab_dense::{Matrix, Scalar};
+use laab_backend::{BackendId, BackendScalar, Registration};
+use laab_dense::Matrix;
 use laab_expr::eval::Env;
 use laab_expr::{Context, Expr};
 use laab_framework::Framework;
-use laab_graph::{execute_scheduled, Graph, PassStats, Schedule};
+use laab_graph::{execute_scheduled_on, Graph, PassStats, Schedule};
 
 /// A compiled, reusable execution plan — the `ConcreteFunction` of the
 /// `tf.function` analogy.
@@ -14,33 +15,62 @@ use laab_graph::{execute_scheduled, Graph, PassStats, Schedule};
 /// Built once per [`Signature`](crate::Signature) by tracing the
 /// expression through the framework's graph mode, running the full
 /// optimizer pipeline, and precomputing the execution [`Schedule`]
-/// (reference counts + workspace layout). [`Plan::execute`] then re-runs
-/// the identical sweep with fresh operand bindings: a cache hit pays no
-/// tracing, no optimization, and no schedule derivation, and its result
-/// is bitwise-identical to a cold trace.
+/// (reference counts + workspace layout). The plan is bound to the
+/// execution [`Backend`](laab_backend::Backend) it was compiled for —
+/// tracing and optimization are backend-independent, but the cache keys
+/// plans per backend so an A/B run never cross-hits. [`Plan::execute`]
+/// re-runs the identical sweep with fresh operand bindings: a cache hit
+/// pays no tracing, no optimization, and no schedule derivation, and its
+/// result is bitwise-identical to a cold trace on the same backend.
 #[derive(Debug)]
 pub struct Plan {
     graph: Graph,
     schedule: Schedule,
     build_secs: f64,
     stats: PassStats,
+    backend: &'static Registration,
 }
 
 impl Plan {
     /// Trace `expr` over the shapes in `ctx` through `fw`'s graph mode,
-    /// optimize, and precompute the schedule. This is the full cold-trace
-    /// cost a cache hit amortizes away.
-    pub fn compile(fw: &Framework, expr: &Expr, ctx: &Context) -> Plan {
+    /// optimize, and precompute the schedule, binding the plan to
+    /// `backend`. This is the full cold-trace cost a cache hit amortizes
+    /// away.
+    pub fn compile(
+        fw: &Framework,
+        expr: &Expr,
+        ctx: &Context,
+        backend: &'static Registration,
+    ) -> Plan {
         let t0 = Instant::now();
         let function = fw.function_from_expr(expr, ctx);
         let (graph, _trace_time, stats) = function.into_plan_parts();
         let schedule = Schedule::new(&graph);
-        Plan { build_secs: t0.elapsed().as_secs_f64(), graph, schedule, stats }
+        Plan { build_secs: t0.elapsed().as_secs_f64(), graph, schedule, stats, backend }
     }
 
-    /// Execute the plan against fresh operand bindings.
-    pub fn execute<T: Scalar>(&self, env: &Env<T>) -> Vec<Matrix<T>> {
-        execute_scheduled(&self.graph, &self.schedule, env)
+    /// Execute the plan against fresh operand bindings, dispatching every
+    /// kernel-backed node through the plan's backend.
+    ///
+    /// # Panics
+    /// When the plan's backend has no entry point for `T` — the serve
+    /// harness validates dtype support against the request stream before
+    /// any dispatch, so reaching this panic means a caller skipped that
+    /// validation.
+    pub fn execute<T: BackendScalar>(&self, env: &Env<T>) -> Vec<Matrix<T>> {
+        let backend = self.backend.resolve::<T>().unwrap_or_else(|| {
+            panic!(
+                "backend `{}` has no {} entry point (validate dtype support before dispatch)",
+                self.backend.name(),
+                T::DTYPE
+            )
+        });
+        execute_scheduled_on(&self.graph, &self.schedule, env, backend)
+    }
+
+    /// The backend this plan is bound to.
+    pub fn backend(&self) -> BackendId {
+        self.backend.id()
     }
 
     /// The optimized graph (inspection, DOT export).
@@ -67,7 +97,7 @@ impl Plan {
     /// Peak intermediate workspace one in-flight execution needs, in
     /// bytes, for element type `T` (see
     /// [`Schedule::peak_live_elems`]).
-    pub fn workspace_bytes<T: Scalar>(&self) -> usize {
+    pub fn workspace_bytes<T: laab_dense::Scalar>(&self) -> usize {
         self.schedule.workspace_bytes::<T>()
     }
 }
@@ -75,6 +105,7 @@ impl Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laab_backend::registry;
     use laab_dense::gen::OperandGen;
     use laab_expr::var;
 
@@ -89,15 +120,55 @@ mod tests {
         let env = Env::<f64>::new().with("A", g.matrix(n, n)).with("B", g.matrix(n, n));
 
         let cold = fw.function_from_expr(&expr, &ctx).call(&env);
-        let plan = Plan::compile(&fw, &expr, &ctx);
+        let plan = Plan::compile(&fw, &expr, &ctx, registry::default_backend());
         // Two executions of the same plan, and the cold trace: all equal,
-        // bit for bit.
+        // bit for bit (the default backend IS the cold-trace engine).
         assert_eq!(plan.execute(&env), cold);
         assert_eq!(plan.execute(&env), cold);
         assert!(plan.build_secs() > 0.0);
+        assert_eq!(plan.backend(), laab_backend::BackendId::ENGINE);
         // CSE fired during compilation: one shared AᵀB.
         assert_eq!(plan.graph().matmul_count(), 2);
         assert!(plan.pass_stats().nodes_deduped >= 1);
+    }
+
+    #[test]
+    fn per_backend_plans_execute_their_backend() {
+        let n = 10;
+        let fw = Framework::flow();
+        let expr = var("A") * var("B");
+        let ctx = Context::new().with("A", n, n).with("B", n, n);
+        let mut g = OperandGen::new(17);
+        let env = Env::<f64>::new().with("A", g.matrix(n, n)).with("B", g.matrix(n, n));
+        let engine = Plan::compile(&fw, &expr, &ctx, registry::find("engine").unwrap());
+        let reference = Plan::compile(&fw, &expr, &ctx, registry::find("reference").unwrap());
+        assert_eq!(engine.backend().name(), "engine");
+        assert_eq!(reference.backend().name(), "reference");
+        let e = engine.execute(&env);
+        let r = reference.execute(&env);
+        // Same graph, different kernels: tight approx, FMA-level drift.
+        assert!(e[0].approx_eq(&r[0], 1e-13));
+    }
+
+    #[test]
+    #[should_panic(expected = "no f64 entry point")]
+    fn unsupported_dtype_panics_with_a_named_backend() {
+        static F32_ONLY: laab_backend::Registration = laab_backend::Registration::new(
+            "plan-test-f32-only",
+            "f32-only backend for the dtype-support panic test",
+            Some(&laab_backend::EngineBackend),
+            None,
+        );
+        // Registration not required for Plan use; the registry is about
+        // name lookup, and this plan is handed its backend directly.
+        let n = 4;
+        let fw = Framework::flow();
+        let expr = var("A") * var("B");
+        let ctx = Context::new().with("A", n, n).with("B", n, n);
+        let plan = Plan::compile(&fw, &expr, &ctx, &F32_ONLY);
+        let mut g = OperandGen::new(3);
+        let env = Env::<f64>::new().with("A", g.matrix(n, n)).with("B", g.matrix(n, n));
+        let _ = plan.execute(&env);
     }
 
     #[test]
@@ -106,7 +177,7 @@ mod tests {
         let fw = Framework::flow();
         let expr = var("A") * var("B");
         let ctx = Context::new().with("A", n, n).with("B", n, n);
-        let plan = Plan::compile(&fw, &expr, &ctx);
+        let plan = Plan::compile(&fw, &expr, &ctx, registry::default_backend());
         assert_eq!(plan.workspace_bytes::<f64>(), 2 * plan.workspace_bytes::<f32>());
         assert_eq!(plan.schedule().peak_live_elems(), n * n);
     }

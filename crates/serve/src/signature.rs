@@ -4,41 +4,15 @@
 //! the traced Python function plus the argument specs (shape + dtype). The
 //! analogue here is [`Signature`]: the callsite name, the canonical
 //! rendering of the expression structure, every declared operand's shape
-//! and property flags, and the element dtype. Equality is structural (the
-//! hash is only an accelerator), so hash collisions can never alias two
-//! different requests onto one plan.
+//! and property flags, the element dtype, and the execution backend the
+//! plan targets. Equality is structural (the hash is only an
+//! accelerator), so hash collisions can never alias two different
+//! requests onto one plan.
 
+use laab_backend::BackendId;
 use laab_expr::{Context, Expr};
 
-/// Element precision of a request (the BLAS `s`/`d` split).
-///
-/// A dtype change is a signature change: `tf.function` retraces when a
-/// `float32` argument becomes `float64`, and so does the plan cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Dtype {
-    /// Single precision (`f32`, the frameworks' default — paper fn. 3).
-    F32,
-    /// Double precision (`f64`).
-    F64,
-}
-
-impl Dtype {
-    /// Report-friendly name (`"f32"` / `"f64"`).
-    pub fn name(self) -> &'static str {
-        match self {
-            Dtype::F32 => "f32",
-            Dtype::F64 => "f64",
-        }
-    }
-
-    /// The dtype of a kernel scalar type.
-    pub fn of<T: laab_dense::Scalar>() -> Dtype {
-        match T::PREFIX {
-            "s" => Dtype::F32,
-            _ => Dtype::F64,
-        }
-    }
-}
+pub use laab_backend::Dtype;
 
 /// One declared operand inside a signature: name, shape, property bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,15 +28,18 @@ struct OperandSig {
 /// Covers everything that determines the compiled plan: the callsite
 /// (`func`), the expression *structure* (canonical text, association
 /// visible), each declared operand's shape and property flags (sorted by
-/// name — [`Context`] iterates its `BTreeMap` in order), and the dtype.
-/// The 64-bit FNV-1a hash is stable across processes and runs, so it can
-/// key on-disk artifacts too.
+/// name — [`Context`] iterates its `BTreeMap` in order), the dtype, and
+/// the [`BackendId`] the plan is compiled for — one traced graph
+/// dispatched to two backends is two cache entries, never one, so an
+/// A/B run can't cross-hit. The 64-bit FNV-1a hash is stable across
+/// processes and runs, so it can key on-disk artifacts too.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Signature {
     func: String,
     canon: String,
     operands: Vec<OperandSig>,
     dtype: Dtype,
+    backend: BackendId,
     hash: u64,
 }
 
@@ -80,14 +57,15 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 
 impl Signature {
     /// Build the signature of calling `func` with `expr` over the operands
-    /// declared in `ctx`, at element precision `dtype`.
+    /// declared in `ctx`, at element precision `dtype`, targeting
+    /// `backend`.
     ///
     /// Every operand declared in `ctx` participates (callers build one
     /// minimal context per request family), so an unused-but-declared
     /// operand changing shape is a retrace — exactly like passing a
     /// differently-shaped tensor to a `tf.function` parameter the traced
     /// body happens to ignore.
-    pub fn new(func: &str, expr: &Expr, ctx: &Context, dtype: Dtype) -> Self {
+    pub fn new(func: &str, expr: &Expr, ctx: &Context, dtype: Dtype, backend: BackendId) -> Self {
         let canon = expr.to_string();
         let mut operands = Vec::with_capacity(ctx.len());
         for name in ctx.names() {
@@ -111,7 +89,9 @@ impl Signature {
             h = fnv1a(h, &op.props.to_le_bytes());
         }
         h = fnv1a(h, &[0xff, if dtype == Dtype::F32 { 0x01 } else { 0x02 }]);
-        Self { func: func.to_string(), canon, operands, dtype, hash: h }
+        h = fnv1a(h, &[0xff]);
+        h = fnv1a(h, backend.name().as_bytes());
+        Self { func: func.to_string(), canon, operands, dtype, backend, hash: h }
     }
 
     /// The stable 64-bit hash (cache shard + bucket key; equality still
@@ -135,6 +115,11 @@ impl Signature {
     pub fn dtype(&self) -> Dtype {
         self.dtype
     }
+
+    /// The execution backend the plan is compiled for.
+    pub fn backend(&self) -> BackendId {
+        self.backend
+    }
 }
 
 impl std::fmt::Display for Signature {
@@ -149,7 +134,7 @@ impl std::fmt::Display for Signature {
                 write!(f, "*")?;
             }
         }
-        write!(f, "] {}", self.dtype.name())
+        write!(f, "] {} @{}", self.dtype.name(), self.backend)
     }
 }
 
@@ -165,8 +150,8 @@ mod tests {
     #[test]
     fn equal_requests_have_equal_signatures() {
         let e = var("A").t() * var("B");
-        let s1 = Signature::new("f", &e, &ctx(8), Dtype::F64);
-        let s2 = Signature::new("f", &e.clone(), &ctx(8), Dtype::F64);
+        let s1 = Signature::new("f", &e, &ctx(8), Dtype::F64, BackendId::ENGINE);
+        let s2 = Signature::new("f", &e.clone(), &ctx(8), Dtype::F64, BackendId::ENGINE);
         assert_eq!(s1, s2);
         assert_eq!(s1.hash(), s2.hash());
     }
@@ -174,19 +159,23 @@ mod tests {
     #[test]
     fn every_component_changes_the_signature() {
         let e = var("A").t() * var("B");
-        let base = Signature::new("f", &e, &ctx(8), Dtype::F64);
+        let base = Signature::new("f", &e, &ctx(8), Dtype::F64, BackendId::ENGINE);
         // Different callsite.
-        assert_ne!(base, Signature::new("g", &e, &ctx(8), Dtype::F64));
+        assert_ne!(base, Signature::new("g", &e, &ctx(8), Dtype::F64, BackendId::ENGINE));
         // Different structure (association matters, like a retraced body).
         let re = var("A") * var("B");
-        assert_ne!(base, Signature::new("f", &re, &ctx(8), Dtype::F64));
+        assert_ne!(base, Signature::new("f", &re, &ctx(8), Dtype::F64, BackendId::ENGINE));
         // Different shapes.
-        assert_ne!(base, Signature::new("f", &e, &ctx(9), Dtype::F64));
+        assert_ne!(base, Signature::new("f", &e, &ctx(9), Dtype::F64, BackendId::ENGINE));
         // Different dtype.
-        assert_ne!(base, Signature::new("f", &e, &ctx(8), Dtype::F32));
+        assert_ne!(base, Signature::new("f", &e, &ctx(8), Dtype::F32, BackendId::ENGINE));
+        // Different backend: the A/B axis — one plan per backend.
+        let seed = Signature::new("f", &e, &ctx(8), Dtype::F64, BackendId::SEED);
+        assert_ne!(base, seed);
+        assert_ne!(base.hash(), seed.hash());
         // Different property flags on an operand.
         let pctx = Context::new().with_props("A", 8, 8, Props::SYMMETRIC).with("B", 8, 8);
-        assert_ne!(base, Signature::new("f", &e, &pctx, Dtype::F64));
+        assert_ne!(base, Signature::new("f", &e, &pctx, Dtype::F64, BackendId::ENGINE));
     }
 
     #[test]
@@ -194,20 +183,25 @@ mod tests {
         // FNV-1a over fixed bytes: the constant below is the contract that
         // the hash never silently changes (it may key on-disk artifacts).
         let e = var("A") * var("B");
-        let s = Signature::new("anchor", &e, &ctx(4), Dtype::F32);
-        assert_eq!(s.hash(), Signature::new("anchor", &e, &ctx(4), Dtype::F32).hash());
+        let s = Signature::new("anchor", &e, &ctx(4), Dtype::F32, BackendId::ENGINE);
+        assert_eq!(
+            s.hash(),
+            Signature::new("anchor", &e, &ctx(4), Dtype::F32, BackendId::ENGINE).hash()
+        );
         assert_ne!(s.hash(), 0);
     }
 
     #[test]
     fn display_names_the_parts() {
         let e = var("A") * var("B");
-        let s = Signature::new("fam", &e, &ctx(4), Dtype::F32);
+        let s = Signature::new("fam", &e, &ctx(4), Dtype::F32, BackendId::SEED);
         let text = s.to_string();
         assert!(text.contains("fam"), "{text}");
         assert!(text.contains("A B"), "{text}");
         assert!(text.contains("4x4"), "{text}");
         assert!(text.contains("f32"), "{text}");
+        assert!(text.contains("@seed"), "{text}");
+        assert_eq!(s.backend(), BackendId::SEED);
     }
 
     #[test]

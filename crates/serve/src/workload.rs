@@ -7,6 +7,7 @@
 //! so the serving harness stresses the plan cache with exactly the
 //! graphs the one-shot suite studies.
 
+use laab_backend::BackendId;
 use laab_dense::gen::OperandGen;
 use laab_dense::Scalar;
 use laab_expr::eval::Env;
@@ -130,13 +131,16 @@ pub struct Request {
 }
 
 impl Request {
-    /// The request's plan-cache signature.
-    pub fn signature(&self) -> Signature {
+    /// The request's plan-cache signature when dispatched to `backend`.
+    /// One logical request driven through two backends yields two
+    /// signatures — that is what keeps A/B cache entries independent.
+    pub fn signature(&self, backend: BackendId) -> Signature {
         Signature::new(
             self.family.id(),
             &self.family.expr(self.n),
             &self.family.ctx(self.n),
             self.dtype,
+            backend,
         )
     }
 }
@@ -150,11 +154,17 @@ impl Request {
 /// of a service whose clients occasionally send new shapes — while the
 /// overall distinct-signature count stays small enough that the steady
 /// state is cache hits.
+///
+/// `dtype` pins every request to one precision (`None` = mixed). The RNG
+/// is still consumed for the dtype draw, so two runs that differ only in
+/// the filter see the *same* family/size sequence — dtype-restricted A/B
+/// runs stay comparable request for request.
 pub fn synthetic_mix(
     requests: usize,
     base_n: usize,
     seed: u64,
     churn_every: usize,
+    dtype: Option<Dtype>,
 ) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mix = Vec::with_capacity(requests);
@@ -169,8 +179,8 @@ pub fn synthetic_mix(
         } else {
             base_n
         };
-        let dtype = if rng.gen::<bool>() { Dtype::F64 } else { Dtype::F32 };
-        mix.push(Request { family, n, dtype });
+        let drawn = if rng.gen::<bool>() { Dtype::F64 } else { Dtype::F32 };
+        mix.push(Request { family, n, dtype: dtype.unwrap_or(drawn) });
     }
     mix
 }
@@ -208,8 +218,8 @@ mod tests {
 
     #[test]
     fn mix_is_deterministic_and_churns() {
-        let m1 = synthetic_mix(64, 32, 11, 16);
-        let m2 = synthetic_mix(64, 32, 11, 16);
+        let m1 = synthetic_mix(64, 32, 11, 16, None);
+        let m2 = synthetic_mix(64, 32, 11, 16, None);
         assert_eq!(m1, m2);
         assert_eq!(m1.len(), 64);
         // Churn requests (every 16th) hit the chain family off-size.
@@ -217,23 +227,38 @@ mod tests {
         assert_eq!(churned.len(), 4);
         assert!(churned.iter().all(|r| r.family == Family::Chain));
         // A different seed produces a different stream.
-        assert_ne!(synthetic_mix(64, 32, 12, 16), m1);
+        assert_ne!(synthetic_mix(64, 32, 12, 16, None), m1);
         // churn_every = 0 disables churn.
-        assert!(synthetic_mix(64, 32, 11, 0).iter().all(|r| r.n == 32));
+        assert!(synthetic_mix(64, 32, 11, 0, None).iter().all(|r| r.n == 32));
     }
 
     #[test]
-    fn signatures_distinguish_families_sizes_dtypes() {
+    fn dtype_filter_pins_precision_but_not_the_stream() {
+        let mixed = synthetic_mix(64, 32, 11, 16, None);
+        let f32_only = synthetic_mix(64, 32, 11, 16, Some(Dtype::F32));
+        assert!(f32_only.iter().all(|r| r.dtype == Dtype::F32));
+        assert!(mixed.iter().any(|r| r.dtype == Dtype::F64), "mixed stream has both dtypes");
+        // The family/size sequence is identical: only the dtype differs.
+        for (a, b) in mixed.iter().zip(&f32_only) {
+            assert_eq!((a.family, a.n), (b.family, b.n));
+        }
+    }
+
+    #[test]
+    fn signatures_distinguish_families_sizes_dtypes_backends() {
         let r1 = Request { family: Family::Gram, n: 8, dtype: Dtype::F64 };
         let r2 = Request { family: Family::Gram, n: 8, dtype: Dtype::F32 };
         let r3 = Request { family: Family::Chain, n: 8, dtype: Dtype::F64 };
         let r4 = Request { family: Family::Gram, n: 10, dtype: Dtype::F64 };
-        let sigs = [r1, r2, r3, r4].map(|r| r.signature().hash());
+        let mut sigs: Vec<u64> =
+            [r1, r2, r3, r4].map(|r| r.signature(BackendId::ENGINE).hash()).to_vec();
+        // The same requests through a second backend: all-new signatures.
+        sigs.extend([r1, r2, r3, r4].map(|r| r.signature(BackendId::SEED).hash()));
         for i in 0..sigs.len() {
             for j in i + 1..sigs.len() {
                 assert_ne!(sigs[i], sigs[j], "requests {i} and {j} collide");
             }
         }
-        assert_eq!(r1.signature(), r1.signature());
+        assert_eq!(r1.signature(BackendId::ENGINE), r1.signature(BackendId::ENGINE));
     }
 }

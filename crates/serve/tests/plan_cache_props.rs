@@ -3,11 +3,12 @@
 //! expressions (products, sums, transposes, scalings over square
 //! operands, optionally applied to a vector), at both precisions.
 
+use laab_backend::registry;
 use laab_dense::gen::OperandGen;
 use laab_expr::eval::Env;
 use laab_expr::{scale, var, Context, Expr};
 use laab_framework::Framework;
-use laab_serve::{Dtype, Plan, PlanCache, Signature};
+use laab_serve::{BackendId, Dtype, Plan, PlanCache, Signature};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -78,8 +79,8 @@ proptest! {
         let cold64 = fw.function_from_expr(&expr, &ctx).call(&e64);
         let cold32 = fw.function_from_expr(&expr, &ctx).call(&e32);
 
-        let sig64 = Signature::new("prop", &expr, &ctx, Dtype::F64);
-        let (plan, _) = cache.get_or_compile(sig64.clone(), || Plan::compile(&fw, &expr, &ctx));
+        let sig64 = Signature::new("prop", &expr, &ctx, Dtype::F64, BackendId::ENGINE);
+        let (plan, _) = cache.get_or_compile(sig64.clone(), || Plan::compile(&fw, &expr, &ctx, registry::default_backend()));
         prop_assert_eq!(&plan.execute::<f64>(&e64), &cold64, "compiled plan vs cold trace");
 
         // Second lookup must hit and stay bitwise identical.
@@ -90,9 +91,9 @@ proptest! {
 
         // The f32 path is a *different* signature (dtype retrace) with
         // the same guarantee.
-        let sig32 = Signature::new("prop", &expr, &ctx, Dtype::F32);
+        let sig32 = Signature::new("prop", &expr, &ctx, Dtype::F32, BackendId::ENGINE);
         let (plan32, lookup32) =
-            cache.get_or_compile(sig32, || Plan::compile(&fw, &expr, &ctx));
+            cache.get_or_compile(sig32, || Plan::compile(&fw, &expr, &ctx, registry::default_backend()));
         prop_assert_eq!(lookup32, laab_serve::Lookup::Compiled { retrace: true });
         prop_assert_eq!(&plan32.execute::<f32>(&e32), &cold32);
     }
@@ -108,9 +109,9 @@ proptest! {
         let ctx_n = Context::new().with("A", n, n).with("B", n, n).with("H", n, n).with("x", n, 1);
         let ctx_m =
             Context::new().with("A", n + 1, n + 1).with("B", n + 1, n + 1).with("H", n + 1, n + 1).with("x", n + 1, 1);
-        let s1 = Signature::new("f", &expr, &ctx_n, Dtype::F64);
-        let s2 = Signature::new("f", &expr, &ctx_m, Dtype::F64);
-        let s3 = Signature::new("f", &expr, &ctx_n, Dtype::F32);
+        let s1 = Signature::new("f", &expr, &ctx_n, Dtype::F64, BackendId::ENGINE);
+        let s2 = Signature::new("f", &expr, &ctx_m, Dtype::F64, BackendId::ENGINE);
+        let s3 = Signature::new("f", &expr, &ctx_n, Dtype::F32, BackendId::ENGINE);
         prop_assert_ne!(s1.hash(), s2.hash());
         prop_assert_ne!(s1.hash(), s3.hash());
     }

@@ -62,6 +62,11 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
     --clients C      serving clients               [default: detected, max 8]
     --n N            base operand size             [default: 192]
     --seed S         stream/operand seed           [default: 6827 (0x1AAB)]
+    --backends LIST  comma-separated execution backends to A/B under the
+                     same interleaved traffic      [default: engine]
+                     (built-ins: engine, seed, reference; first = baseline)
+    --dtype D        pin request precision: f32 | f64 | mixed
+                                                   [default: mixed]
     --json           print the machine-readable report to stdout
     --out PATH       write the JSON report to PATH (BENCH_serve.json format)
 ";
@@ -139,6 +144,10 @@ fn main() -> ExitCode {
                     "{:<10} {}  ({} -> {})",
                     spec.name, spec.description, spec.schema, spec.artifact
                 ));
+            }
+            emit("\nexecution backends (laab serve --backends):");
+            for reg in laab::backend::registry::all() {
+                emit(&format!("{:<10} {}", reg.name(), reg.description()));
             }
             ExitCode::SUCCESS
         }
@@ -238,11 +247,14 @@ fn run_bench(args: BenchArgs) -> ExitCode {
         emit(&report.summary_table().to_string());
         emit(&format!(
             "engine {:.2} GFLOP/s vs seed kernel {:.2} GFLOP/s on {} (1 thread): {:.2}x\n\
+             f32 engine {:.2} GFLOP/s on the same anchor: {:.2}x the f64 rate\n\
              wide-short parallel speedup ({} threads): {:.2}x",
             report.summary.engine_gflops,
             report.summary.seed_gflops,
             report.summary.anchor,
             report.summary.speedup_vs_seed,
+            report.summary.f32_engine_gflops,
+            report.summary.f32_over_f64,
             report.summary.threads,
             report.summary.wide_short_parallel_speedup,
         ));
@@ -280,6 +292,30 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
             "--clients" => out.cfg.clients = parse_num(args.next(), "--clients")?,
             "--n" => out.cfg.n = parse_num(args.next(), "--n")?,
             "--seed" => out.cfg.seed = parse_num(args.next(), "--seed")?,
+            "--backends" => {
+                let list = args.next().ok_or("--backends requires a comma-separated list")?;
+                out.cfg.backends = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if out.cfg.backends.is_empty() {
+                    return Err("--backends requires at least one backend name".into());
+                }
+            }
+            "--dtype" => {
+                out.cfg.dtype = match args.next().ok_or("--dtype requires a value")?.as_str() {
+                    "f32" => Some(laab::serve::Dtype::F32),
+                    "f64" => Some(laab::serve::Dtype::F64),
+                    "mixed" => None,
+                    other => {
+                        return Err(format!(
+                            "invalid value `{other}` for --dtype (expected f32, f64, or mixed)"
+                        ))
+                    }
+                };
+            }
             "--json" => out.json_stdout = true,
             "--out" => out.out = Some(args.next().ok_or("--out requires a path")?),
             "--help" | "-h" => return Ok(None),
@@ -294,18 +330,28 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
 
 fn run_serve(args: ServeArgs) -> ExitCode {
     eprintln!(
-        "serving {} synthetic requests ({} protocol, base n = {})...",
+        "serving {} synthetic requests ({} protocol, base n = {}, backends: {})...",
         args.cfg.requests,
         if args.cfg.smoke { "smoke" } else { "full" },
-        args.cfg.n
+        args.cfg.n,
+        args.cfg.backends.join(",")
     );
-    let report = serve::run(&args.cfg);
+    let report = match serve::run(&args.cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if args.json_stdout {
         emit(&report.to_json());
     } else {
         emit(&report.summary_table().to_string());
+        if report.backends.len() > 1 {
+            emit(&report.backend_table().to_string());
+        }
         emit(&format!(
-            "{:.0} requests/s over {} clients; p50 {:.3} ms, p99 {:.3} ms\n\
+            "{:.0} executions/s over {} clients; p50 {:.3} ms, p99 {:.3} ms\n\
              plan cache: {} hits / {} misses ({} retraces, {} evictions), hit rate {:.3}\n\
              cold trace {:.3} ms vs cache hit {:.3} ms: {:.2}x",
             report.requests_per_sec,

@@ -9,6 +9,9 @@
 //! * [`dense`] — matrix storage and structured operand generators;
 //! * [`kernels`] — a pure-Rust BLAS substrate (packed GEMM, TRMM, SYRK,
 //!   structured kernels) with FLOP/call instrumentation;
+//! * [`backend`] — pluggable execution backends (engine / seed /
+//!   reference) behind one dispatch trait and a process-wide registry,
+//!   the serve-side A/B axis;
 //! * [`expr`] — the symbolic test-expression layer with a matrix-property
 //!   lattice and FLOP cost models;
 //! * [`graph`] — the computational-graph IR with the Grappler-style
@@ -42,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+pub use laab_backend as backend;
 pub use laab_chain as chain;
 pub use laab_core as suite;
 pub use laab_dense as dense;
