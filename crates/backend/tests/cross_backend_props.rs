@@ -25,9 +25,11 @@
 
 use laab_backend::{registry, BackendScalar};
 use laab_dense::Matrix;
+use laab_expr::eval::Env;
 use laab_framework::Framework;
 use laab_graph::{execute_scheduled_on, Schedule};
-use laab_serve::workload::Family;
+use laab_serve::workload::{Family, Request};
+use laab_serve::{Dtype, Plan};
 use proptest::prelude::*;
 
 /// Compile one plan for the family (trace → optimize → schedule) and
@@ -109,5 +111,59 @@ proptest! {
         prop_assert_eq!(&outs[0], &outs[1]);
         let outs32 = run_backends::<f32>(Family::SolveResidual, n, seed, &["seed", "engine"]);
         prop_assert_eq!(&outs32[0], &outs32[1]);
+    }
+
+    /// Batched paths: for every family and every backend, coalescing a
+    /// batch of same-signature requests through [`Plan::execute_batched`]
+    /// agrees with serving each request solo — bitwise on `seed` and
+    /// `reference` (their batched product is the default per-item loop,
+    /// and the fallback families re-run the solo sweep verbatim), and
+    /// within the documented ULP bound on the engine's stacked multi-RHS
+    /// path (its solo GEMV dispatch vs the stacked GEMM microkernel).
+    #[test]
+    fn batched_plans_agree_with_solo_on_every_backend(
+        seed in any::<u64>(),
+        fam in 0usize..Family::ALL.len(),
+        n in 4usize..96,
+        q in 1usize..=8,
+    ) {
+        let family = Family::ALL[fam];
+        let fw = Framework::flow();
+        for name in ["reference", "seed", "engine"] {
+            let reg = registry::find(name).unwrap_or_else(|| panic!("builtin `{name}` missing"));
+            let plan = Plan::compile_with_varying(
+                &fw,
+                &family.expr(n),
+                &family.ctx(n),
+                reg,
+                family.varying_operands(),
+            );
+            let base = family.env::<f64>(n, seed);
+            let envs: Vec<Env<f64>> = (0..q as u64)
+                .map(|payload| {
+                    Request { family, n, dtype: Dtype::F64, payload }.env_from_pool(&base, seed)
+                })
+                .collect();
+            let refs: Vec<&Env<f64>> = envs.iter().collect();
+            let batched = plan.execute_batched(&refs);
+            prop_assert_eq!(batched.len(), q);
+            for (env, b) in envs.iter().zip(&batched) {
+                let solo = plan.execute(env);
+                if name == "engine" && plan.stackable() && q > 1 {
+                    // The documented engine bound (1e-11 f64): past the
+                    // L1 cutoff the stacked multi-RHS product really
+                    // diverges from the solo GEMV dispatch by FMA-chain
+                    // rounding; below it the paths coincide bitwise.
+                    let d = rel_dist(b, &solo);
+                    prop_assert!(
+                        d <= 1e-11,
+                        "engine batched drifted {d:e} (family {}, n {n}, q {q})",
+                        family.id()
+                    );
+                } else {
+                    prop_assert_eq!(b, &solo, "{} batched must be bitwise solo", name);
+                }
+            }
+        }
     }
 }

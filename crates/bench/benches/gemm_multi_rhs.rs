@@ -1,0 +1,47 @@
+//! Multi-RHS GEMM vs a loop of solo GEMV-shaped products — the kernel
+//! half of the batched-serving lever, in the standard `cargo bench`
+//! workflow (the machine-readable trajectory lives in `laab bench`'s
+//! `summary.batch_gflops`).
+//!
+//! `A` is `n×n`; each right-hand side is `n×1`. The solo loop re-reads
+//! all of `A` per product (memory-bound Level-2); the multi-RHS entry
+//! packs each `A` panel once and streams the column-stacked batch
+//! through the GEMM microkernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laab_dense::gen::OperandGen;
+use laab_dense::Matrix;
+use laab_kernels::{matmul_dispatch, matmul_multi_rhs, Trans};
+
+fn bench(c: &mut Criterion) {
+    let n = laab_bench::bench_n();
+    let mut g = OperandGen::new(11);
+    let a = g.matrix::<f64>(n, n);
+    let parts: Vec<Matrix<f64>> = (0..32).map(|_| g.matrix::<f64>(n, 1)).collect();
+    let refs: Vec<&Matrix<f64>> = parts.iter().collect();
+
+    let mut group = c.benchmark_group(format!("gemm_multi_rhs/n{n}"));
+    for &q in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("solo_gemv_loop", q), &q, |bch, &q| {
+            bch.iter(|| {
+                for b in &refs[..q] {
+                    std::hint::black_box(matmul_dispatch(1.0, &a, Trans::No, b, Trans::No));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("multi_rhs", q), &q, |bch, &q| {
+            bch.iter(|| std::hint::black_box(matmul_multi_rhs(1.0, &a, Trans::No, &refs[..q])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

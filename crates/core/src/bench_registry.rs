@@ -29,8 +29,10 @@ pub struct BenchSpec {
 /// Schema tag of `laab-serve`'s report. Mirrored here (rather than
 /// imported) because `laab-core` sits below `laab-serve` in the crate
 /// graph; `laab-serve`'s tests assert the two constants stay equal.
-/// `v2`: multi-backend A/B — per-backend records, `executions`, `dtype`.
-pub const SERVE_SCHEMA: &str = "laab-serve-bench-v2";
+/// `v3`: batched same-signature execution — the `batching` record,
+/// batched-vs-solo splits, batch-granular lookup counters, and the
+/// eviction-recompile cache counters.
+pub const SERVE_SCHEMA: &str = "laab-serve-bench-v3";
 
 /// Every benchmark report format, in CLI order.
 pub const BENCHES: [BenchSpec; 3] = [

@@ -21,7 +21,12 @@
 //!   means the `f32` path has fallen behind (the ROADMAP f32 item); and
 //! * `wide_short_parallel_speedup` — N-thread over 1-thread time on the
 //!   wide-short shape, which the old rows-only split could not
-//!   parallelize at all.
+//!   parallelize at all; and
+//! * `batch_gflops` — the multi-RHS anchor: a GEMV-shaped product at
+//!   batch 1/8/32 (batch 1 = the solo GEMV dispatch, larger batches the
+//!   [`laab_kernels::gemm_multi_rhs`] entry), measured in the same
+//!   interleave — the kernel-level trajectory behind `laab serve`'s
+//!   batched execution.
 //!
 //! Like every timing in the suite, the numbers are *recorded*
 //! unconditionally but *asserted* only under `LAAB_STRICT_TIMING=1`
@@ -33,12 +38,13 @@ use serde::{Deserialize, Serialize};
 
 use laab_dense::gen::OperandGen;
 use laab_dense::Matrix;
-use laab_kernels::{gemm, seed, set_num_threads, Trans};
+use laab_kernels::{gemm, matmul_dispatch, matmul_multi_rhs, seed, set_num_threads, Trans};
 
 /// Schema tag of the `BENCH_gemm.json` report, bumped on breaking
-/// changes. `v2`: adds the `f32` anchor (`f32_engine_gflops`,
-/// `f32_over_f64`) to the summary.
-pub const GEMM_REPORT_SCHEMA: &str = "laab-gemm-bench-v2";
+/// changes. `v3`: adds the multi-RHS anchor (`batch_sizes`,
+/// `batch_gflops` — the GEMV-shaped product at batch 1/8/32, measured in
+/// the same interleave).
+pub const GEMM_REPORT_SCHEMA: &str = "laab-gemm-bench-v3";
 
 /// Configuration for one bench run.
 #[derive(Debug, Clone)]
@@ -115,6 +121,15 @@ pub struct GemmSummary {
     /// Wide-short shape: 1-thread time over N-thread time (> 1 shows the
     /// previously-serial shape now parallelizes).
     pub wide_short_parallel_speedup: f64,
+    /// Batch sizes of the multi-RHS anchor rows (`[1, 8, 32]`): a
+    /// GEMV-shaped product `A·x` with `batch` stacked right-hand sides.
+    pub batch_sizes: Vec<usize>,
+    /// Effective GFLOP/s at each batch size, measured interleaved
+    /// (batch 1 is the solo GEMV dispatch — the memory-bound Level-2
+    /// floor; larger batches amortize the `A` traffic through the
+    /// multi-RHS GEMM entry, so the trajectory climbs toward the
+    /// compute-bound GEMM rate — the serving layer's batching lever).
+    pub batch_gflops: Vec<f64>,
     /// Threads used for the N-thread measurements.
     pub threads: usize,
 }
@@ -324,6 +339,49 @@ pub fn run(cfg: &GemmBenchConfig) -> GemmReport {
         )
     };
 
+    // Multi-RHS anchor: the GEMV-shaped product at batch 1/8/32, single
+    // thread, all three batch sizes interleaved per repetition (the same
+    // protocol as the seed ratio — transient load hits every batch size
+    // equally, so the amortization trajectory is stable on a noisy box).
+    // Batch 1 runs the solo dispatch (GEMV), exactly what a non-batching
+    // server executes per request; batches 8/32 run the multi-RHS entry.
+    const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+    let mr_n = if cfg.quick { 256 } else { 2048 };
+    let batch_gflops: Vec<f64> = {
+        let a = g.matrix::<f64>(mr_n, mr_n);
+        let parts: Vec<Matrix<f64>> =
+            (0..*BATCH_SIZES.last().unwrap()).map(|_| g.matrix::<f64>(mr_n, 1)).collect();
+        let refs: Vec<&Matrix<f64>> = parts.iter().collect();
+        let mut best = [f64::INFINITY; BATCH_SIZES.len()];
+        for rep in 0..cfg.warmup + cfg.reps.max(1) {
+            for (bi, &q) in BATCH_SIZES.iter().enumerate() {
+                let t0 = Instant::now();
+                if q == 1 {
+                    std::hint::black_box(matmul_dispatch(1.0, &a, Trans::No, refs[0], Trans::No));
+                } else {
+                    std::hint::black_box(matmul_multi_rhs(1.0, &a, Trans::No, &refs[..q]));
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                if rep >= cfg.warmup {
+                    best[bi] = best[bi].min(secs);
+                }
+            }
+        }
+        for (&q, &secs) in BATCH_SIZES.iter().zip(&best) {
+            records.push(GemmShapeRecord {
+                name: format!("multi_rhs_b{q}"),
+                m: mr_n,
+                n: q,
+                k: mr_n,
+                dtype: "f64".to_string(),
+                threads: 1,
+                best_secs: secs,
+                gflops: gflops(mr_n, q, mr_n, secs),
+            });
+        }
+        BATCH_SIZES.iter().zip(&best).map(|(&q, &secs)| gflops(mr_n, q, mr_n, secs)).collect()
+    };
+
     let wide_short_parallel_speedup =
         if wide_short_tn.is_finite() { wide_short_t1 / wide_short_tn } else { 1.0 };
 
@@ -341,6 +399,8 @@ pub fn run(cfg: &GemmBenchConfig) -> GemmReport {
             f32_engine_gflops,
             f32_over_f64: f32_engine_gflops / engine_gflops,
             wide_short_parallel_speedup,
+            batch_sizes: BATCH_SIZES.to_vec(),
+            batch_gflops,
             threads: n_threads,
         },
     }
@@ -385,6 +445,15 @@ mod tests {
         assert!(report.shapes.iter().any(|r| r.dtype == "f32"), "missing f32 coverage");
         assert!(report.shapes.iter().all(|r| r.gflops > 0.0 && r.best_secs > 0.0));
         assert!(report.summary.seed_gflops > 0.0 && report.summary.engine_gflops > 0.0);
+        // The multi-RHS anchor rides the interleave at batch 1/8/32.
+        assert_eq!(report.summary.batch_sizes, vec![1, 8, 32]);
+        assert_eq!(report.summary.batch_gflops.len(), 3);
+        assert!(report.summary.batch_gflops.iter().all(|&g| g > 0.0 && g.is_finite()));
+        for q in [1usize, 8, 32] {
+            let name = format!("multi_rhs_b{q}");
+            let rec = report.shapes.iter().find(|r| r.name == name).expect("multi-RHS record");
+            assert_eq!((rec.n, rec.threads), (q, 1));
+        }
         // The f32 anchor rides the same interleave as the seed ratio.
         assert!(report.summary.f32_engine_gflops > 0.0, "missing f32 anchor");
         assert!(

@@ -270,6 +270,32 @@ impl<T: Scalar> Matrix<T> {
         out
     }
 
+    /// Split into `parts` equal-width column blocks — the inverse of
+    /// repeated [`Matrix::hcat`] over same-shape operands, used to unstack
+    /// a multi-RHS product `[C₀ | C₁ | …]` back into per-request results.
+    ///
+    /// # Panics
+    /// When `parts` is zero or does not divide the column count.
+    pub fn split_cols(&self, parts: usize) -> Vec<Matrix<T>> {
+        assert!(parts > 0, "split_cols: parts must be positive");
+        assert_eq!(
+            self.cols % parts,
+            0,
+            "split_cols: {} columns not divisible by {parts}",
+            self.cols
+        );
+        let w = self.cols / parts;
+        (0..parts)
+            .map(|p| {
+                let mut out = Self::zeros(self.rows, w);
+                for i in 0..self.rows {
+                    out.row_mut(i).copy_from_slice(&self.row(i)[p * w..(p + 1) * w]);
+                }
+                out
+            })
+            .collect()
+    }
+
     /// `2×2` block-diagonal assembly `diag(a, b)`; off-diagonal blocks zero.
     ///
     /// This is the constructor used by the blocked-matrix experiment

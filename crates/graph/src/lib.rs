@@ -27,15 +27,23 @@
 //!   peak-live workspace layout — and [`execute_scheduled`] /
 //!   [`execute_scheduled_on`] re-run the identical sweep against fresh
 //!   operand bindings.
+//! * [`batch`] — batched (multi-environment) execution for serving
+//!   systems that coalesce same-signature requests: [`BatchAnalysis`]
+//!   classifies each node shared/stacked and proves RHS-stackability,
+//!   and [`execute_batched_on`] runs one stacked sweep (a multi-RHS
+//!   product for every shared·varying matmul) with a bitwise-identical
+//!   per-request fallback when stacking is illegal.
 //! * [`Graph::to_dot`] — Graphviz export regenerating the paper's
 //!   Figs. 3 & 4.
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod exec;
 mod ir;
 pub mod passes;
 
+pub use batch::{execute_batched_on, BatchAnalysis, BatchStatus};
 pub use exec::{execute, execute_on, execute_scheduled, execute_scheduled_on, Schedule};
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind};
 pub use passes::{optimize, PassConfig, PassStats};

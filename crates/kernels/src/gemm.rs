@@ -95,7 +95,7 @@ pub fn gemm<T: Scalar>(
     assert_eq!(c.shape(), (m, n), "gemm: C has shape {:?}, expected ({m}, {n})", c.shape());
     counters::record(Kernel::Gemm, flops::gemm(m, n, ka));
     let threads = effective_threads(m, n, ka);
-    gemm_blocked(alpha, av, bv, beta, &mut MutView::of(c), threads);
+    gemm_blocked(alpha, av, BSrc::One(bv), beta, &mut MutView::of(c), threads);
 }
 
 /// Convenience wrapper allocating the output: `op(A)·op(B)`.
@@ -104,6 +104,83 @@ pub fn matmul<T: Scalar>(a: &Matrix<T>, ta: Trans, b: &Matrix<T>, tb: Trans) -> 
     let (_, n) = tb.dims(b.rows(), b.cols());
     let mut c = Matrix::zeros(m, n);
     gemm(T::ONE, a, ta, b, tb, T::ZERO, &mut c);
+    c
+}
+
+/// `C := α·op(A)·[B₀ | B₁ | … | B_{q−1}] + β·C` — the multi-RHS GEMM.
+///
+/// The batched-serving entry point: `q` same-shape right-hand sides are
+/// treated as the column-wise concatenation without ever materializing
+/// it — the packing routine streams panels straight out of the parts, so
+/// each `A` panel is packed **once** for all `q` products and the
+/// microkernel sees one `m×(q·n)` GEMM instead of `q` GEMV-shaped calls.
+/// That is the Level-2 → Level-3 regime conversion the paper identifies:
+/// a thin (`n×1`) right-hand side runs memory-bound (every request re-reads
+/// all of `A`), while the stacked product re-enters the compute-bound GEMM
+/// regime the engine is tuned for.
+///
+/// Every `B_i` must have the identical `k×n` shape and is used
+/// untransposed (column stacking has no meaning across a transposed
+/// operand). `C` must be `m×(q·n)`; its `i`-th `n`-column block is
+/// **bitwise-identical** to `gemm` on the materialized concatenation —
+/// same packed bytes, same per-element reduction order.
+///
+/// # Panics
+/// On ragged `B_i` shapes or inconsistent `A`/`C` shapes.
+pub fn gemm_multi_rhs<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    ta: Trans,
+    bs: &[&Matrix<T>],
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let av = View::of(a, ta);
+    let (m, k) = (av.rows, av.cols);
+    let (bk, bn) = bs.first().map_or((k, 0), |b| b.shape());
+    for b in bs {
+        assert_eq!(
+            b.shape(),
+            (bk, bn),
+            "gemm_multi_rhs: ragged RHS shapes ({:?} vs ({bk}, {bn}))",
+            b.shape()
+        );
+    }
+    assert_eq!(bk, k, "gemm_multi_rhs: inner dimensions differ ({k} vs {bk})");
+    let n = bn * bs.len();
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm_multi_rhs: C has shape {:?}, expected ({m}, {n})",
+        c.shape()
+    );
+    if bs.is_empty() {
+        return; // C is m×0 — nothing to compute.
+    }
+    counters::record(Kernel::Gemm, flops::gemm(m, n, k));
+    let threads = effective_threads(m, n, k);
+    gemm_blocked(
+        alpha,
+        av,
+        BSrc::Stacked { parts: bs, part_cols: bn },
+        beta,
+        &mut MutView::of(c),
+        threads,
+    );
+}
+
+/// Allocating wrapper for [`gemm_multi_rhs`]: the `m×(q·n)` stacked
+/// product `α·op(A)·[B₀ | … | B_{q−1}]`.
+pub fn matmul_multi_rhs<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    ta: Trans,
+    bs: &[&Matrix<T>],
+) -> Matrix<T> {
+    let (m, _) = ta.dims(a.rows(), a.cols());
+    let n = bs.first().map_or(0, |b| b.cols()) * bs.len();
+    let mut c = Matrix::zeros(m, n);
+    gemm_multi_rhs(alpha, a, ta, bs, T::ZERO, &mut c);
     c
 }
 
@@ -134,7 +211,35 @@ pub(crate) fn gemm_serial<T: Scalar>(
     beta: T,
     c: &mut MutView<'_, T>,
 ) {
-    gemm_blocked(alpha, a, b, beta, c, 1);
+    gemm_blocked(alpha, a, BSrc::One(b), beta, c, 1);
+}
+
+/// The blocked driver's right-hand side: one strided view, or the logical
+/// column-wise concatenation `[B₀ | B₁ | …]` of equal-shape untransposed
+/// matrices (the multi-RHS path). The concatenation is never materialized;
+/// [`pack_b_stacked`] reads panels straight from the parts, so the two
+/// variants produce byte-identical packed panels for the same logical
+/// operand.
+#[derive(Clone, Copy)]
+enum BSrc<'a, T: Scalar> {
+    One(View<'a, T>),
+    Stacked { parts: &'a [&'a Matrix<T>], part_cols: usize },
+}
+
+impl<T: Scalar> BSrc<'_, T> {
+    fn rows(&self) -> usize {
+        match self {
+            BSrc::One(v) => v.rows,
+            BSrc::Stacked { parts, .. } => parts.first().map_or(0, |b| b.rows()),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            BSrc::One(v) => v.cols,
+            BSrc::Stacked { parts, part_cols } => part_cols * parts.len(),
+        }
+    }
 }
 
 /// Raw pointer to the output panel, shared across tile workers. Tiles
@@ -169,14 +274,14 @@ impl<T: Scalar> RawC<T> {
 fn gemm_blocked<T: Scalar>(
     alpha: T,
     a: View<'_, T>,
-    b: View<'_, T>,
+    b: BSrc<'_, T>,
     beta: T,
     c: &mut MutView<'_, T>,
     threads: usize,
 ) {
     let (m, k) = (a.rows, a.cols);
-    let n = b.cols;
-    debug_assert_eq!(b.rows, k);
+    let n = b.cols();
+    debug_assert_eq!(b.rows(), k);
     debug_assert_eq!((c.rows, c.cols), (m, n));
 
     // Apply beta once, up front: C := beta*C. (beta == 0 writes zeros so
@@ -193,7 +298,12 @@ fn gemm_blocked<T: Scalar>(
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
-                pack_b(packed_b, b, pc, kc, jc, nc);
+                match b {
+                    BSrc::One(bv) => pack_b(packed_b, bv, pc, kc, jc, nc),
+                    BSrc::Stacked { parts, part_cols } => {
+                        pack_b_stacked(packed_b, parts, part_cols, pc, kc, jc, nc)
+                    }
+                }
                 let m_tiles = m.div_ceil(MC);
                 let (n_chunks, chunk_cols) = column_chunks(nc, m_tiles, threads);
                 let pb: &[T] = packed_b;
@@ -302,6 +412,45 @@ fn pack_b<T: Scalar>(buf: &mut [T], b: View<'_, T>, pc: usize, kc: usize, jc: us
                 for kk in 0..kc {
                     out[kk * NR + jr] = b.data[base + kk * b.rs];
                 }
+            }
+        }
+    }
+}
+
+/// Pack `kc×nc` of the logical concatenation `[B₀ | B₁ | …]` (from
+/// `(pc, jc)`) into column-panels of width `NR`, zero-padding the ragged
+/// final panel — [`pack_b`]'s multi-RHS twin. Logical column `j` maps to
+/// part `j / part_cols`, column `j % part_cols`; a panel straddling a part
+/// boundary is filled segment-wise with contiguous row-fragment copies
+/// (every part is an owned row-major matrix). Produces byte-identical
+/// panels to [`pack_b`] on the materialized concatenation.
+fn pack_b_stacked<T: Scalar>(
+    buf: &mut [T],
+    parts: &[&Matrix<T>],
+    part_cols: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * NR * kc);
+    for p in 0..panels {
+        let out = &mut buf[p * NR * kc..(p + 1) * NR * kc];
+        let cols = NR.min(nc - p * NR);
+        if cols < NR {
+            out.fill(T::ZERO);
+        }
+        let c0 = jc + p * NR;
+        for kk in 0..kc {
+            let row = &mut out[kk * NR..kk * NR + cols];
+            let mut j = 0;
+            while j < cols {
+                let (part, pcol) = ((c0 + j) / part_cols, (c0 + j) % part_cols);
+                let run = (part_cols - pcol).min(cols - j);
+                let src = &parts[part].as_slice()[(pc + kk) * part_cols + pcol..][..run];
+                row[j..j + run].copy_from_slice(src);
+                j += run;
             }
         }
     }
@@ -695,5 +844,98 @@ mod tests {
         let a = Matrix::<f32>::zeros(2, 3);
         let b = Matrix::<f32>::zeros(4, 2);
         let _ = matmul(&a, Trans::No, &b, Trans::No);
+    }
+
+    /// Materialize `[B₀ | B₁ | …]` the slow way, for the oracle.
+    fn hstack(parts: &[&Matrix<f64>]) -> Matrix<f64> {
+        let mut acc = parts[0].clone();
+        for p in &parts[1..] {
+            acc = acc.hcat(p);
+        }
+        acc
+    }
+
+    #[test]
+    fn multi_rhs_is_bitwise_identical_to_hstacked_gemm() {
+        // The multi-RHS path must produce the exact packed panels (and
+        // therefore the exact results) of a single GEMM on the
+        // materialized concatenation — for thin (n=1) and wide parts, both
+        // transposition flags, and part widths that straddle NR panel
+        // boundaries.
+        let mut g = OperandGen::new(91);
+        for &(m, k, bn, q, ta) in &[
+            (64, 48, 1, 8, Trans::No),
+            (48, 64, 1, 3, Trans::Yes),
+            (33, 29, 5, 4, Trans::No),
+            (17, 40, 11, 3, Trans::Yes),
+            (130, 300, 3, 7, Trans::No),
+        ] {
+            let (ar, ac) = match ta {
+                Trans::No => (m, k),
+                Trans::Yes => (k, m),
+            };
+            let a = g.matrix::<f64>(ar, ac);
+            let parts: Vec<Matrix<f64>> = (0..q).map(|_| g.matrix::<f64>(k, bn)).collect();
+            let refs: Vec<&Matrix<f64>> = parts.iter().collect();
+            let stacked = matmul_multi_rhs(1.25, &a, ta, &refs);
+            let mut want = Matrix::<f64>::zeros(m, bn * q);
+            gemm(1.25, &a, ta, &hstack(&refs), Trans::No, 0.0, &mut want);
+            assert_eq!(
+                stacked.as_slice(),
+                want.as_slice(),
+                "multi-RHS drifted from the hstacked GEMM (m={m} k={k} bn={bn} q={q} ta={ta:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_rhs_parallel_is_bit_identical() {
+        let mut g = OperandGen::new(92);
+        let a = g.matrix::<f64>(160, 200);
+        let parts: Vec<Matrix<f64>> = (0..16).map(|_| g.matrix::<f64>(200, 4)).collect();
+        let refs: Vec<&Matrix<f64>> = parts.iter().collect();
+        let serial = matmul_multi_rhs(1.0, &a, Trans::No, &refs);
+        crate::set_num_threads(4);
+        let parallel = matmul_multi_rhs(1.0, &a, Trans::No, &refs);
+        crate::set_num_threads(1);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn multi_rhs_beta_accumulates_and_counts_one_gemm() {
+        let mut g = OperandGen::new(93);
+        let a = g.matrix::<f64>(9, 7);
+        let parts: Vec<Matrix<f64>> = (0..3).map(|_| g.matrix::<f64>(7, 2)).collect();
+        let refs: Vec<&Matrix<f64>> = parts.iter().collect();
+        let c0 = g.matrix::<f64>(9, 6);
+        let mut c = c0.clone();
+        counters::reset();
+        gemm_multi_rhs(2.0, &a, Trans::No, &refs, -0.5, &mut c);
+        let s = counters::snapshot();
+        assert_eq!(s.calls(Kernel::Gemm), 1, "one logical GEMM, not q");
+        assert_eq!(s.flops(Kernel::Gemm), flops::gemm(9, 6, 7));
+        let mut want = c0.clone();
+        gemm(2.0, &a, Trans::No, &hstack(&refs), Trans::No, -0.5, &mut want);
+        assert_eq!(c.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn multi_rhs_empty_and_single_part_edges() {
+        let mut g = OperandGen::new(94);
+        let a = g.matrix::<f64>(6, 5);
+        let empty: [&Matrix<f64>; 0] = [];
+        assert_eq!(matmul_multi_rhs(1.0, &a, Trans::No, &empty).shape(), (6, 0));
+        let b = g.matrix::<f64>(5, 3);
+        let one = matmul_multi_rhs(1.0, &a, Trans::No, &[&b]);
+        assert_eq!(one, matmul(&a, Trans::No, &b, Trans::No));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged RHS shapes")]
+    fn multi_rhs_ragged_parts_panic() {
+        let a = Matrix::<f64>::zeros(4, 4);
+        let b1 = Matrix::<f64>::zeros(4, 2);
+        let b2 = Matrix::<f64>::zeros(4, 3);
+        let _ = matmul_multi_rhs(1.0, &a, Trans::No, &[&b1, &b2]);
     }
 }

@@ -1,21 +1,39 @@
 //! The multi-client, multi-backend serving loop and its report.
 //!
 //! Clients are tasks on the `laab-kernels` persistent worker pool
-//! ([`parallel_for`]): each drains requests from the shared queue and
-//! drives every request through **each selected backend in turn** —
-//! computing the per-backend [`Signature`](crate::Signature), resolving a
-//! [`Plan`] through the [`PlanCache`] (compiling on a miss — the cold
-//! trace), executing it against the family's operand pool, and recording
-//! the end-to-end latency per `(request, backend)`.
+//! ([`parallel_for`]): the request stream is first coalesced by the
+//! **admission window** — pending requests with identical
+//! `(Signature, BackendId)` (same family, size, and dtype) are grouped
+//! into batches of up to `batch_window` — and each client drains whole
+//! batches, driving every batch through **each selected backend in
+//! turn**: one plan-cache lookup per `(batch, backend)` (compiling on a
+//! miss — the cold trace), then the batch's executions against the
+//! per-request operand bindings.
 //!
-//! Backends are **interleaved at request granularity**, not run
-//! back-to-back: on a noisy 1-CPU box, transient machine load then hits
-//! every backend's samples equally and the per-backend *ratios* stay
-//! stable even when absolute latencies jitter (the same protocol the
-//! GEMM bench uses for its seed-ratio anchor). The harness reports
-//! per-backend requests/s, p50/p99, hit rates, and the speedup ratio
-//! against the first-listed backend, plus the aggregate view, as a
-//! `BENCH_serve.json` document.
+//! With batching enabled, every batch of two or more requests runs
+//! **both** legs, interleaved at batch granularity:
+//!
+//! * the **solo** leg executes the plan once per request — what a
+//!   non-batching server pays per request (minus its per-request cache
+//!   lookup, a deliberate bias *against* batching, so the measured
+//!   speedup is conservative); and
+//! * the **batched** leg executes the plan once over all the batch's
+//!   environments ([`Plan::execute_batched`]) — column-stacked multi-RHS
+//!   GEMM where the compile-time analysis proved it legal, the
+//!   bitwise-identical per-request fallback otherwise.
+//!
+//! The batched leg is the *serving* path (its per-request share, plus
+//! the amortized lookup, is the reported latency); the solo leg exists
+//! so the batched-vs-solo ratio is measured under identical interleaved
+//! machine state — the same 1-CPU protocol the backend A/B and the GEMM
+//! bench's seed ratio use: transient load hits both legs equally, so the
+//! *ratio* stays stable even when absolute latencies jitter.
+//!
+//! The harness reports per-backend requests/s, p50/p99, batch-lookup hit
+//! rates, the batched-vs-solo split (overall, per backend, and per
+//! family), the occupancy histogram, and the cache counters (now
+//! including eviction-induced recompiles) as a `BENCH_serve.json`
+//! document.
 //!
 //! Like every timing in the suite, numbers are *recorded* unconditionally
 //! and *asserted* only under `LAAB_STRICT_TIMING=1`.
@@ -26,7 +44,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use laab_backend::{registry, Dtype, Registration};
+use laab_backend::{registry, BackendScalar, Dtype, Registration};
 use laab_expr::eval::Env;
 use laab_framework::Framework;
 use laab_kernels::parallel_for;
@@ -34,13 +52,14 @@ use laab_stats::Samples;
 
 use crate::cache::{Lookup, PlanCache};
 use crate::plan::Plan;
-use crate::workload::{synthetic_mix, Family};
+use crate::workload::{synthetic_mix, Family, Request};
 
 /// Schema tag of the `BENCH_serve.json` report, bumped on breaking
-/// changes. `v2`: multi-backend A/B — adds `executions`, `dtype`, and the
-/// per-backend `backends[]` records; top-level latency/cache aggregates
-/// now span all executions.
-pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v2";
+/// changes. `v3`: batched same-signature execution — adds `batch_window`
+/// and the `batching` record, per-backend/per-family batched-vs-solo
+/// splits, batch-granular cache-lookup counters (`lookups` per backend),
+/// and the eviction-recompile cache counters.
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v3";
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone)]
@@ -76,6 +95,10 @@ pub struct ServeConfig {
     pub backends: Vec<String>,
     /// Pin every request to one precision (`None` = mixed f32/f64).
     pub dtype: Option<Dtype>,
+    /// Admission-window size: pending same-signature requests coalesce
+    /// into batches of up to this many. `0` or `1` disables batching
+    /// (every request is its own batch — the pre-v3 serving loop).
+    pub batch_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +114,7 @@ impl Default for ServeConfig {
             churn_every: 16,
             backends: vec!["engine".to_string()],
             dtype: None,
+            batch_window: 8,
         }
     }
 }
@@ -109,6 +133,11 @@ impl ServeConfig {
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
         }
+    }
+
+    /// Whether the admission window actually coalesces (`batch_window ≥ 2`).
+    pub fn batching_enabled(&self) -> bool {
+        self.batch_window >= 2
     }
 }
 
@@ -185,7 +214,7 @@ fn resolve_backends(names: &[String]) -> Result<Vec<&'static Registration>, Serv
 /// Cache counters as they appear in the JSON report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CacheStatsRecord {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache (one lookup per batch × backend).
     pub hits: u64,
     /// Lookups that compiled a plan.
     pub misses: u64,
@@ -194,6 +223,13 @@ pub struct CacheStatsRecord {
     pub retraces: u64,
     /// Plans evicted by the LRU bound.
     pub evictions: u64,
+    /// Misses whose exact signature had been compiled before and was
+    /// evicted — capacity churn, counted separately from first-compile
+    /// misses (the ROADMAP cache-policy lens).
+    pub evicted_recompiles: u64,
+    /// Mean wall-clock milliseconds of one eviction-induced recompile
+    /// (`0.0` when none occurred).
+    pub mean_recompile_ms: f64,
     /// Plans resident at the end of the run.
     pub entries: usize,
     /// `hits / (hits + misses)`.
@@ -208,29 +244,44 @@ pub struct BackendRecord {
     /// Logical requests driven through this backend (= the stream
     /// length; every backend sees identical traffic).
     pub requests: usize,
-    /// Executions served from this backend's cache entries.
+    /// Plan-cache lookups through this backend — one per admitted batch
+    /// (equals `requests` when batching is disabled).
+    pub lookups: usize,
+    /// Lookups served from this backend's cache entries.
     pub hits: usize,
-    /// Executions that compiled a plan for this backend.
+    /// Lookups that compiled a plan for this backend.
     pub misses: usize,
-    /// `hits / requests` — per-backend, since every backend compiles its
+    /// `hits / lookups` — per-backend, since every backend compiles its
     /// own plans (no cross-backend hits by construction).
     pub hit_rate: f64,
     /// Estimated sustained throughput had this backend served the stream
-    /// alone at this client count: `requests / (busy_secs / clients)`.
-    /// (Backends share one interleaved run, so per-backend wall time is
-    /// not directly observable.)
+    /// alone at this client count: `requests / (busy_secs / clients)`,
+    /// over the serving-leg latencies. (Backends share one interleaved
+    /// run, so per-backend wall time is not directly observable.)
     pub requests_per_sec: f64,
-    /// Median end-to-end latency through this backend, milliseconds.
+    /// Median serving latency through this backend, milliseconds. With
+    /// batching enabled this is the batched leg's per-request share
+    /// (amortized lookup + batched execution / occupancy).
     pub p50_ms: f64,
-    /// 99th-percentile latency through this backend, milliseconds.
+    /// 99th-percentile serving latency through this backend, ms.
     pub p99_ms: f64,
-    /// Mean latency through this backend, milliseconds.
+    /// Mean serving latency through this backend, milliseconds.
     pub mean_ms: f64,
-    /// Mean latency of this backend's compiling (cold-trace) executions.
+    /// Mean serving latency of this backend's compiling (cold-trace)
+    /// batches.
     pub cold_trace_mean_ms: f64,
-    /// Mean latency of this backend's cache-hit executions (`0.0` when
-    /// the stream produced no hits).
+    /// Mean serving latency of this backend's cache-hit batches (`0.0`
+    /// when the stream produced no hits).
     pub cache_hit_mean_ms: f64,
+    /// Mean per-request latency of the solo leg over coalesced batches
+    /// (occupancy ≥ 2); `0.0` when batching is off.
+    pub solo_mean_ms: f64,
+    /// Mean per-request latency of the batched leg over the same
+    /// population; `0.0` when batching is off.
+    pub batched_mean_ms: f64,
+    /// `solo_mean_ms / batched_mean_ms` — the throughput step batching
+    /// buys on this backend (`0.0` when batching is off).
+    pub batched_speedup: f64,
     /// First-listed backend's mean latency over this backend's mean —
     /// `> 1` means this backend is faster than the baseline, `1.0` for
     /// the baseline itself. This is the paper-style cross-strategy ratio
@@ -245,14 +296,66 @@ pub struct FamilyRecord {
     pub family: String,
     /// The paper experiment the family is drawn from.
     pub experiment: String,
+    /// Whether this family's plan column-stacks under batching (the
+    /// GEMV-shaped chain/solve families) or takes the per-request
+    /// fallback (the matrix families).
+    pub stackable: bool,
     /// Executions of this family (stream occurrences × backends).
     pub requests: usize,
-    /// How many were served from the plan cache.
+    /// Executions served via a cache-hit batch.
     pub hits: usize,
-    /// Median end-to-end latency, milliseconds.
+    /// Median serving latency, milliseconds.
     pub p50_ms: f64,
-    /// Mean end-to-end latency, milliseconds.
+    /// Mean serving latency, milliseconds.
     pub mean_ms: f64,
+    /// Mean per-request solo-leg latency over coalesced batches (`0.0`
+    /// when batching is off or the family never coalesced).
+    pub solo_mean_ms: f64,
+    /// Mean per-request batched-leg latency over the same population.
+    pub batched_mean_ms: f64,
+    /// `solo_mean_ms / batched_mean_ms` — the family's batching win.
+    /// This is the acceptance number for the GEMV-shaped families: their
+    /// solo leg is memory-bound Level-2 work, their batched leg one
+    /// multi-RHS GEMM.
+    pub batched_speedup: f64,
+}
+
+/// The admission window's view of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchingRecord {
+    /// Whether the window actually coalesced (`batch_window ≥ 2`).
+    pub enabled: bool,
+    /// The configured window.
+    pub window: usize,
+    /// Admitted batches (logical — every backend drives the same
+    /// batches, so cache lookups are `batches × backends`).
+    pub batches: usize,
+    /// `requests / batches`.
+    pub mean_occupancy: f64,
+    /// Largest admitted batch.
+    pub max_occupancy: usize,
+    /// `occupancy_hist[i]` = batches of occupancy `i + 1`.
+    pub occupancy_hist: Vec<usize>,
+    /// Coalesced batches (occupancy ≥ 2) whose plan column-stacked.
+    pub stacked_batches: usize,
+    /// Coalesced batches that took the bitwise per-request fallback.
+    pub fallback_batches: usize,
+    /// Batches of occupancy 1 (no solo/batched split — one leg only).
+    pub solo_batches: usize,
+    /// Logical requests inside coalesced batches.
+    pub batched_requests: usize,
+    /// Mean per-request batched-leg latency over coalesced batches,
+    /// all backends, milliseconds.
+    pub batched_mean_ms: f64,
+    /// Mean per-request solo-leg latency over the same population.
+    pub solo_mean_ms: f64,
+    /// `solo_mean_ms / batched_mean_ms` (`0.0` when nothing coalesced).
+    pub batched_speedup: f64,
+    /// Estimated sustained batched-leg throughput over coalesced
+    /// executions: `executions / (busy_secs / clients)`.
+    pub batched_requests_per_sec: f64,
+    /// The solo-leg equivalent over the same population.
+    pub solo_requests_per_sec: f64,
 }
 
 /// The full machine-readable report (`BENCH_serve.json`).
@@ -264,7 +367,7 @@ pub struct ServeReport {
     pub smoke: bool,
     /// Logical requests drained.
     pub requests: usize,
-    /// Plan executions: `requests × backends` (each request is driven
+    /// Serving executions: `requests × backends` (each request is driven
     /// through every selected backend, interleaved).
     pub executions: usize,
     /// Serving clients.
@@ -275,30 +378,36 @@ pub struct ServeReport {
     pub seed: u64,
     /// The dtype filter: `"mixed"`, `"f32"`, or `"f64"`.
     pub dtype: String,
+    /// The configured admission window (`0`/`1` = batching off).
+    pub batch_window: usize,
     /// Distinct signatures across the run (per-backend signatures — the
     /// compile workload; `backends × ` the stream's structural variety).
     pub distinct_signatures: usize,
-    /// Wall-clock seconds for the whole drain.
+    /// Wall-clock seconds for the whole drain. With batching enabled
+    /// this includes the interleaved solo A/B leg, so it overstates the
+    /// cost of pure batched serving — see [`BatchingRecord`] for the
+    /// split.
     pub wall_secs: f64,
-    /// Sustained execution throughput over the drain
-    /// (`executions / wall_secs`).
+    /// Harness executions per wall second (`executions / wall_secs`;
+    /// includes the A/B overhead when batching is on).
     pub requests_per_sec: f64,
-    /// Median end-to-end execution latency, milliseconds (all backends).
+    /// Median serving latency, milliseconds (all backends).
     pub p50_ms: f64,
-    /// 99th-percentile end-to-end execution latency, milliseconds (all
-    /// backends).
+    /// 99th-percentile serving latency, milliseconds (all backends).
     pub p99_ms: f64,
-    /// Mean latency of executions that compiled (trace + optimize +
-    /// schedule + execute), milliseconds.
+    /// Mean serving latency of executions in compiling batches (trace +
+    /// optimize + schedule amortized over the batch), milliseconds.
     pub cold_trace_mean_ms: f64,
-    /// Mean latency of executions served from the plan cache (execute
-    /// only), milliseconds. `0.0` when the stream produced no hits (every
-    /// signature distinct).
+    /// Mean serving latency of executions in cache-hit batches. `0.0`
+    /// when the stream produced no hits (every signature distinct).
     pub cache_hit_mean_ms: f64,
     /// `cold_trace_mean_ms / cache_hit_mean_ms` — the amortization a
     /// cache hit buys (> 1 when caching pays; `0.0` when the stream
     /// produced no hits).
     pub cache_hit_speedup: f64,
+    /// The admission window's coalescing stats and the batched-vs-solo
+    /// interleaved measurement.
+    pub batching: BatchingRecord,
     /// Shared plan-cache counters (all backends; per-backend entries are
     /// independent by signature construction).
     pub cache: CacheStatsRecord,
@@ -335,7 +444,7 @@ impl ServeReport {
                 self.requests,
                 self.backends.len()
             ),
-            &["backend", "req/s", "p50 [ms]", "p99 [ms]", "hit rate", "vs first"],
+            &["backend", "req/s", "p50 [ms]", "p99 [ms]", "hit rate", "batch x", "vs first"],
         );
         for b in &self.backends {
             t.push_row(vec![
@@ -344,6 +453,7 @@ impl ServeReport {
                 format!("{:.3}", b.p50_ms),
                 format!("{:.3}", b.p99_ms),
                 format!("{:.3}", b.hit_rate),
+                format!("{:.2}x", b.batched_speedup),
                 format!("{:.2}x", b.speedup_vs_first),
             ]);
         }
@@ -354,23 +464,26 @@ impl ServeReport {
     pub fn summary_table(&self) -> laab_stats::Table {
         let mut t = laab_stats::Table::new(
             format!(
-                "laab serve — {} requests × {} backend(s), {} clients, {:.0} exec/s, hit rate {:.3}",
+                "laab serve — {} requests × {} backend(s), {} clients, window {}, \
+                 {:.0} exec/s, hit rate {:.3}",
                 self.requests,
                 self.backends.len(),
                 self.clients,
+                self.batch_window,
                 self.requests_per_sec,
                 self.cache.hit_rate
             ),
-            &["family", "experiment", "requests", "hits", "p50 [ms]", "mean [ms]"],
+            &["family", "experiment", "requests", "stack", "p50 [ms]", "solo [ms]", "batch x"],
         );
         for f in &self.families {
             t.push_row(vec![
                 f.family.clone(),
                 f.experiment.clone(),
                 f.requests.to_string(),
-                f.hits.to_string(),
+                if f.stackable { "rhs".into() } else { "fallback".to_string() },
                 format!("{:.3}", f.p50_ms),
-                format!("{:.3}", f.mean_ms),
+                format!("{:.3}", f.solo_mean_ms),
+                format!("{:.2}x", f.batched_speedup),
             ]);
         }
         t
@@ -383,19 +496,172 @@ struct EnvPair {
     f32: Env<f32>,
 }
 
-/// Lookup-outcome codes stored in the per-execution slot array.
+/// Lookup-outcome codes stored in the per-`(batch, backend)` slot array.
 const OUTCOME_HIT: u8 = 1;
 const OUTCOME_COMPILED: u8 = 2;
 
-/// Drain a synthetic request stream through the plan cache, driving each
-/// request through every configured backend interleaved, and collect the
-/// report.
+/// Batch-kind codes stored in the per-batch slot array.
+const BATCH_SOLO: u8 = 1;
+const BATCH_STACKED: u8 = 2;
+const BATCH_FALLBACK: u8 = 3;
+
+/// One admitted batch: stream indices of same-signature requests.
+struct Batch {
+    idx: Vec<usize>,
+}
+
+/// The admission window: group pending requests by signature key
+/// (family, size, dtype — what determines the per-backend [`Signature`])
+/// in first-seen order, chunk each group into batches of at most
+/// `window`, and emit the batches in stream order of their first member.
+/// The harness drains a pre-filled queue, so every same-key request is
+/// "pending" at admission time — the backlog regime where batching
+/// matters.
+fn admit(mix: &[Request], window: usize) -> Vec<Batch> {
+    let window = window.max(1);
+    let mut order: Vec<(Family, usize, Dtype)> = Vec::new();
+    let mut groups: HashMap<(Family, usize, Dtype), Vec<usize>> = HashMap::new();
+    for (i, r) in mix.iter().enumerate() {
+        let key = (r.family, r.n, r.dtype);
+        groups
+            .entry(key)
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(i);
+    }
+    let mut batches = Vec::new();
+    for key in order {
+        for chunk in groups[&key].chunks(window) {
+            batches.push(Batch { idx: chunk.to_vec() });
+        }
+    }
+    batches.sort_by_key(|b| b.idx[0]);
+    batches
+}
+
+/// The per-execution / per-batch measurement slots shared by the clients.
+struct Slots {
+    /// Serving-leg latency per `(request, backend)` (ns).
+    serving: Vec<AtomicU64>,
+    /// Solo-leg latency per `(request, backend)` (ns).
+    solo: Vec<AtomicU64>,
+    /// Batched-leg per-request share per `(request, backend)` (ns; 0
+    /// when the request's batch did not coalesce).
+    batched: Vec<AtomicU64>,
+    /// Lookup outcome per `(batch, backend)`.
+    outcome: Vec<AtomicU8>,
+    /// Batch kind per batch ([`BATCH_SOLO`]/[`BATCH_STACKED`]/
+    /// [`BATCH_FALLBACK`]; identical across backends).
+    kind: Vec<AtomicU8>,
+    /// Per-family stackability as observed from the compiled plans
+    /// (index = position in [`Family::ALL`]; 0 unknown, 1 stackable,
+    /// 2 fallback).
+    fam_stackable: Vec<AtomicU8>,
+}
+
+/// Drive one batch through every backend, interleaved. The solo and
+/// batched legs alternate order across `(batch, backend)` so neither leg
+/// systematically benefits from the other's cache warming.
+#[allow(clippy::too_many_arguments)]
+fn drive_batch<T: BackendScalar>(
+    bi: usize,
+    batch: &Batch,
+    mix: &[Request],
+    envs: &[&Env<T>],
+    regs: &[&'static Registration],
+    cache: &PlanCache,
+    fw: &Framework,
+    slots: &Slots,
+) {
+    let nb = regs.len();
+    let occ = batch.idx.len();
+    let req0 = &mix[batch.idx[0]];
+    for (ki, reg) in regs.iter().enumerate() {
+        let t_lookup = Instant::now();
+        let sig = req0.signature(reg.id());
+        let (plan, lookup) = cache.get_or_compile(sig, || {
+            Plan::compile_with_varying(
+                fw,
+                &req0.family.expr(req0.n),
+                &req0.family.ctx(req0.n),
+                reg,
+                req0.family.varying_operands(),
+            )
+        });
+        let lookup_ns = t_lookup.elapsed().as_nanos() as u64;
+        slots.outcome[bi * nb + ki].store(
+            if lookup == Lookup::Hit { OUTCOME_HIT } else { OUTCOME_COMPILED },
+            Ordering::Relaxed,
+        );
+        if ki == 0 {
+            let kind = if occ < 2 {
+                BATCH_SOLO
+            } else if plan.stackable() {
+                BATCH_STACKED
+            } else {
+                BATCH_FALLBACK
+            };
+            slots.kind[bi].store(kind, Ordering::Relaxed);
+            let fam_idx = Family::ALL.iter().position(|f| *f == req0.family).unwrap();
+            slots.fam_stackable[fam_idx]
+                .store(if plan.stackable() { 1 } else { 2 }, Ordering::Relaxed);
+        }
+
+        let run_solo = || -> Vec<u64> {
+            batch
+                .idx
+                .iter()
+                .enumerate()
+                .map(|(j, _)| {
+                    let t = Instant::now();
+                    std::hint::black_box(plan.execute::<T>(envs[j]));
+                    t.elapsed().as_nanos() as u64
+                })
+                .collect()
+        };
+        let run_batched = || -> u64 {
+            let t = Instant::now();
+            std::hint::black_box(plan.execute_batched::<T>(envs));
+            t.elapsed().as_nanos() as u64
+        };
+
+        if occ >= 2 {
+            // Interleave the two legs, alternating which goes first.
+            let (solo_each, batched_total) = if (bi + ki).is_multiple_of(2) {
+                let s = run_solo();
+                (s, run_batched())
+            } else {
+                let b = run_batched();
+                (run_solo(), b)
+            };
+            let share = (lookup_ns + batched_total) / occ as u64;
+            for (j, &r) in batch.idx.iter().enumerate() {
+                slots.solo[r * nb + ki].store(solo_each[j], Ordering::Relaxed);
+                slots.batched[r * nb + ki].store(batched_total / occ as u64, Ordering::Relaxed);
+                slots.serving[r * nb + ki].store(share, Ordering::Relaxed);
+            }
+        } else {
+            let solo_each = run_solo();
+            let r = batch.idx[0];
+            slots.solo[r * nb + ki].store(solo_each[0], Ordering::Relaxed);
+            slots.serving[r * nb + ki].store(lookup_ns + solo_each[0], Ordering::Relaxed);
+        }
+    }
+}
+
+/// Drain a synthetic request stream through the admission window and the
+/// plan cache, driving each batch through every configured backend
+/// interleaved, and collect the report.
 ///
 /// Operand pools are generated up front (a client serving traffic already
-/// holds its data; operand generation is not request latency). Execution
-/// latency covers signature canonicalization, the cache lookup, any
-/// compile, and plan execution — the components a `tf.function` call
-/// pays.
+/// holds its data; operand generation is not request latency); the
+/// per-request payload vectors are cloned on top of the pool env per
+/// batch, also outside the timed sections. Serving latency covers
+/// signature canonicalization, the cache lookup, any compile, and plan
+/// execution — amortized over the batch, exactly what a batching
+/// `tf.function` server pays per request.
 ///
 /// # Errors
 /// [`ServeError`] when the backend list is empty, names an unknown or
@@ -421,7 +687,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         }
     }
 
-    // Pre-generate operands and count the distinct per-backend signatures.
+    // Pre-generate operand pools and count distinct per-backend signatures.
     let mut pools: HashMap<(Family, usize), EnvPair> = HashMap::new();
     let mut distinct = HashSet::new();
     for req in &mix {
@@ -434,46 +700,77 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         }
     }
 
+    let batches = admit(&mix, cfg.batch_window);
+    let nbatches = batches.len();
     let cache = PlanCache::with_shards(cfg.cache_capacity * nb, cfg.shards);
     let fw = Framework::flow();
     let executions = mix.len() * nb;
-    let latency_nanos: Vec<AtomicU64> = (0..executions).map(|_| AtomicU64::new(0)).collect();
-    let outcomes: Vec<AtomicU8> = (0..executions).map(|_| AtomicU8::new(0)).collect();
+    let slots = Slots {
+        serving: (0..executions).map(|_| AtomicU64::new(0)).collect(),
+        solo: (0..executions).map(|_| AtomicU64::new(0)).collect(),
+        batched: (0..executions).map(|_| AtomicU64::new(0)).collect(),
+        outcome: (0..nbatches * nb).map(|_| AtomicU8::new(0)).collect(),
+        kind: (0..nbatches).map(|_| AtomicU8::new(0)).collect(),
+        fam_stackable: Family::ALL.iter().map(|_| AtomicU8::new(0)).collect(),
+    };
 
     let t0 = Instant::now();
-    parallel_for(clients, mix.len(), |i| {
-        let req = &mix[i];
-        let pool = &pools[&(req.family, req.n)];
-        // Backends interleave at request granularity: every backend's
-        // samples see the same machine state, so the ratios are stable
-        // on a loaded box even when absolute latencies are not.
-        for (bi, reg) in regs.iter().enumerate() {
-            let t = Instant::now();
-            let sig = req.signature(reg.id());
-            let (plan, lookup) = cache.get_or_compile(sig, || {
-                Plan::compile(&fw, &req.family.expr(req.n), &req.family.ctx(req.n), reg)
-            });
-            match req.dtype {
-                Dtype::F64 => {
-                    std::hint::black_box(plan.execute::<f64>(&pool.f64));
-                }
-                Dtype::F32 => {
-                    std::hint::black_box(plan.execute::<f32>(&pool.f32));
-                }
+    parallel_for(clients, nbatches, |bi| {
+        let batch = &batches[bi];
+        let req0 = &mix[batch.idx[0]];
+        let pool = &pools[&(req0.family, req0.n)];
+        let has_payload = !req0.family.payload_operands().is_empty();
+        // Operand binding happens outside the timed sections: a server
+        // holds its request payloads before admission.
+        match req0.dtype {
+            Dtype::F64 => {
+                let owned: Vec<Env<f64>> = if has_payload {
+                    batch.idx.iter().map(|&r| mix[r].env_from_pool(&pool.f64, cfg.seed)).collect()
+                } else {
+                    Vec::new()
+                };
+                let refs: Vec<&Env<f64>> = if has_payload {
+                    owned.iter().collect()
+                } else {
+                    batch.idx.iter().map(|_| &pool.f64).collect()
+                };
+                drive_batch(bi, batch, &mix, &refs, &regs, &cache, &fw, &slots);
             }
-            latency_nanos[i * nb + bi].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            outcomes[i * nb + bi].store(
-                if lookup == Lookup::Hit { OUTCOME_HIT } else { OUTCOME_COMPILED },
-                Ordering::Relaxed,
-            );
+            Dtype::F32 => {
+                let owned: Vec<Env<f32>> = if has_payload {
+                    batch.idx.iter().map(|&r| mix[r].env_from_pool(&pool.f32, cfg.seed)).collect()
+                } else {
+                    Vec::new()
+                };
+                let refs: Vec<&Env<f32>> = if has_payload {
+                    owned.iter().collect()
+                } else {
+                    batch.idx.iter().map(|_| &pool.f32).collect()
+                };
+                drive_batch(bi, batch, &mix, &refs, &regs, &cache, &fw, &slots);
+            }
         }
     });
     let wall_secs = t0.elapsed().as_secs_f64();
 
-    let ms = |nanos: u64| nanos as f64 / 1e6;
-    let lat: Vec<f64> = latency_nanos.iter().map(|a| ms(a.load(Ordering::Relaxed))).collect();
-    let out: Vec<u8> = outcomes.iter().map(|a| a.load(Ordering::Relaxed)).collect();
-    let all = Samples::new(lat.clone());
+    // ---- assemble the report (serial from here on) ----
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let serving: Vec<f64> = slots.serving.iter().map(|a| ms(a.load(Ordering::Relaxed))).collect();
+    let solo: Vec<f64> = slots.solo.iter().map(|a| ms(a.load(Ordering::Relaxed))).collect();
+    let batched: Vec<f64> = slots.batched.iter().map(|a| ms(a.load(Ordering::Relaxed))).collect();
+    let out: Vec<u8> = slots.outcome.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let kinds: Vec<u8> = slots.kind.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+
+    let mut batch_of = vec![0usize; mix.len()];
+    for (bi, b) in batches.iter().enumerate() {
+        for &r in &b.idx {
+            batch_of[r] = bi;
+        }
+    }
+    // Outcome and occupancy of execution slot `e` (= request·nb + backend).
+    let exec_outcome = |e: usize| out[batch_of[e / nb] * nb + e % nb];
+    let exec_occ = |e: usize| batches[batch_of[e / nb]].idx.len();
+
     // 0.0, not NaN, for an empty split: the serde_json shim writes NaN as
     // `null`, which would make the emitted document violate its own f64
     // schema. A short all-distinct stream legitimately has zero hits.
@@ -485,34 +782,48 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         }
     };
     let split_means = |idx: &[usize]| {
-        let cold: Vec<f64> =
-            idx.iter().filter(|&&e| out[e] == OUTCOME_COMPILED).map(|&e| lat[e]).collect();
+        let cold: Vec<f64> = idx
+            .iter()
+            .filter(|&&e| exec_outcome(e) == OUTCOME_COMPILED)
+            .map(|&e| serving[e])
+            .collect();
         let hit: Vec<f64> =
-            idx.iter().filter(|&&e| out[e] == OUTCOME_HIT).map(|&e| lat[e]).collect();
+            idx.iter().filter(|&&e| exec_outcome(e) == OUTCOME_HIT).map(|&e| serving[e]).collect();
         (mean_of(&cold), mean_of(&hit))
     };
+    // The batched-vs-solo split over coalesced executions of `idx`.
+    let batch_split = |idx: &[usize]| {
+        let coalesced: Vec<usize> = idx.iter().copied().filter(|&e| exec_occ(e) >= 2).collect();
+        let s = mean_of(&coalesced.iter().map(|&e| solo[e]).collect::<Vec<_>>());
+        let b = mean_of(&coalesced.iter().map(|&e| batched[e]).collect::<Vec<_>>());
+        (s, b, if b > 0.0 { s / b } else { 0.0 }, coalesced.len())
+    };
+
     let all_idx: Vec<usize> = (0..executions).collect();
+    let all = Samples::new(serving.clone());
     let (cold_trace_mean_ms, cache_hit_mean_ms) = split_means(&all_idx);
 
     // Per-backend A/B records, first-listed backend as the ratio anchor.
     let mut backends = Vec::with_capacity(nb);
     let mut first_mean = 0.0;
-    for (bi, reg) in regs.iter().enumerate() {
-        let idx: Vec<usize> = (0..mix.len()).map(|i| i * nb + bi).collect();
-        let b_lat: Vec<f64> = idx.iter().map(|&e| lat[e]).collect();
-        let hits = idx.iter().filter(|&&e| out[e] == OUTCOME_HIT).count();
+    for (ki, reg) in regs.iter().enumerate() {
+        let idx: Vec<usize> = (0..mix.len()).map(|i| i * nb + ki).collect();
+        let b_lat: Vec<f64> = idx.iter().map(|&e| serving[e]).collect();
+        let hits = (0..nbatches).filter(|&bi| out[bi * nb + ki] == OUTCOME_HIT).count();
         let busy_secs: f64 = b_lat.iter().sum::<f64>() / 1e3;
         let mean_ms = mean_of(&b_lat);
-        if bi == 0 {
+        if ki == 0 {
             first_mean = mean_ms;
         }
         let (b_cold, b_hit) = split_means(&idx);
+        let (b_solo, b_batched, b_speedup, _) = batch_split(&idx);
         backends.push(BackendRecord {
             backend: reg.name().to_string(),
             requests: mix.len(),
+            lookups: nbatches,
             hits,
-            misses: mix.len() - hits,
-            hit_rate: hits as f64 / mix.len() as f64,
+            misses: nbatches - hits,
+            hit_rate: hits as f64 / nbatches as f64,
             requests_per_sec: if busy_secs > 0.0 {
                 mix.len() as f64 * clients as f64 / busy_secs
             } else {
@@ -523,26 +834,72 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             mean_ms,
             cold_trace_mean_ms: b_cold,
             cache_hit_mean_ms: b_hit,
+            solo_mean_ms: b_solo,
+            batched_mean_ms: b_batched,
+            batched_speedup: b_speedup,
             speedup_vs_first: if mean_ms > 0.0 { first_mean / mean_ms } else { 0.0 },
         });
     }
 
+    let fam_flags: Vec<u8> =
+        slots.fam_stackable.iter().map(|a| a.load(Ordering::Relaxed)).collect();
     let mut families = Vec::new();
-    for family in Family::ALL {
-        let idx: Vec<usize> = (0..executions).filter(|&e| mix[e / nb].family == family).collect();
+    for (fi, family) in Family::ALL.iter().enumerate() {
+        let idx: Vec<usize> = (0..executions).filter(|&e| mix[e / nb].family == *family).collect();
         if idx.is_empty() {
             continue;
         }
-        let fam_lat: Vec<f64> = idx.iter().map(|&e| lat[e]).collect();
+        let fam_lat: Vec<f64> = idx.iter().map(|&e| serving[e]).collect();
+        let (f_solo, f_batched, f_speedup, _) = batch_split(&idx);
         families.push(FamilyRecord {
             family: family.id().to_string(),
             experiment: family.experiment().to_string(),
+            stackable: fam_flags[fi] == 1,
             requests: idx.len(),
-            hits: idx.iter().filter(|&&e| out[e] == OUTCOME_HIT).count(),
+            hits: idx.iter().filter(|&&e| exec_outcome(e) == OUTCOME_HIT).count(),
             p50_ms: Samples::new(fam_lat.clone()).median(),
             mean_ms: mean_of(&fam_lat),
+            solo_mean_ms: f_solo,
+            batched_mean_ms: f_batched,
+            batched_speedup: f_speedup,
         });
     }
+
+    // The admission window's own record.
+    let max_occupancy = batches.iter().map(|b| b.idx.len()).max().unwrap_or(0);
+    let mut occupancy_hist = vec![0usize; max_occupancy];
+    for b in &batches {
+        occupancy_hist[b.idx.len() - 1] += 1;
+    }
+    let (g_solo, g_batched, g_speedup, coalesced_execs) = batch_split(&all_idx);
+    let coalesced_busy_batched: f64 =
+        all_idx.iter().filter(|&&e| exec_occ(e) >= 2).map(|&e| batched[e]).sum::<f64>() / 1e3;
+    let coalesced_busy_solo: f64 =
+        all_idx.iter().filter(|&&e| exec_occ(e) >= 2).map(|&e| solo[e]).sum::<f64>() / 1e3;
+    let rps = |execs: usize, busy: f64| {
+        if busy > 0.0 {
+            execs as f64 * clients as f64 / busy
+        } else {
+            0.0
+        }
+    };
+    let batching = BatchingRecord {
+        enabled: cfg.batching_enabled(),
+        window: cfg.batch_window,
+        batches: nbatches,
+        mean_occupancy: mix.len() as f64 / nbatches as f64,
+        max_occupancy,
+        occupancy_hist,
+        stacked_batches: kinds.iter().filter(|&&k| k == BATCH_STACKED).count(),
+        fallback_batches: kinds.iter().filter(|&&k| k == BATCH_FALLBACK).count(),
+        solo_batches: kinds.iter().filter(|&&k| k == BATCH_SOLO).count(),
+        batched_requests: batches.iter().map(|b| b.idx.len()).filter(|&o| o >= 2).sum(),
+        batched_mean_ms: g_batched,
+        solo_mean_ms: g_solo,
+        batched_speedup: g_speedup,
+        batched_requests_per_sec: rps(coalesced_execs, coalesced_busy_batched),
+        solo_requests_per_sec: rps(coalesced_execs, coalesced_busy_solo),
+    };
 
     let stats = cache.stats();
     Ok(ServeReport {
@@ -554,6 +911,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         base_n: cfg.n,
         seed: cfg.seed,
         dtype: cfg.dtype.map_or("mixed", Dtype::name).to_string(),
+        batch_window: cfg.batch_window,
         distinct_signatures: distinct.len(),
         wall_secs,
         requests_per_sec: executions as f64 / wall_secs,
@@ -566,11 +924,14 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         } else {
             0.0
         },
+        batching,
         cache: CacheStatsRecord {
             hits: stats.hits,
             misses: stats.misses,
             retraces: stats.retraces,
             evictions: stats.evictions,
+            evicted_recompiles: stats.evicted_recompiles,
+            mean_recompile_ms: stats.mean_recompile_ms(),
             entries: stats.entries,
             hit_rate: stats.hit_rate(),
         },
@@ -610,37 +971,76 @@ mod tests {
     #[test]
     fn bad_schema_is_rejected() {
         let mut report = run_ok(&ServeConfig { requests: 24, ..tiny_cfg() });
-        report.schema = "laab-serve-bench-v1".into();
+        report.schema = "laab-serve-bench-v2".into();
         assert!(ServeReport::from_json(&report.to_json()).is_err());
     }
 
     #[test]
-    fn repeated_signature_workload_mostly_hits() {
+    fn admission_window_coalesces_and_counters_stay_consistent() {
         let report = run_ok(&tiny_cfg());
-        assert!(
-            report.cache.hit_rate > 0.9,
-            "hit rate {:.3} not > 0.9 over {} distinct signatures",
-            report.cache.hit_rate,
-            report.distinct_signatures
-        );
+        let b = &report.batching;
+        assert!(b.enabled && b.window == 8);
+        assert!(b.mean_occupancy > 1.0, "window 8 must coalesce: {:.2}", b.mean_occupancy);
+        assert!(b.max_occupancy >= 2 && b.max_occupancy <= b.window);
+        // The histogram partitions the batches, weighted by occupancy it
+        // partitions the requests.
+        assert_eq!(b.occupancy_hist.iter().sum::<usize>(), b.batches);
+        let weighted: usize = b.occupancy_hist.iter().enumerate().map(|(i, c)| (i + 1) * c).sum();
+        assert_eq!(weighted, report.requests);
+        assert_eq!(b.stacked_batches + b.fallback_batches + b.solo_batches, b.batches);
+        assert!(b.stacked_batches > 0, "chain/solve batches must stack");
+        assert!(b.fallback_batches > 0, "matrix-family batches must fall back");
+        assert!(b.batched_requests >= 2 * (b.stacked_batches + b.fallback_batches));
+        // Both legs were measured on coalesced batches.
+        assert!(b.solo_mean_ms > 0.0 && b.batched_mean_ms > 0.0 && b.batched_speedup > 0.0);
+        assert!(b.batched_requests_per_sec > 0.0 && b.solo_requests_per_sec > 0.0);
+
+        // Cache lookups are batch-granular: one per (batch, backend).
         assert_eq!(report.executions, report.requests);
-        assert_eq!(report.cache.hits + report.cache.misses, report.executions as u64);
-        // Churn requests force chain-callsite retraces.
+        assert_eq!(report.cache.hits + report.cache.misses, b.batches as u64);
         assert!(report.cache.retraces >= 1, "churned stream must retrace");
-        // Every family appears and the counters are consistent.
+        assert_eq!(report.backends.len(), 1);
+        let be = &report.backends[0];
+        assert_eq!(be.lookups, b.batches);
+        assert_eq!(be.hits + be.misses, be.lookups);
+        assert!(be.hit_rate > 0.5, "repeats within the key set still hit: {}", be.hit_rate);
+        assert_eq!(be.misses, report.distinct_signatures, "one compile per signature");
+        assert!(be.solo_mean_ms > 0.0 && be.batched_mean_ms > 0.0);
+
+        // Families: the GEMV-shaped ones stack, the matrix ones fall back.
         assert_eq!(report.families.len(), Family::ALL.len());
         let fam_requests: usize = report.families.iter().map(|f| f.requests).sum();
         assert_eq!(fam_requests, report.executions);
-        let fam_hits: usize = report.families.iter().map(|f| f.hits).sum();
-        assert_eq!(fam_hits as u64, report.cache.hits);
+        for f in &report.families {
+            let want_stack = f.family == "chain" || f.family == "solve_residual";
+            assert_eq!(f.stackable, want_stack, "{}", f.family);
+            assert!(f.hits <= f.requests);
+        }
         assert!(report.requests_per_sec > 0.0);
         assert!(report.p99_ms >= report.p50_ms);
         assert!(report.cold_trace_mean_ms.is_finite() && report.cache_hit_mean_ms.is_finite());
-        // The default single-backend run still carries its A/B record.
-        assert_eq!(report.backends.len(), 1);
-        assert_eq!(report.backends[0].backend, "engine");
-        assert_eq!(report.backends[0].speedup_vs_first, 1.0);
-        assert_eq!(report.dtype, "mixed");
+        assert_eq!(report.batch_window, 8);
+    }
+
+    #[test]
+    fn disabling_batching_restores_per_request_serving() {
+        let report = run_ok(&ServeConfig { batch_window: 0, ..tiny_cfg() });
+        let b = &report.batching;
+        assert!(!b.enabled);
+        assert_eq!(b.batches, report.requests, "every request is its own batch");
+        assert_eq!(b.mean_occupancy, 1.0);
+        assert_eq!(b.max_occupancy, 1);
+        assert_eq!((b.stacked_batches, b.fallback_batches), (0, 0));
+        assert_eq!(b.solo_batches, b.batches);
+        assert_eq!(b.batched_requests, 0);
+        assert_eq!((b.batched_mean_ms, b.batched_speedup), (0.0, 0.0));
+        // Per-request lookups: the pre-v3 semantics, including the high
+        // hit rate over the repeated-signature stream.
+        let be = &report.backends[0];
+        assert_eq!(be.lookups, report.requests);
+        assert!(be.hit_rate > 0.9, "hit rate {:.3} not > 0.9", be.hit_rate);
+        assert_eq!((be.batched_mean_ms, be.batched_speedup), (0.0, 0.0));
+        assert_eq!(report.cache.hits + report.cache.misses, report.requests as u64);
     }
 
     #[test]
@@ -653,7 +1053,7 @@ mod tests {
         assert_eq!(report.executions, report.requests * 3);
         assert_eq!(report.backends.len(), 3);
 
-        // Identical traffic per backend: every backend saw every request,
+        // Identical traffic per backend: every backend saw every batch,
         // and — because signatures embed the BackendId — each compiled
         // its own plans. No cross-backend hits is structural: per-backend
         // misses equal the per-backend distinct-signature count, and the
@@ -661,17 +1061,20 @@ mod tests {
         let per_backend_distinct = report.distinct_signatures / 3;
         for b in &report.backends {
             assert_eq!(b.requests, report.requests, "{}", b.backend);
-            assert_eq!(b.hits + b.misses, b.requests, "{}", b.backend);
+            assert_eq!(b.lookups, report.batching.batches, "{}", b.backend);
+            assert_eq!(b.hits + b.misses, b.lookups, "{}", b.backend);
             assert_eq!(b.misses, per_backend_distinct, "{} compiled its own plans", b.backend);
-            assert!(b.hit_rate > 0.9, "{} hit rate {:.3}", b.backend, b.hit_rate);
             assert!(b.p99_ms >= b.p50_ms, "{}", b.backend);
             assert!(b.requests_per_sec > 0.0 && b.speedup_vs_first > 0.0, "{}", b.backend);
+            assert!(b.batched_speedup > 0.0, "{} measured both legs", b.backend);
         }
         assert_eq!(report.cache.evictions, 0, "capacity scales with backend count");
+        assert_eq!(report.cache.evicted_recompiles, 0);
+        assert_eq!(report.cache.mean_recompile_ms, 0.0);
         assert_eq!(report.cache.entries, report.distinct_signatures);
         assert_eq!(report.backends[0].speedup_vs_first, 1.0, "baseline anchors at 1.0");
 
-        // Hit rates are a deterministic function of the stream, so every
+        // Hit counts are a deterministic function of the stream, so every
         // backend's counters are identical — only latencies differ.
         assert!(report.backends.iter().all(|b| b.hits == report.backends[0].hits));
 
@@ -753,30 +1156,30 @@ mod tests {
 
     #[test]
     fn zero_hit_stream_still_emits_valid_json() {
-        // 5 requests over a mixed stream are (almost certainly) all
-        // distinct signatures → zero hits. The report must stay within
-        // its own f64 schema (no NaN → null) and round-trip.
+        // 5 requests over a churning mixed stream are (almost certainly)
+        // all distinct signatures → zero hits, singleton batches. The
+        // report must stay within its own f64 schema (no NaN → null) and
+        // round-trip.
         let report = run_ok(&ServeConfig { requests: 5, churn_every: 2, ..tiny_cfg() });
         assert!(report.cache_hit_mean_ms.is_finite());
         assert!(report.cache_hit_speedup.is_finite());
+        assert!(report.batching.batched_speedup.is_finite());
         let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
         assert_eq!(back, report);
     }
 
     #[test]
-    fn strict_timing_hit_and_backend_speedups() {
-        // Timing-sensitive: a cache hit skips trace + optimize + schedule,
-        // so its mean latency must sit below the cold-trace mean; and the
-        // engine must out-serve the naive reference backend. Asserted
-        // only under LAAB_STRICT_TIMING=1 (shared runners are too noisy).
+    fn strict_timing_batching_and_hit_speedups() {
+        // Timing-sensitive: asserted only under LAAB_STRICT_TIMING=1
+        // (shared runners are too noisy). A cache hit skips trace +
+        // optimize + schedule, so hit batches serve faster than cold
+        // ones; and the GEMV-shaped (RHS-stackable) families must show a
+        // strict batched-over-solo throughput step at window 8 — the
+        // Level-2 → Level-3 regime conversion this subsystem exists for.
         if std::env::var("LAAB_STRICT_TIMING").as_deref() != Ok("1") {
             return;
         }
-        let cfg = ServeConfig {
-            backends: vec!["engine".into(), "reference".into()],
-            ..ServeConfig::smoke()
-        };
-        let report = run_ok(&cfg);
+        let report = run_ok(&ServeConfig::smoke());
         assert!(
             report.cache_hit_speedup > 1.0,
             "cache-hit speedup {:.2}x not > 1x (cold {:.3}ms, hit {:.3}ms)",
@@ -784,12 +1187,16 @@ mod tests {
             report.cold_trace_mean_ms,
             report.cache_hit_mean_ms
         );
-        let reference = &report.backends[1];
-        assert!(
-            reference.speedup_vs_first < 1.0,
-            "naive reference ({:.3}ms mean) should serve slower than the engine ({:.3}ms)",
-            reference.mean_ms,
-            report.backends[0].mean_ms
-        );
+        for f in &report.families {
+            if f.stackable {
+                assert!(
+                    f.batched_speedup > 1.0,
+                    "{}: batched {:.3}ms not faster than solo {:.3}ms",
+                    f.family,
+                    f.batched_mean_ms,
+                    f.solo_mean_ms
+                );
+            }
+        }
     }
 }

@@ -12,9 +12,10 @@
 //! the same new signature at once, exactly one compiles and the rest
 //! block briefly and then hit. The counters are lock-free atomics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use laab_backend::BackendId;
 
@@ -48,6 +49,16 @@ pub struct CacheStats {
     pub retraces: u64,
     /// Plans evicted by the LRU bound.
     pub evictions: u64,
+    /// The subset of misses whose exact signature had been compiled
+    /// before and was evicted by the LRU bound — pure capacity churn, as
+    /// opposed to first-compile misses (cold signatures) and retraces
+    /// (signature drift). A rising count under steady traffic means the
+    /// capacity is too small for the working set: the `tf.function`
+    /// retrace-storm pathology induced by the cache itself.
+    pub evicted_recompiles: u64,
+    /// Total nanoseconds spent re-compiling evicted signatures — the
+    /// latency the LRU bound *cost*, not merely how often it bit.
+    pub recompile_nanos: u64,
     /// Plans currently resident.
     pub entries: usize,
 }
@@ -60,6 +71,16 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean wall-clock milliseconds of one eviction-induced recompile
+    /// (`0.0` before any — zero over zero is "no churn", not NaN).
+    pub fn mean_recompile_ms(&self) -> f64 {
+        if self.evicted_recompiles == 0 {
+            0.0
+        } else {
+            self.recompile_nanos as f64 / 1e6 / self.evicted_recompiles as f64
         }
     }
 }
@@ -87,8 +108,11 @@ impl Shard {
         self.tick
     }
 
-    /// Remove the least-recently-used entry. Caller guarantees non-empty.
-    fn evict_lru(&mut self) {
+    /// Remove the least-recently-used entry, returning its signature
+    /// hash (the caller records it so a later miss on the same signature
+    /// counts as an eviction-induced recompile). Caller guarantees
+    /// non-empty.
+    fn evict_lru(&mut self) -> u64 {
         let (&key, oldest) = self
             .buckets
             .iter()
@@ -105,6 +129,7 @@ impl Shard {
             self.buckets.remove(&key);
         }
         self.len -= 1;
+        key
     }
 }
 
@@ -116,6 +141,14 @@ pub struct PlanCache {
     misses: AtomicU64,
     retraces: AtomicU64,
     evictions: AtomicU64,
+    evicted_recompiles: AtomicU64,
+    recompile_nanos: AtomicU64,
+    /// Hashes of every signature the LRU bound has ever evicted, so a
+    /// later miss on one of them is classified as capacity churn rather
+    /// than a first compile. Hash membership, not full signatures: a
+    /// 64-bit collision misclassifies one counter tick, nothing more.
+    /// Bounded by the distinct signatures the process ever sees.
+    evicted_sigs: Mutex<HashSet<u64>>,
     /// `(callsite, backend)` → hash of the most recently compiled
     /// signature, for the retrace distinction. The callsite is tracked
     /// *per backend*: dispatching one callsite to a second backend is
@@ -151,6 +184,9 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             retraces: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evicted_recompiles: AtomicU64::new(0),
+            recompile_nanos: AtomicU64::new(0),
+            evicted_sigs: Mutex::new(HashSet::new()),
             seen_funcs: Mutex::new(HashMap::new()),
         }
     }
@@ -195,11 +231,23 @@ impl PlanCache {
         if retrace {
             self.retraces.fetch_add(1, Ordering::Relaxed);
         }
+        let was_evicted = {
+            let evicted = self.evicted_sigs.lock().unwrap_or_else(|e| e.into_inner());
+            evicted.contains(&sig.hash())
+        };
 
+        let t0 = Instant::now();
         let plan = Arc::new(compile());
+        if was_evicted {
+            // An eviction-induced recompile: the capacity bound, not a
+            // new signature, is what made this lookup pay the cold trace.
+            self.evicted_recompiles.fetch_add(1, Ordering::Relaxed);
+            self.recompile_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         if shard.len >= self.per_shard_capacity {
-            shard.evict_lru();
+            let evicted_hash = shard.evict_lru();
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted_sigs.lock().unwrap_or_else(|e| e.into_inner()).insert(evicted_hash);
         }
         let hash = sig.hash();
         shard.buckets.entry(hash).or_default().push(Entry {
@@ -235,6 +283,8 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             retraces: self.retraces.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_recompiles: self.evicted_recompiles.load(Ordering::Relaxed),
+            recompile_nanos: self.recompile_nanos.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -294,9 +344,46 @@ mod tests {
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.len(), 2);
 
-        // Re-requesting the evicted signature recompiles.
+        // Re-requesting the evicted signature recompiles — and that
+        // recompile is classified as eviction-induced, with its latency
+        // on the record (capacity churn, not a cold signature).
+        assert_eq!(cache.stats().evicted_recompiles, 0);
         let (_, l) = cache.get_or_compile(b, || tiny_plan(4));
         assert_eq!(l, Lookup::Compiled { retrace: false });
+        let st = cache.stats();
+        assert_eq!(st.evicted_recompiles, 1);
+        assert!(st.recompile_nanos > 0, "recompile latency is recorded");
+        assert!(st.mean_recompile_ms() > 0.0);
+    }
+
+    #[test]
+    fn first_compiles_are_not_evicted_recompiles() {
+        let cache = PlanCache::new(8);
+        for name in ["a", "b", "c"] {
+            cache.get_or_compile(sig(name, 4, Dtype::F64), || tiny_plan(4));
+        }
+        let st = cache.stats();
+        assert_eq!(st.misses, 3, "three first compiles");
+        assert_eq!(st.evicted_recompiles, 0, "no eviction happened");
+        assert_eq!(st.recompile_nanos, 0);
+        assert_eq!(st.mean_recompile_ms(), 0.0, "zero over zero is no churn, not NaN");
+    }
+
+    #[test]
+    fn eviction_churn_counts_every_round_trip() {
+        // Capacity 1, two alternating signatures: after the first pair,
+        // every miss is an eviction-induced recompile.
+        let cache = PlanCache::with_shards(1, 1);
+        let (a, b) = (sig("a", 4, Dtype::F64), sig("b", 4, Dtype::F64));
+        for _ in 0..3 {
+            cache.get_or_compile(a.clone(), || tiny_plan(4));
+            cache.get_or_compile(b.clone(), || tiny_plan(4));
+        }
+        let st = cache.stats();
+        assert_eq!(st.misses, 6);
+        assert_eq!(st.evictions, 5, "every insert after the first evicts");
+        assert_eq!(st.evicted_recompiles, 4, "all but the two first compiles are churn");
+        assert!(st.mean_recompile_ms() > 0.0);
     }
 
     #[test]

@@ -25,12 +25,21 @@
 //!   mirroring `tf.function`'s retrace semantics.
 //! * [`workload`] — synthetic request families drawn from the paper's
 //!   Experiments 1–5 (CSE traps, chains, Gram products, slicing,
-//!   distributivity, solver residuals).
-//! * [`mod@bench`] — the multi-client serving loop: clients on the
-//!   `laab-kernels` worker pool drain a queue of mixed requests through
-//!   the cache and report requests/s, p50/p99 latency, cold-trace vs
-//!   cache-hit latency, and cache statistics as a machine-readable
-//!   `BENCH_serve.json` ([`bench::SERVE_REPORT_SCHEMA`]).
+//!   distributivity, solver residuals), each declaring which operands
+//!   are request-varying payloads (the data batched execution
+//!   column-stacks).
+//! * [`mod@bench`] — the multi-client serving loop: an **admission
+//!   window** coalesces pending same-signature requests into batches
+//!   (`laab serve --batch-window`), clients on the `laab-kernels`
+//!   worker pool drain whole batches through the cache — executing each
+//!   batch once via [`Plan::execute_batched`] (column-stacked multi-RHS
+//!   GEMM where the compile-time analysis proves it legal, a bitwise
+//!   per-request fallback otherwise) — and the report carries
+//!   requests/s, p50/p99 latency, the interleaved batched-vs-solo
+//!   split, occupancy histograms, cold-trace vs cache-hit latency, and
+//!   cache statistics (including eviction-induced recompiles) as a
+//!   machine-readable `BENCH_serve.json`
+//!   ([`bench::SERVE_REPORT_SCHEMA`]).
 //!
 //! Signatures (and therefore cached plans) carry the execution
 //! [`BackendId`] they target, so the serving

@@ -7,7 +7,9 @@ use laab_dense::Matrix;
 use laab_expr::eval::Env;
 use laab_expr::{Context, Expr};
 use laab_framework::Framework;
-use laab_graph::{execute_scheduled_on, Graph, PassStats, Schedule};
+use laab_graph::{
+    execute_batched_on, execute_scheduled_on, BatchAnalysis, Graph, PassStats, Schedule,
+};
 
 /// A compiled, reusable execution plan — the `ConcreteFunction` of the
 /// `tf.function` analogy.
@@ -26,6 +28,7 @@ use laab_graph::{execute_scheduled_on, Graph, PassStats, Schedule};
 pub struct Plan {
     graph: Graph,
     schedule: Schedule,
+    batch: BatchAnalysis,
     build_secs: f64,
     stats: PassStats,
     backend: &'static Registration,
@@ -35,18 +38,35 @@ impl Plan {
     /// Trace `expr` over the shapes in `ctx` through `fw`'s graph mode,
     /// optimize, and precompute the schedule, binding the plan to
     /// `backend`. This is the full cold-trace cost a cache hit amortizes
-    /// away.
+    /// away. No operand is declared request-varying, so the plan never
+    /// stacks (see [`Plan::compile_with_varying`]).
     pub fn compile(
         fw: &Framework,
         expr: &Expr,
         ctx: &Context,
         backend: &'static Registration,
     ) -> Plan {
+        Self::compile_with_varying(fw, expr, ctx, backend, &[])
+    }
+
+    /// [`Plan::compile`], additionally declaring which operand names vary
+    /// request to request. The compile step runs the batch-stacking shape
+    /// analysis ([`laab_graph::BatchAnalysis`]) over the optimized graph,
+    /// so [`Plan::execute_batched`] can decide stacked-vs-fallback without
+    /// any per-batch analysis cost.
+    pub fn compile_with_varying(
+        fw: &Framework,
+        expr: &Expr,
+        ctx: &Context,
+        backend: &'static Registration,
+        varying: &[&str],
+    ) -> Plan {
         let t0 = Instant::now();
         let function = fw.function_from_expr(expr, ctx);
         let (graph, _trace_time, stats) = function.into_plan_parts();
         let schedule = Schedule::new(&graph);
-        Plan { build_secs: t0.elapsed().as_secs_f64(), graph, schedule, stats, backend }
+        let batch = BatchAnalysis::analyze(&graph, |name| varying.contains(&name));
+        Plan { build_secs: t0.elapsed().as_secs_f64(), graph, schedule, batch, stats, backend }
     }
 
     /// Execute the plan against fresh operand bindings, dispatching every
@@ -66,6 +86,39 @@ impl Plan {
             )
         });
         execute_scheduled_on(&self.graph, &self.schedule, env, backend)
+    }
+
+    /// Execute the plan once over a batch of operand environments —
+    /// coalesced same-signature requests. When the compile-time analysis
+    /// proved the plan RHS-stackable, varying products run as one
+    /// multi-RHS execution through the plan's backend
+    /// ([`laab_backend::Backend::matmul_batched`]); otherwise each
+    /// environment executes sequentially, bitwise-identical to
+    /// [`Plan::execute`] per request.
+    ///
+    /// # Panics
+    /// As [`Plan::execute`], plus on an empty batch.
+    pub fn execute_batched<T: BackendScalar>(&self, envs: &[&Env<T>]) -> Vec<Vec<Matrix<T>>> {
+        let backend = self.backend.resolve::<T>().unwrap_or_else(|| {
+            panic!(
+                "backend `{}` has no {} entry point (validate dtype support before dispatch)",
+                self.backend.name(),
+                T::DTYPE
+            )
+        });
+        execute_batched_on(&self.graph, &self.schedule, &self.batch, envs, backend)
+    }
+
+    /// Whether the compile-time shape analysis proved batched executions
+    /// of this plan can column-stack (`false` means batches take the
+    /// bitwise per-request fallback).
+    pub fn stackable(&self) -> bool {
+        self.batch.stackable()
+    }
+
+    /// The compile-time batch-stacking analysis.
+    pub fn batch_analysis(&self) -> &BatchAnalysis {
+        &self.batch
     }
 
     /// The backend this plan is bound to.
@@ -169,6 +222,43 @@ mod tests {
         let mut g = OperandGen::new(3);
         let env = Env::<f64>::new().with("A", g.matrix(n, n)).with("B", g.matrix(n, n));
         let _ = plan.execute(&env);
+    }
+
+    #[test]
+    fn batched_execution_matches_solo_and_respects_varying() {
+        let n = 12;
+        let fw = Framework::flow();
+        let expr = var("H").t() * (var("H") * var("x"));
+        let ctx = Context::new().with("H", n, n).with("x", n, 1);
+        let plan =
+            Plan::compile_with_varying(&fw, &expr, &ctx, registry::default_backend(), &["x"]);
+        assert!(plan.stackable(), "chain with varying RHS must stack");
+        assert_eq!(plan.batch_analysis().len(), plan.graph().len());
+
+        let mut g = OperandGen::new(5);
+        let h = g.matrix::<f64>(n, n);
+        let envs: Vec<Env<f64>> = (0..6)
+            .map(|i| {
+                let mut pg = OperandGen::new(100 + i);
+                Env::new().with("H", h.clone()).with("x", pg.matrix(n, 1))
+            })
+            .collect();
+        let refs: Vec<&Env<f64>> = envs.iter().collect();
+        let batched = plan.execute_batched(&refs);
+        assert_eq!(batched.len(), envs.len());
+        for (env, b) in envs.iter().zip(&batched) {
+            let solo = plan.execute(env);
+            assert!(b[0].approx_eq(&solo[0], 1e-12), "batched drifted from solo");
+        }
+
+        // Without a varying declaration the same expression never stacks:
+        // batched execution falls back per request, bitwise.
+        let plain = Plan::compile(&fw, &expr, &ctx, registry::default_backend());
+        assert!(!plain.stackable());
+        let fallback = plain.execute_batched(&refs);
+        for (env, b) in envs.iter().zip(&fallback) {
+            assert_eq!(b, &plain.execute(env));
+        }
     }
 
     #[test]

@@ -117,6 +117,37 @@ impl Family {
         }
         env
     }
+
+    /// Operand names whose *values* differ request to request — the
+    /// request payload, as opposed to the shared model operands every
+    /// same-signature request binds identically. This is what the batched
+    /// executor's [`laab_graph::BatchAnalysis`] takes as the varying set:
+    /// the chain/solve families vary only their right-hand-side vectors
+    /// (RHS-stackable), while the matrix families' whole operand set is
+    /// per-request (no column-stacked form — they take the bitwise
+    /// per-request fallback).
+    pub fn varying_operands(self) -> &'static [&'static str] {
+        match self {
+            Family::CseGram | Family::Slice => &["A", "B"],
+            Family::Chain => &["x"],
+            Family::Gram => &["Q"],
+            Family::Distributive => &["A", "B", "C"],
+            Family::SolveResidual => &["x", "y"],
+        }
+    }
+
+    /// The varying operands the harness actually re-draws per request:
+    /// the `n×1` vector payloads. Matrix-shaped varying operands keep
+    /// their pooled values (their families execute per request either
+    /// way, so distinct values would change no work — only the operand
+    /// pool's memory footprint).
+    pub fn payload_operands(self) -> &'static [&'static str] {
+        match self {
+            Family::Chain => &["x"],
+            Family::SolveResidual => &["x", "y"],
+            _ => &[],
+        }
+    }
 }
 
 /// One synthetic serving request.
@@ -128,12 +159,18 @@ pub struct Request {
     pub n: usize,
     /// Element precision.
     pub dtype: Dtype,
+    /// Payload identity: requests with equal signatures but different
+    /// payloads bind different vector operands (see
+    /// [`Family::payload_operands`]) — the data a batched execution
+    /// column-stacks.
+    pub payload: u64,
 }
 
 impl Request {
     /// The request's plan-cache signature when dispatched to `backend`.
     /// One logical request driven through two backends yields two
     /// signatures — that is what keeps A/B cache entries independent.
+    /// The payload does not participate: same shapes, same plan.
     pub fn signature(&self, backend: BackendId) -> Signature {
         Signature::new(
             self.family.id(),
@@ -142,6 +179,23 @@ impl Request {
             self.dtype,
             backend,
         )
+    }
+
+    /// The request's operand bindings, derived from the shared pool env
+    /// for `(family, n)` with this request's payload vectors drawn on
+    /// top. Deterministic in `(request, seed)` — the batched and solo
+    /// passes see identical data.
+    pub fn env_from_pool<T: Scalar>(&self, base: &Env<T>, seed: u64) -> Env<T> {
+        let mut env = base.clone();
+        let ctx = self.family.ctx(self.n);
+        for (k, name) in self.family.payload_operands().iter().enumerate() {
+            let mut g = OperandGen::new(
+                seed ^ self.payload.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((k as u64 + 1) << 56),
+            );
+            let shape = ctx.expect(name).shape;
+            env.insert(name, g.matrix(shape.rows, shape.cols));
+        }
+        env
     }
 }
 
@@ -180,7 +234,7 @@ pub fn synthetic_mix(
             base_n
         };
         let drawn = if rng.gen::<bool>() { Dtype::F64 } else { Dtype::F32 };
-        mix.push(Request { family, n, dtype: dtype.unwrap_or(drawn) });
+        mix.push(Request { family, n, dtype: dtype.unwrap_or(drawn), payload: i as u64 });
     }
     mix
 }
@@ -245,11 +299,52 @@ mod tests {
     }
 
     #[test]
+    fn varying_and_payload_sets_are_consistent() {
+        for family in Family::ALL {
+            let ctx = family.ctx(8);
+            let varying = family.varying_operands();
+            assert!(!varying.is_empty(), "{}: some operand must vary per request", family.id());
+            for name in family.payload_operands() {
+                assert!(varying.contains(name), "{}: payloads are varying operands", family.id());
+                assert_eq!(ctx.expect(name).shape.cols, 1, "{}: payloads are vectors", family.id());
+            }
+            for name in varying {
+                assert!(ctx.names().any(|n| n == *name), "{}: `{name}` declared", family.id());
+            }
+        }
+        // The GEMV-shaped families are the RHS-stackable ones.
+        assert_eq!(Family::Chain.payload_operands(), ["x"]);
+        assert_eq!(Family::SolveResidual.payload_operands(), ["x", "y"]);
+    }
+
+    #[test]
+    fn payload_envs_vary_only_the_payload_operands() {
+        let base = Family::SolveResidual.env::<f64>(10, 3);
+        let mk =
+            |payload| Request { family: Family::SolveResidual, n: 10, dtype: Dtype::F64, payload };
+        let e1 = mk(1).env_from_pool(&base, 3);
+        let e1b = mk(1).env_from_pool(&base, 3);
+        let e2 = mk(2).env_from_pool(&base, 3);
+        // Deterministic per payload; distinct across payloads; H shared.
+        assert_eq!(e1.expect("x"), e1b.expect("x"));
+        assert_ne!(e1.expect("x"), e2.expect("x"));
+        assert_ne!(e1.expect("y"), e2.expect("y"));
+        assert_ne!(e1.expect("x"), e1.expect("y"), "per-name payload streams are distinct");
+        assert_eq!(e1.expect("H"), base.expect("H"));
+        assert_eq!(e2.expect("H"), base.expect("H"));
+        // Families without vector payloads reuse the pool env as-is.
+        let gbase = Family::Gram.env::<f64>(10, 3);
+        let g1 = Request { family: Family::Gram, n: 10, dtype: Dtype::F64, payload: 1 }
+            .env_from_pool(&gbase, 3);
+        assert_eq!(g1.expect("Q"), gbase.expect("Q"));
+    }
+
+    #[test]
     fn signatures_distinguish_families_sizes_dtypes_backends() {
-        let r1 = Request { family: Family::Gram, n: 8, dtype: Dtype::F64 };
-        let r2 = Request { family: Family::Gram, n: 8, dtype: Dtype::F32 };
-        let r3 = Request { family: Family::Chain, n: 8, dtype: Dtype::F64 };
-        let r4 = Request { family: Family::Gram, n: 10, dtype: Dtype::F64 };
+        let r1 = Request { family: Family::Gram, n: 8, dtype: Dtype::F64, payload: 0 };
+        let r2 = Request { family: Family::Gram, n: 8, dtype: Dtype::F32, payload: 0 };
+        let r3 = Request { family: Family::Chain, n: 8, dtype: Dtype::F64, payload: 0 };
+        let r4 = Request { family: Family::Gram, n: 10, dtype: Dtype::F64, payload: 0 };
         let mut sigs: Vec<u64> =
             [r1, r2, r3, r4].map(|r| r.signature(BackendId::ENGINE).hash()).to_vec();
         // The same requests through a second backend: all-new signatures.
@@ -260,5 +355,9 @@ mod tests {
             }
         }
         assert_eq!(r1.signature(BackendId::ENGINE), r1.signature(BackendId::ENGINE));
+        // Payloads are values, not shapes: they never change the signature
+        // (that is exactly what makes the requests coalescible).
+        let r5 = Request { payload: 99, ..r1 };
+        assert_eq!(r1.signature(BackendId::ENGINE), r5.signature(BackendId::ENGINE));
     }
 }

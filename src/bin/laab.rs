@@ -67,6 +67,11 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
                      (built-ins: engine, seed, reference; first = baseline)
     --dtype D        pin request precision: f32 | f64 | mixed
                                                    [default: mixed]
+    --batch-window N admission window: coalesce up to N pending
+                     same-signature requests into one batched (multi-RHS)
+                     execution; measures batched vs solo interleaved
+                                                   [default: 8]
+    --no-batch       disable batching (same as --batch-window 0)
     --json           print the machine-readable report to stdout
     --out PATH       write the JSON report to PATH (BENCH_serve.json format)
 ";
@@ -245,10 +250,19 @@ fn run_bench(args: BenchArgs) -> ExitCode {
         emit(&report.to_json());
     } else {
         emit(&report.summary_table().to_string());
+        let batch_line = report
+            .summary
+            .batch_sizes
+            .iter()
+            .zip(&report.summary.batch_gflops)
+            .map(|(q, g)| format!("b{q} {g:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         emit(&format!(
             "engine {:.2} GFLOP/s vs seed kernel {:.2} GFLOP/s on {} (1 thread): {:.2}x\n\
              f32 engine {:.2} GFLOP/s on the same anchor: {:.2}x the f64 rate\n\
-             wide-short parallel speedup ({} threads): {:.2}x",
+             wide-short parallel speedup ({} threads): {:.2}x\n\
+             multi-RHS anchor GFLOP/s (GEMV-shaped, interleaved): {batch_line}",
             report.summary.engine_gflops,
             report.summary.seed_gflops,
             report.summary.anchor,
@@ -316,6 +330,10 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
                     }
                 };
             }
+            "--batch-window" => {
+                out.cfg.batch_window = parse_num(args.next(), "--batch-window")?;
+            }
+            "--no-batch" => out.cfg.batch_window = 0,
             "--json" => out.json_stdout = true,
             "--out" => out.out = Some(args.next().ok_or("--out requires a path")?),
             "--help" | "-h" => return Ok(None),
@@ -330,11 +348,16 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
 
 fn run_serve(args: ServeArgs) -> ExitCode {
     eprintln!(
-        "serving {} synthetic requests ({} protocol, base n = {}, backends: {})...",
+        "serving {} synthetic requests ({} protocol, base n = {}, backends: {}, {})...",
         args.cfg.requests,
         if args.cfg.smoke { "smoke" } else { "full" },
         args.cfg.n,
-        args.cfg.backends.join(",")
+        args.cfg.backends.join(","),
+        if args.cfg.batching_enabled() {
+            format!("batch window {}", args.cfg.batch_window)
+        } else {
+            "batching off".to_string()
+        }
     );
     let report = match serve::run(&args.cfg) {
         Ok(report) => report,
@@ -352,7 +375,8 @@ fn run_serve(args: ServeArgs) -> ExitCode {
         }
         emit(&format!(
             "{:.0} executions/s over {} clients; p50 {:.3} ms, p99 {:.3} ms\n\
-             plan cache: {} hits / {} misses ({} retraces, {} evictions), hit rate {:.3}\n\
+             plan cache: {} hits / {} misses ({} retraces, {} evictions, \
+             {} evicted recompiles @ {:.3} ms), hit rate {:.3}\n\
              cold trace {:.3} ms vs cache hit {:.3} ms: {:.2}x",
             report.requests_per_sec,
             report.clients,
@@ -362,11 +386,34 @@ fn run_serve(args: ServeArgs) -> ExitCode {
             report.cache.misses,
             report.cache.retraces,
             report.cache.evictions,
+            report.cache.evicted_recompiles,
+            report.cache.mean_recompile_ms,
             report.cache.hit_rate,
             report.cold_trace_mean_ms,
             report.cache_hit_mean_ms,
             report.cache_hit_speedup,
         ));
+        if report.batching.enabled {
+            let b = &report.batching;
+            emit(&format!(
+                "batching: window {}, {} batches (mean occupancy {:.2}, max {}), \
+                 {} stacked / {} fallback / {} solo\n\
+                 batched {:.3} ms vs solo {:.3} ms per request: {:.2}x \
+                 ({:.0} vs {:.0} req/s over coalesced batches)",
+                b.window,
+                b.batches,
+                b.mean_occupancy,
+                b.max_occupancy,
+                b.stacked_batches,
+                b.fallback_batches,
+                b.solo_batches,
+                b.batched_mean_ms,
+                b.solo_mean_ms,
+                b.batched_speedup,
+                b.batched_requests_per_sec,
+                b.solo_requests_per_sec,
+            ));
+        }
     }
     if let Some(path) = &args.out {
         let json = report.to_json();
