@@ -1,7 +1,7 @@
 //! The registry of machine-readable benchmark reports this workspace
 //! emits.
 //!
-//! Three harnesses produce `BENCH_*.json` artifacts that CI uploads per
+//! Four harnesses produce `BENCH_*.json` artifacts that CI uploads per
 //! PR; perf-trajectory tooling (and humans) discover them here instead of
 //! grepping workflows. Each entry names the report's schema tag, the
 //! artifact CI uploads, and the CLI invocation that regenerates it.
@@ -29,13 +29,21 @@ pub struct BenchSpec {
 /// Schema tag of `laab-serve`'s report. Mirrored here (rather than
 /// imported) because `laab-core` sits below `laab-serve` in the crate
 /// graph; `laab-serve`'s tests assert the two constants stay equal.
-/// `v3`: batched same-signature execution — the `batching` record,
-/// batched-vs-solo splits, batch-granular lookup counters, and the
-/// eviction-recompile cache counters.
-pub const SERVE_SCHEMA: &str = "laab-serve-bench-v3";
+/// `v4`: the transport-separable serving stack — deadline-or-occupancy
+/// admission (`batch_deadline_us`, the live `admission` record with
+/// queue-delay percentiles, the window × arrival-rate `sweep`) and the
+/// `clients_requested`/`clients_resolved` split.
+pub const SERVE_SCHEMA: &str = "laab-serve-bench-v4";
+
+/// Schema tag of `laab loadgen`'s client-side report. Mirrored for the
+/// same reason as [`SERVE_SCHEMA`]; `laab-serve`'s tests hold the pair
+/// equal. `v1`: client-observed RTT percentiles, server-reported queue
+/// delay/flush kinds, and the bitwise checksum-mismatch count against
+/// the in-process oracle.
+pub const LOADGEN_SCHEMA: &str = "laab-loadgen-v1";
 
 /// Every benchmark report format, in CLI order.
-pub const BENCHES: [BenchSpec; 3] = [
+pub const BENCHES: [BenchSpec; 4] = [
     BenchSpec {
         name: "run",
         schema: REPORT_SCHEMA,
@@ -57,6 +65,14 @@ pub const BENCHES: [BenchSpec; 3] = [
         command: "laab serve --smoke --backends engine,seed --out BENCH_serve.json",
         description:
             "plan-cache serving throughput + backend A/B: per-backend req/s, p50/p99, hit rate",
+    },
+    BenchSpec {
+        name: "loadgen",
+        schema: LOADGEN_SCHEMA,
+        artifact: "BENCH_loadgen.json",
+        command: "laab loadgen --addr unix:/tmp/laab.sock --smoke --out BENCH_loadgen.json",
+        description:
+            "client-side serving latency over the socket: RTT p50/p99, queue delay, bitwise check",
     },
 ];
 

@@ -1,0 +1,437 @@
+//! The admission queue: deadline-or-occupancy batching in front of the
+//! plan cache.
+//!
+//! PR 5's admission *window* coalesced same-signature requests by count
+//! alone — correct for a drained backlog, where every same-key request
+//! is already pending, but meaningless for live traffic: at low arrival
+//! rates a count-only window would hold a request hostage until enough
+//! siblings happen to arrive. This queue flushes a group on **deadline
+//! or occupancy, whichever comes first**:
+//!
+//! * **occupancy** — the group reached `window` pending requests; flush
+//!   now, the batch is as full as it is allowed to get;
+//! * **deadline** — the group's *oldest* request has waited
+//!   `deadline`; flush whatever coalesced, the latency budget is spent;
+//! * **drain** — the queue is closing; flush every partial group.
+//!
+//! Requests are grouped by an arbitrary hashable key (the serving layer
+//! keys on `(Family, n, Dtype, BackendId)` — exactly what determines a
+//! [`Signature`](crate::Signature)), and groups preserve arrival order,
+//! so [`backlog`](AdmissionQueue::backlog) — submit everything, close,
+//! collect — reproduces the PR 5 fixed-count chunking bit-for-bit. The
+//! in-process `laab serve` path is that loopback composition; the
+//! network [`Server`](crate::Server) feeds the same queue from socket
+//! readers instead.
+//!
+//! The implementation is a `Mutex` + `Condvar` multi-producer
+//! multi-consumer queue: producers ([`submit`](AdmissionQueue::submit))
+//! append to keyed groups and hand full ones to the ready list;
+//! consumers ([`next_batch`](AdmissionQueue::next_batch)) block with a
+//! timeout aimed at the earliest group deadline and flush expired
+//! groups themselves, so no dedicated timer thread exists.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What caused a batch to leave the admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushKind {
+    /// The group reached the occupancy window.
+    Occupancy,
+    /// The group's oldest request exhausted the latency budget.
+    Deadline,
+    /// The queue was closed with the group still partial.
+    Drain,
+}
+
+impl FlushKind {
+    /// Stable identifier used in reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            FlushKind::Occupancy => "occupancy",
+            FlushKind::Deadline => "deadline",
+            FlushKind::Drain => "drain",
+        }
+    }
+}
+
+/// One batch the queue released: same-key items in arrival order.
+#[derive(Debug)]
+pub struct FlushedBatch<T> {
+    /// The admitted items, oldest first.
+    pub items: Vec<T>,
+    /// What released the batch.
+    pub kind: FlushKind,
+    /// When the batch's oldest item was submitted (the queue-delay
+    /// anchor: `flushed_at - enqueued_at` is the time the batch head
+    /// spent waiting for siblings).
+    pub enqueued_at: Instant,
+}
+
+/// Monotonic counters describing what the queue did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Items accepted by [`AdmissionQueue::submit`].
+    pub admitted: u64,
+    /// Batches flushed because a group filled its window.
+    pub occupancy_flushes: u64,
+    /// Batches flushed because the head item's deadline expired.
+    pub deadline_flushes: u64,
+    /// Partial batches flushed at close.
+    pub drain_flushes: u64,
+}
+
+impl AdmissionStats {
+    /// Total batches released.
+    pub fn batches(&self) -> u64 {
+        self.occupancy_flushes + self.deadline_flushes + self.drain_flushes
+    }
+}
+
+/// A pending group: items sharing one key, plus the head-arrival time
+/// that anchors the group's deadline.
+struct Group<T> {
+    items: Vec<T>,
+    head_at: Instant,
+}
+
+struct State<K, T> {
+    groups: HashMap<K, Group<T>>,
+    /// Group keys in head-arrival order. A flushed group leaves this
+    /// list; a re-created group re-enters at the back with a fresh
+    /// `head_at`, so the front is always the earliest deadline.
+    order: VecDeque<K>,
+    ready: VecDeque<FlushedBatch<T>>,
+    closed: bool,
+    stats: AdmissionStats,
+}
+
+/// The deadline-or-occupancy admission queue. See the module docs.
+pub struct AdmissionQueue<K, T> {
+    state: Mutex<State<K, T>>,
+    cond: Condvar,
+    window: usize,
+    deadline: Option<Duration>,
+}
+
+impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
+    /// Create a queue flushing at `window` occupancy (values `0` and `1`
+    /// both mean "no coalescing": every item is its own batch) or at
+    /// `deadline` past the group head's arrival, whichever comes first.
+    /// `deadline: None` disables the timer — the PR 5 backlog regime,
+    /// where only occupancy and drain flush.
+    pub fn new(window: usize, deadline: Option<Duration>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                groups: HashMap::new(),
+                order: VecDeque::new(),
+                ready: VecDeque::new(),
+                closed: false,
+                stats: AdmissionStats::default(),
+            }),
+            cond: Condvar::new(),
+            window: window.max(1),
+            deadline,
+        }
+    }
+
+    /// The effective occupancy window (≥ 1).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Submit one item under `key`. Returns `false` (dropping the item)
+    /// if the queue is already closed.
+    pub fn submit(&self, key: K, item: T) -> bool {
+        let mut s = self.state.lock().expect("admission mutex");
+        if s.closed {
+            return false;
+        }
+        s.stats.admitted += 1;
+        let now = Instant::now();
+        let group = s
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| Group { items: Vec::with_capacity(self.window), head_at: now });
+        let fresh_group = group.items.is_empty();
+        group.items.push(item);
+        let full = group.items.len() >= self.window;
+        if fresh_group {
+            s.order.push_back(key.clone());
+        }
+        if full {
+            Self::flush_key(&mut s, &key, FlushKind::Occupancy);
+            // A batch became ready: wake a consumer to take it.
+            self.cond.notify_one();
+        } else if fresh_group && self.deadline.is_some() {
+            // A new earliest-deadline candidate may shorten a consumer's
+            // sleep; wake one to re-aim its timeout.
+            self.cond.notify_one();
+        }
+        true
+    }
+
+    /// Move the keyed group into the ready list.
+    fn flush_key(s: &mut State<K, T>, key: &K, kind: FlushKind) {
+        let group = s.groups.remove(key).expect("flushing a present group");
+        if let Some(pos) = s.order.iter().position(|k| k == key) {
+            s.order.remove(pos);
+        }
+        match kind {
+            FlushKind::Occupancy => s.stats.occupancy_flushes += 1,
+            FlushKind::Deadline => s.stats.deadline_flushes += 1,
+            FlushKind::Drain => s.stats.drain_flushes += 1,
+        }
+        s.ready.push_back(FlushedBatch { items: group.items, kind, enqueued_at: group.head_at });
+    }
+
+    /// Block until a batch is ready and return it; `None` once the queue
+    /// is closed and fully drained. Consumers collectively enforce the
+    /// deadline: the waiter aims its sleep at the earliest group head
+    /// and flushes the group itself when the budget expires.
+    pub fn next_batch(&self) -> Option<FlushedBatch<T>> {
+        let mut s = self.state.lock().expect("admission mutex");
+        loop {
+            if let Some(batch) = s.ready.pop_front() {
+                return Some(batch);
+            }
+            if s.closed {
+                return None;
+            }
+            match self.deadline {
+                None => s = self.cond.wait(s).expect("admission mutex"),
+                Some(budget) => {
+                    // The order list's front group has the earliest head.
+                    let due = s.order.front().map(|k| s.groups[k].head_at + budget);
+                    match due {
+                        Some(due) => {
+                            let now = Instant::now();
+                            if now >= due {
+                                let key = s.order.front().expect("non-empty order").clone();
+                                Self::flush_key(&mut s, &key, FlushKind::Deadline);
+                                continue;
+                            }
+                            let (guard, _timeout) =
+                                self.cond.wait_timeout(s, due - now).expect("admission mutex");
+                            s = guard;
+                        }
+                        None => s = self.cond.wait(s).expect("admission mutex"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Close the queue: refuse further submits, flush every partial
+    /// group as [`FlushKind::Drain`] (in head-arrival order), and wake
+    /// all consumers so they drain the ready list and observe `None`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("admission mutex");
+        if !s.closed {
+            s.closed = true;
+            while let Some(key) = s.order.front().cloned() {
+                Self::flush_key(&mut s, &key, FlushKind::Drain);
+            }
+        }
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// Snapshot the queue's counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.state.lock().expect("admission mutex").stats
+    }
+
+    /// Groups currently pending (submitted, not yet flushed). A producer
+    /// that wants trailing partial batches to take their *deadline*
+    /// flush — rather than turning into drain flushes at close — waits
+    /// for this to reach zero before closing.
+    pub fn pending_groups(&self) -> usize {
+        self.state.lock().expect("admission mutex").groups.len()
+    }
+
+    /// The backlog composition: submit every `(key, item)` in order,
+    /// close, and return the released batches. With `deadline: None`
+    /// this reproduces PR 5's fixed-count chunking exactly — each key's
+    /// items chunk at every `window`-th arrival (occupancy flushes) with
+    /// the remainder drained at close — which is what keeps the
+    /// in-process `laab serve` counters deterministic.
+    pub fn backlog(window: usize, items: impl IntoIterator<Item = (K, T)>) -> Vec<FlushedBatch<T>> {
+        let queue = AdmissionQueue::new(window, None);
+        for (key, item) in items {
+            queue.submit(key, item);
+        }
+        queue.close();
+        let mut out = Vec::new();
+        while let Some(b) = queue.next_batch() {
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn occupancy_flush_releases_full_windows() {
+        let q: AdmissionQueue<u8, usize> = AdmissionQueue::new(3, None);
+        for i in 0..7 {
+            assert!(q.submit(0, i));
+        }
+        // Two full windows are ready without closing.
+        let a = q.next_batch().unwrap();
+        assert_eq!((a.items.as_slice(), a.kind), (&[0, 1, 2][..], FlushKind::Occupancy));
+        let b = q.next_batch().unwrap();
+        assert_eq!((b.items.as_slice(), b.kind), (&[3, 4, 5][..], FlushKind::Occupancy));
+        // The partial tail drains at close.
+        q.close();
+        let c = q.next_batch().unwrap();
+        assert_eq!((c.items.as_slice(), c.kind), (&[6][..], FlushKind::Drain));
+        assert_eq!(q.next_batch().map(|b| b.items), None);
+        let stats = q.stats();
+        assert_eq!(stats.admitted, 7);
+        assert_eq!((stats.occupancy_flushes, stats.drain_flushes), (2, 1));
+        assert_eq!(stats.deadline_flushes, 0);
+        assert_eq!(stats.batches(), 3);
+    }
+
+    #[test]
+    fn window_one_disables_coalescing() {
+        let q: AdmissionQueue<u8, usize> = AdmissionQueue::new(0, None);
+        assert_eq!(q.window(), 1, "0 and 1 both mean no coalescing");
+        q.submit(0, 10);
+        q.submit(0, 11);
+        assert_eq!(q.next_batch().unwrap().items, vec![10]);
+        assert_eq!(q.next_batch().unwrap().items, vec![11]);
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_group() {
+        let q: AdmissionQueue<u8, usize> = AdmissionQueue::new(64, Some(Duration::from_millis(5)));
+        let t0 = Instant::now();
+        q.submit(7, 1);
+        q.submit(7, 2);
+        let batch = q.next_batch().expect("deadline releases the partial group");
+        assert_eq!(batch.items, vec![1, 2]);
+        assert_eq!(batch.kind, FlushKind::Deadline);
+        assert!(t0.elapsed() >= Duration::from_millis(5), "not before the budget expires");
+        assert_eq!(q.stats().deadline_flushes, 1);
+        q.close();
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn deadline_orders_by_group_head_across_keys() {
+        let q: AdmissionQueue<u8, u8> = AdmissionQueue::new(64, Some(Duration::from_millis(3)));
+        q.submit(1, 10);
+        q.submit(2, 20);
+        let a = q.next_batch().unwrap();
+        let b = q.next_batch().unwrap();
+        assert_eq!((a.items, a.kind), (vec![10], FlushKind::Deadline));
+        assert_eq!((b.items, b.kind), (vec![20], FlushKind::Deadline));
+        assert!(a.enqueued_at <= b.enqueued_at);
+        q.close();
+    }
+
+    #[test]
+    fn submit_after_close_is_refused() {
+        let q: AdmissionQueue<u8, u8> = AdmissionQueue::new(4, None);
+        q.close();
+        assert!(!q.submit(0, 1));
+        assert_eq!(q.stats().admitted, 0);
+        assert!(q.next_batch().is_none());
+    }
+
+    /// The PR 5 `admit()` chunking, restated: group stream indices by
+    /// key in first-seen order, chunk each group at `window`, sort the
+    /// chunks by first stream index.
+    fn reference_chunking(keys: &[u32], window: usize) -> Vec<Vec<usize>> {
+        let window = window.max(1);
+        let mut order = Vec::new();
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            groups
+                .entry(k)
+                .or_insert_with(|| {
+                    order.push(k);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        let mut out = Vec::new();
+        for k in order {
+            for chunk in groups[&k].chunks(window) {
+                out.push(chunk.to_vec());
+            }
+        }
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+
+    #[test]
+    fn backlog_reproduces_fixed_count_chunking() {
+        // An adversarial key stream: interleaved keys, repeats, a key
+        // that fills several windows, singletons.
+        let keys = [3u32, 1, 3, 3, 2, 3, 1, 3, 3, 3, 2, 9, 3, 1, 1, 1, 1, 2];
+        for window in [1usize, 2, 3, 4, 8, 64] {
+            let mut got: Vec<Vec<usize>> =
+                AdmissionQueue::backlog(window, keys.iter().enumerate().map(|(i, &k)| (k, i)))
+                    .into_iter()
+                    .map(|b| b.items)
+                    .collect();
+            got.sort_by_key(|c| c[0]);
+            assert_eq!(got, reference_chunking(&keys, window), "window {window}");
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q: AdmissionQueue<usize, usize> =
+            AdmissionQueue::new(4, Some(Duration::from_micros(200)));
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for c in 0..3 {
+                let q = &q;
+                let consumed = &consumed;
+                scope.spawn(move || {
+                    let _ = c;
+                    while let Some(batch) = q.next_batch() {
+                        consumed.fetch_add(batch.items.len(), Ordering::Relaxed);
+                    }
+                });
+            }
+            for p in 0..4 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        assert!(q.submit(i % 7, p * 1000 + i));
+                    }
+                });
+            }
+            // Consumers exit only after close; close only after every
+            // producer submit landed. A watcher polls the admitted count
+            // so the scope's implicit join can't deadlock.
+            let q = &q;
+            scope.spawn(move || {
+                while q.stats().admitted < 400 {
+                    std::thread::yield_now();
+                }
+                q.close();
+            });
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 400, "every item flushed exactly once");
+        let stats = q.stats();
+        assert_eq!(stats.admitted, 400);
+        assert!(stats.batches() > 0);
+    }
+}

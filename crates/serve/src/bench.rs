@@ -40,8 +40,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use laab_backend::{registry, BackendScalar, Dtype, Registration};
@@ -50,19 +52,23 @@ use laab_framework::Framework;
 use laab_kernels::parallel_for;
 use laab_stats::Samples;
 
+use crate::admission::AdmissionQueue;
 use crate::cache::{Lookup, PlanCache};
 use crate::plan::Plan;
+use crate::proto::FrameError;
 use crate::workload::{synthetic_mix, Family, Request};
 
 /// Schema tag of the `BENCH_serve.json` report, bumped on breaking
-/// changes. `v3`: batched same-signature execution — adds `batch_window`
-/// and the `batching` record, per-backend/per-family batched-vs-solo
-/// splits, batch-granular cache-lookup counters (`lookups` per backend),
-/// and the eviction-recompile cache counters.
-pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v3";
+/// changes. `v4`: the transport-separable serving stack — adds
+/// `batch_deadline_us`/`arrival_rate`, splits the client count into
+/// `clients_requested`/`clients_resolved`, and appends the live
+/// deadline-or-occupancy measurements: the `admission` record (queue
+/// delay under Poisson arrivals at the configured window/deadline) and
+/// the `sweep` grid (window × arrival-rate).
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v4";
 
 /// Configuration of one serving run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Synthetic requests to drain (each is driven through every
     /// selected backend).
@@ -99,6 +105,17 @@ pub struct ServeConfig {
     /// into batches of up to this many. `0` or `1` disables batching
     /// (every request is its own batch — the pre-v3 serving loop).
     pub batch_window: usize,
+    /// Latency budget of a partial batch, microseconds: a live group
+    /// flushes when its oldest request has waited this long, even below
+    /// the occupancy window (deadline **or** occupancy, whichever
+    /// first). `0` disables the timer — meaningful only for the drained
+    /// backlog; the builder and the network server reject it when
+    /// batching is on.
+    pub batch_deadline_us: u64,
+    /// Offered load of the live (arrival-paced) measurement phases,
+    /// requests per second. Arrivals are open-loop Poisson at this rate;
+    /// the sweep also probes a quarter of it.
+    pub arrival_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +132,8 @@ impl Default for ServeConfig {
             backends: vec!["engine".to_string()],
             dtype: None,
             batch_window: 8,
+            batch_deadline_us: 250,
+            arrival_rate: 2000.0,
         }
     }
 }
@@ -126,7 +145,29 @@ impl ServeConfig {
         Self { requests: 320, n: 48, smoke: true, ..Self::default() }
     }
 
-    /// The resolved client count.
+    /// Start a validating [`ServeConfigBuilder`] from the defaults. The
+    /// builder is the supported construction path: it rejects unknown
+    /// backends, zero shards, an explicit `--clients 0`, and a
+    /// coalescing window without a deadline at `build()` time, before
+    /// any request is dispatched. Struct-literal construction still
+    /// compiles (the fields are public) but skips that validation and is
+    /// deprecated for CLI use.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: Self::default(), explicit_zero_clients: false }
+    }
+
+    /// A builder seeded from the smoke protocol instead of the defaults.
+    pub fn smoke_builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: Self::smoke(), explicit_zero_clients: false }
+    }
+
+    /// The resolved client count. An explicit positive `clients` is used
+    /// verbatim — never clamped. `0` (auto) detects hardware parallelism
+    /// and caps it at 8: beyond that the 1-socket kernels are the
+    /// bottleneck, not the serving layer. The cap applies **only** to
+    /// auto-detection; pass an explicit count to exceed it on bigger
+    /// boxes. The report records both `clients_requested` and
+    /// `clients_resolved` so sweeps stay interpretable either way.
     pub fn resolved_clients(&self) -> usize {
         if self.clients > 0 {
             self.clients
@@ -139,14 +180,160 @@ impl ServeConfig {
     pub fn batching_enabled(&self) -> bool {
         self.batch_window >= 2
     }
+
+    /// The deadline as a [`Duration`], `None` when disabled or when the
+    /// window never holds a partial batch (`batch_window ≤ 1`).
+    pub fn deadline(&self) -> Option<Duration> {
+        if self.batching_enabled() && self.batch_deadline_us > 0 {
+            Some(Duration::from_micros(self.batch_deadline_us))
+        } else {
+            None
+        }
+    }
 }
 
-/// Why a serving run was refused before any request was dispatched.
+/// Validating builder for [`ServeConfig`] — see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+    explicit_zero_clients: bool,
+}
+
+impl ServeConfigBuilder {
+    /// Synthetic requests to drain (clamped to ≥ 1).
+    pub fn requests(mut self, v: usize) -> Self {
+        self.cfg.requests = v.max(1);
+        self
+    }
+
+    /// Explicit serving-client count. `0` is rejected at `build()` — it
+    /// is not "all cores"; use [`clients_auto`](Self::clients_auto) (or
+    /// omit) for capped auto-detection, or pass the core count you mean.
+    pub fn clients(mut self, v: usize) -> Self {
+        if v == 0 {
+            self.explicit_zero_clients = true;
+        } else {
+            self.cfg.clients = v;
+            self.explicit_zero_clients = false;
+        }
+        self
+    }
+
+    /// Auto-detect the client count (hardware parallelism, capped at 8).
+    pub fn clients_auto(mut self) -> Self {
+        self.cfg.clients = 0;
+        self.explicit_zero_clients = false;
+        self
+    }
+
+    /// Base operand size of the request families.
+    pub fn n(mut self, v: usize) -> Self {
+        self.cfg.n = v.max(2);
+        self
+    }
+
+    /// Seed for the request stream and the operand pools.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Mark the run as the CI smoke protocol.
+    pub fn smoke(mut self, v: bool) -> Self {
+        self.cfg.smoke = v;
+        self
+    }
+
+    /// Plan-cache capacity per backend (clamped to ≥ 1).
+    pub fn cache_capacity(mut self, v: usize) -> Self {
+        self.cfg.cache_capacity = v.max(1);
+        self
+    }
+
+    /// Plan-cache shard count (validated > 0 at `build()`).
+    pub fn shards(mut self, v: usize) -> Self {
+        self.cfg.shards = v;
+        self
+    }
+
+    /// Signature-churn period (0 disables churn).
+    pub fn churn_every(mut self, v: usize) -> Self {
+        self.cfg.churn_every = v;
+        self
+    }
+
+    /// Registry names of the backends to drive (validated at `build()`).
+    pub fn backends<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.cfg.backends = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Pin the stream to one precision (`None` = mixed).
+    pub fn dtype(mut self, v: Option<Dtype>) -> Self {
+        self.cfg.dtype = v;
+        self
+    }
+
+    /// Admission-window occupancy (`0`/`1` disables coalescing).
+    pub fn batch_window(mut self, v: usize) -> Self {
+        self.cfg.batch_window = v;
+        self
+    }
+
+    /// Partial-batch latency budget, microseconds. With a coalescing
+    /// window (`≥ 2`) this must be ≥ 1 — validated at `build()`.
+    pub fn batch_deadline_us(mut self, v: u64) -> Self {
+        self.cfg.batch_deadline_us = v;
+        self
+    }
+
+    /// Offered load of the live phases, requests/s (clamped to ≥ 1).
+    pub fn arrival_rate(mut self, v: f64) -> Self {
+        self.cfg.arrival_rate = if v.is_finite() { v.max(1.0) } else { 1.0 };
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Errors
+    /// [`ServeError::NoBackends`] / [`ServeError::UnknownBackend`] /
+    /// [`ServeError::DuplicateBackend`] for a bad backend list,
+    /// [`ServeError::ZeroShards`] for a shardless cache,
+    /// [`ServeError::ZeroClients`] for an explicit `clients(0)`, and
+    /// [`ServeError::MissingDeadline`] for a coalescing window with the
+    /// deadline timer disabled (a live partial batch could wait forever).
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        let cfg = self.cfg;
+        resolve_backends(&cfg.backends)?;
+        if cfg.shards == 0 {
+            return Err(ServeError::ZeroShards);
+        }
+        if self.explicit_zero_clients {
+            return Err(ServeError::ZeroClients);
+        }
+        if cfg.batching_enabled() && cfg.batch_deadline_us == 0 {
+            return Err(ServeError::MissingDeadline { window: cfg.batch_window });
+        }
+        Ok(cfg)
+    }
+}
+
+/// Why a serving run, a server, or a load generator failed.
 ///
-/// These are the CLI-surface errors: `laab serve` turns them into an
-/// `error:` line and a usage exit code instead of letting an invalid
-/// backend/dtype combination panic deep inside plan dispatch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One error surface for the whole stack: configuration rejections
+/// (`laab serve` turns them into an `error:` line and a usage exit code
+/// instead of letting an invalid combination panic deep inside plan
+/// dispatch) **and** the transport failures of the network layers —
+/// bind/connect/accept, socket I/O, and frame decoding — as structured
+/// variants whose [`source()`](std::error::Error::source) chain
+/// preserves the underlying `io::Error`/[`FrameError`]. `laab loadgen`
+/// and `laab serve` share this type, so both subcommands print failures
+/// through the same display path.
+#[derive(Debug, Clone)]
 pub enum ServeError {
     /// `--backends` named a backend the registry does not know.
     UnknownBackend {
@@ -167,6 +354,48 @@ pub enum ServeError {
     },
     /// The backend list was empty.
     NoBackends,
+    /// The plan cache cannot have zero shards.
+    ZeroShards,
+    /// `--clients 0` was explicit. Zero is not "all cores": auto
+    /// detection (the default) caps at 8, and explicit counts are taken
+    /// verbatim — so an explicit zero is always a mistake.
+    ZeroClients,
+    /// A coalescing window (≥ 2) with the deadline timer disabled: a
+    /// live partial batch could wait forever.
+    MissingDeadline {
+        /// The offending window.
+        window: usize,
+    },
+    /// A `--listen`/`--addr` spec that names neither a unix socket path
+    /// nor a TCP address.
+    BadListen(String),
+    /// An `--arrival` spec that names no known arrival process.
+    BadArrival(String),
+    /// Binding the listener failed.
+    Bind {
+        /// The address as requested.
+        addr: String,
+        /// The underlying I/O failure.
+        source: Arc<std::io::Error>,
+    },
+    /// Connecting to the server failed.
+    Connect {
+        /// The address as requested.
+        addr: String,
+        /// The underlying I/O failure.
+        source: Arc<std::io::Error>,
+    },
+    /// Accepting a connection failed.
+    Accept(Arc<std::io::Error>),
+    /// Reading or writing an established socket failed.
+    Socket(Arc<std::io::Error>),
+    /// A frame could not be encoded or decoded.
+    Frame(FrameError),
+    /// The server rejected a request (its reason, verbatim).
+    Rejected(String),
+    /// The peer sent a well-formed frame that makes no sense at this
+    /// point of the exchange (e.g. a request on a client connection).
+    Protocol(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -184,15 +413,95 @@ impl std::fmt::Display for ServeError {
                  (restrict the stream with --dtype or drop the backend)"
             ),
             ServeError::NoBackends => write!(f, "--backends must name at least one backend"),
+            ServeError::ZeroShards => write!(f, "--shards must be at least 1"),
+            ServeError::ZeroClients => write!(
+                f,
+                "--clients 0 is not \"all cores\": omit the flag (or pass `auto`) for \
+                 detected parallelism capped at 8, or pass the explicit count you mean \
+                 (explicit counts are never clamped)"
+            ),
+            ServeError::MissingDeadline { window } => write!(
+                f,
+                "a coalescing window (--batch-window {window}) needs --batch-deadline-us ≥ 1: \
+                 without a latency budget a live partial batch could wait forever"
+            ),
+            ServeError::BadListen(spec) => write!(
+                f,
+                "unintelligible listen address `{spec}` \
+                 (use unix:<path>, tcp:<host:port>, a socket path, or host:port)"
+            ),
+            ServeError::BadArrival(spec) => write!(
+                f,
+                "unintelligible arrival process `{spec}` \
+                 (use closed, poisson:<rate>, or bursty:<rate>x<burst>)"
+            ),
+            ServeError::Bind { addr, source } => write!(f, "failed to bind {addr}: {source}"),
+            ServeError::Connect { addr, source } => {
+                write!(f, "failed to connect to {addr}: {source}")
+            }
+            ServeError::Accept(e) => write!(f, "failed to accept a connection: {e}"),
+            ServeError::Socket(e) => write!(f, "socket I/O failed: {e}"),
+            ServeError::Frame(e) => write!(f, "protocol error: {e}"),
+            ServeError::Rejected(msg) => write!(f, "server rejected the request: {msg}"),
+            ServeError::Protocol(what) => write!(f, "unexpected protocol message: {what}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } | ServeError::Connect { source, .. } => {
+                Some(source.as_ref())
+            }
+            ServeError::Accept(e) | ServeError::Socket(e) => Some(e.as_ref()),
+            ServeError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+impl PartialEq for ServeError {
+    /// Structural equality; wrapped I/O errors compare by
+    /// [`std::io::ErrorKind`] (the payload is not comparable).
+    fn eq(&self, other: &Self) -> bool {
+        use ServeError::*;
+        match (self, other) {
+            (
+                UnknownBackend { requested: a, available: b },
+                UnknownBackend { requested: c, available: d },
+            ) => (a, b) == (c, d),
+            (DuplicateBackend(a), DuplicateBackend(b)) => a == b,
+            (
+                UnsupportedDtype { backend: a, dtype: b },
+                UnsupportedDtype { backend: c, dtype: d },
+            ) => (a, b) == (c, d),
+            (NoBackends, NoBackends) | (ZeroShards, ZeroShards) | (ZeroClients, ZeroClients) => {
+                true
+            }
+            (MissingDeadline { window: a }, MissingDeadline { window: b }) => a == b,
+            (BadListen(a), BadListen(b)) | (BadArrival(a), BadArrival(b)) => a == b,
+            (Bind { addr: a, source: s1 }, Bind { addr: b, source: s2 })
+            | (Connect { addr: a, source: s1 }, Connect { addr: b, source: s2 }) => {
+                a == b && s1.kind() == s2.kind()
+            }
+            (Accept(a), Accept(b)) | (Socket(a), Socket(b)) => a.kind() == b.kind(),
+            (Frame(a), Frame(b)) => a == b,
+            (Rejected(a), Rejected(b)) | (Protocol(a), Protocol(b)) => a == b,
+            _ => false,
+        }
+    }
+}
 
 /// Resolve the configured backend names against the registry, rejecting
 /// unknowns and duplicates with a CLI-grade error.
-fn resolve_backends(names: &[String]) -> Result<Vec<&'static Registration>, ServeError> {
+pub(crate) fn resolve_backends(names: &[String]) -> Result<Vec<&'static Registration>, ServeError> {
     if names.is_empty() {
         return Err(ServeError::NoBackends);
     }
@@ -358,6 +667,42 @@ pub struct BatchingRecord {
     pub solo_requests_per_sec: f64,
 }
 
+/// One live admission measurement: the queue's behavior under open-loop
+/// Poisson arrivals at one `(window, deadline, rate)` operating point.
+///
+/// The drained-backlog phase cannot see queueing delay (every request is
+/// already pending); these records come from the arrival-paced phases,
+/// where the deadline-or-occupancy tradeoff is real: at high rates
+/// groups fill and flush on occupancy, at low rates the deadline bounds
+/// how long a lonely request waits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionRecord {
+    /// The occupancy window of this operating point.
+    pub window: usize,
+    /// The deadline budget, microseconds (`0` = timer off).
+    pub deadline_us: u64,
+    /// Offered load, requests per second.
+    pub arrival_rate: f64,
+    /// Requests offered at this point.
+    pub requests: usize,
+    /// Batches released.
+    pub batches: usize,
+    /// Batches released because a group filled its window.
+    pub occupancy_flushes: u64,
+    /// Batches released because the head request's budget expired.
+    pub deadline_flushes: u64,
+    /// Partial batches released at queue close.
+    pub drain_flushes: u64,
+    /// `requests / batches`.
+    pub mean_occupancy: f64,
+    /// Median queueing delay (submit → batch execution start), µs.
+    pub queue_delay_p50_us: f64,
+    /// 99th-percentile queueing delay, µs.
+    pub queue_delay_p99_us: f64,
+    /// Mean queueing delay, µs.
+    pub queue_delay_mean_us: f64,
+}
+
 /// The full machine-readable report (`BENCH_serve.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -370,8 +715,12 @@ pub struct ServeReport {
     /// Serving executions: `requests × backends` (each request is driven
     /// through every selected backend, interleaved).
     pub executions: usize,
-    /// Serving clients.
-    pub clients: usize,
+    /// The configured client count (`0` = auto-detect).
+    pub clients_requested: usize,
+    /// The client count actually used. Auto-detection caps at 8;
+    /// explicit counts are never clamped — recording both keeps sweeps
+    /// on bigger boxes interpretable.
+    pub clients_resolved: usize,
     /// Base operand size.
     pub base_n: usize,
     /// Stream/operand seed.
@@ -380,6 +729,10 @@ pub struct ServeReport {
     pub dtype: String,
     /// The configured admission window (`0`/`1` = batching off).
     pub batch_window: usize,
+    /// The configured partial-batch deadline, µs (`0` = timer off).
+    pub batch_deadline_us: u64,
+    /// Offered load of the live phases, requests per second.
+    pub arrival_rate: f64,
     /// Distinct signatures across the run (per-backend signatures — the
     /// compile workload; `backends × ` the stream's structural variety).
     pub distinct_signatures: usize,
@@ -406,8 +759,16 @@ pub struct ServeReport {
     /// produced no hits).
     pub cache_hit_speedup: f64,
     /// The admission window's coalescing stats and the batched-vs-solo
-    /// interleaved measurement.
+    /// interleaved measurement (the deterministic backlog phase).
     pub batching: BatchingRecord,
+    /// Live deadline-or-occupancy behavior at the configured operating
+    /// point: open-loop Poisson arrivals at `arrival_rate` through the
+    /// first-listed backend.
+    pub admission: AdmissionRecord,
+    /// The window × arrival-rate sweep grid (windows `{1, max(2,
+    /// batch_window)}` × rates `{arrival_rate/4, arrival_rate}`), same
+    /// measurement as `admission` on a shorter stream prefix.
+    pub sweep: Vec<AdmissionRecord>,
     /// Shared plan-cache counters (all backends; per-backend entries are
     /// independent by signature construction).
     pub cache: CacheStatsRecord,
@@ -468,7 +829,7 @@ impl ServeReport {
                  {:.0} exec/s, hit rate {:.3}",
                 self.requests,
                 self.backends.len(),
-                self.clients,
+                self.clients_resolved,
                 self.batch_window,
                 self.requests_per_sec,
                 self.cache.hit_rate
@@ -510,33 +871,21 @@ struct Batch {
     idx: Vec<usize>,
 }
 
-/// The admission window: group pending requests by signature key
-/// (family, size, dtype — what determines the per-backend [`Signature`])
-/// in first-seen order, chunk each group into batches of at most
-/// `window`, and emit the batches in stream order of their first member.
-/// The harness drains a pre-filled queue, so every same-key request is
-/// "pending" at admission time — the backlog regime where batching
-/// matters.
+/// The deterministic backlog admission: the in-process loop is the
+/// loopback composition of the same [`AdmissionQueue`] the network
+/// server runs — every request submitted up front, then the queue closed
+/// and drained. With no live timer, groups (keyed by family, size,
+/// dtype — what determines the per-backend [`Signature`]) chunk at every
+/// `window`-th arrival with the remainder drained at close, which is
+/// exactly the pre-v4 fixed-count chunking; batches are re-emitted in
+/// stream order of their first member, so the v3 counters stay
+/// bit-for-bit deterministic.
 fn admit(mix: &[Request], window: usize) -> Vec<Batch> {
-    let window = window.max(1);
-    let mut order: Vec<(Family, usize, Dtype)> = Vec::new();
-    let mut groups: HashMap<(Family, usize, Dtype), Vec<usize>> = HashMap::new();
-    for (i, r) in mix.iter().enumerate() {
-        let key = (r.family, r.n, r.dtype);
-        groups
-            .entry(key)
-            .or_insert_with(|| {
-                order.push(key);
-                Vec::new()
-            })
-            .push(i);
-    }
-    let mut batches = Vec::new();
-    for key in order {
-        for chunk in groups[&key].chunks(window) {
-            batches.push(Batch { idx: chunk.to_vec() });
-        }
-    }
+    let flushed = AdmissionQueue::backlog(
+        window,
+        mix.iter().enumerate().map(|(i, r)| ((r.family, r.n, r.dtype), i)),
+    );
+    let mut batches: Vec<Batch> = flushed.into_iter().map(|b| Batch { idx: b.items }).collect();
     batches.sort_by_key(|b| b.idx[0]);
     batches
 }
@@ -651,6 +1000,151 @@ fn drive_batch<T: BackendScalar>(
     }
 }
 
+/// One live-phase job: a stream index plus its submit time (the
+/// queue-delay anchor).
+struct LiveJob {
+    idx: usize,
+    at: Instant,
+}
+
+/// Execute one live batch through `reg`: one cache lookup, then the
+/// batched execution (solo at occupancy 1) — the serving leg only, no
+/// A/B interleave; the live phases measure queueing, not kernels.
+fn execute_live<T: BackendScalar>(
+    idx: &[usize],
+    mix: &[Request],
+    pool_env: &Env<T>,
+    reg: &'static Registration,
+    cache: &PlanCache,
+    fw: &Framework,
+    seed: u64,
+) {
+    let req0 = &mix[idx[0]];
+    let has_payload = !req0.family.payload_operands().is_empty();
+    let owned: Vec<Env<T>> = if has_payload {
+        idx.iter().map(|&r| mix[r].env_from_pool(pool_env, seed)).collect()
+    } else {
+        Vec::new()
+    };
+    let refs: Vec<&Env<T>> =
+        if has_payload { owned.iter().collect() } else { idx.iter().map(|_| pool_env).collect() };
+    let (plan, _) = cache.get_or_compile(req0.signature(reg.id()), || {
+        Plan::compile_with_varying(
+            fw,
+            &req0.family.expr(req0.n),
+            &req0.family.ctx(req0.n),
+            reg,
+            req0.family.varying_operands(),
+        )
+    });
+    if refs.len() >= 2 {
+        std::hint::black_box(plan.execute_batched::<T>(&refs));
+    } else {
+        std::hint::black_box(plan.execute::<T>(refs[0]));
+    }
+}
+
+/// Measure the admission queue live: a producer paces the stream as an
+/// open-loop Poisson process at `rate` requests/s, `clients` consumers
+/// drain batches through the cache, and every request's queueing delay
+/// (submit → batch execution start) is sampled. The producer lets
+/// trailing partial groups expire their deadline before closing, so a
+/// low-rate run reports *deadline* flushes rather than converting its
+/// tail into drain flushes.
+#[allow(clippy::too_many_arguments)]
+fn live_phase(
+    mix: &[Request],
+    pools: &HashMap<(Family, usize), EnvPair>,
+    reg: &'static Registration,
+    cache: &PlanCache,
+    fw: &Framework,
+    clients: usize,
+    window: usize,
+    deadline_us: u64,
+    rate: f64,
+    seed: u64,
+) -> AdmissionRecord {
+    let deadline = if window >= 2 && deadline_us > 0 {
+        Some(Duration::from_micros(deadline_us))
+    } else {
+        None
+    };
+    let queue: AdmissionQueue<(Family, usize, Dtype), LiveJob> =
+        AdmissionQueue::new(window, deadline);
+    let delays: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(mix.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            let queue = &queue;
+            let delays = &delays;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                while let Some(batch) = queue.next_batch() {
+                    let start = Instant::now();
+                    for job in &batch.items {
+                        local.push(start.duration_since(job.at).as_nanos() as f64 / 1e3);
+                    }
+                    let idx: Vec<usize> = batch.items.iter().map(|j| j.idx).collect();
+                    let req0 = &mix[idx[0]];
+                    let pool = &pools[&(req0.family, req0.n)];
+                    match req0.dtype {
+                        Dtype::F64 => execute_live(&idx, mix, &pool.f64, reg, cache, fw, seed),
+                        Dtype::F32 => execute_live(&idx, mix, &pool.f32, reg, cache, fw, seed),
+                    }
+                }
+                delays.lock().expect("delay samples").extend(local);
+            });
+        }
+        let queue = &queue;
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A_1DED);
+            let t0 = Instant::now();
+            let mut offset = Duration::ZERO;
+            for (i, r) in mix.iter().enumerate() {
+                let u: f64 = rng.gen();
+                offset += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+                let target = t0 + offset;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                queue.submit((r.family, r.n, r.dtype), LiveJob { idx: i, at: Instant::now() });
+            }
+            if deadline.is_some() {
+                while queue.pending_groups() > 0 {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+            queue.close();
+        });
+    });
+    let stats = queue.stats();
+    let samples = delays.into_inner().expect("delay samples");
+    let (p50, p99, mean) = if samples.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let s = Samples::new(samples);
+        (s.median(), s.quantile(0.99), s.mean())
+    };
+    AdmissionRecord {
+        window: queue.window(),
+        deadline_us: if deadline.is_some() { deadline_us } else { 0 },
+        arrival_rate: rate,
+        requests: mix.len(),
+        batches: stats.batches() as usize,
+        occupancy_flushes: stats.occupancy_flushes,
+        deadline_flushes: stats.deadline_flushes,
+        drain_flushes: stats.drain_flushes,
+        mean_occupancy: if stats.batches() > 0 {
+            mix.len() as f64 / stats.batches() as f64
+        } else {
+            0.0
+        },
+        queue_delay_p50_us: p50,
+        queue_delay_p99_us: p99,
+        queue_delay_mean_us: mean,
+    }
+}
+
 /// Drain a synthetic request stream through the admission window and the
 /// plan cache, driving each batch through every configured backend
 /// interleaved, and collect the report.
@@ -752,6 +1246,40 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         }
     });
     let wall_secs = t0.elapsed().as_secs_f64();
+
+    // Snapshot the deterministic backlog counters *before* the live
+    // phases touch the (shared, now warm) cache, so the reported cache
+    // record stays a pure function of the stream.
+    let cache_stats = cache.stats();
+
+    // ---- live phases: queue delay under open-loop Poisson arrivals ----
+    // Driven through the first-listed backend only — what is measured
+    // here is admission behavior (deadline vs occupancy flushes, queue
+    // delay), not the kernel A/B, which happened above.
+    let rate = if cfg.arrival_rate.is_finite() { cfg.arrival_rate.max(1.0) } else { 1.0 };
+    let live = |window: usize, rate: f64, stream: &[Request]| {
+        live_phase(
+            stream,
+            &pools,
+            regs[0],
+            &cache,
+            &fw,
+            clients,
+            window,
+            cfg.batch_deadline_us,
+            rate,
+            cfg.seed,
+        )
+    };
+    let admission = live(cfg.batch_window, rate, &mix);
+    let sweep_len = (cfg.requests / 4).clamp(48, 192).min(mix.len());
+    let sweep_stream = &mix[..sweep_len];
+    let mut sweep = Vec::new();
+    for window in [1, cfg.batch_window.max(2)] {
+        for cell_rate in [(rate / 4.0).max(1.0), rate] {
+            sweep.push(live(window, cell_rate, sweep_stream));
+        }
+    }
 
     // ---- assemble the report (serial from here on) ----
     let ms = |ns: u64| ns as f64 / 1e6;
@@ -901,17 +1429,20 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         solo_requests_per_sec: rps(coalesced_execs, coalesced_busy_solo),
     };
 
-    let stats = cache.stats();
+    let stats = cache_stats;
     Ok(ServeReport {
         schema: SERVE_REPORT_SCHEMA.to_string(),
         smoke: cfg.smoke,
         requests: cfg.requests,
         executions,
-        clients,
+        clients_requested: cfg.clients,
+        clients_resolved: clients,
         base_n: cfg.n,
         seed: cfg.seed,
         dtype: cfg.dtype.map_or("mixed", Dtype::name).to_string(),
         batch_window: cfg.batch_window,
+        batch_deadline_us: cfg.batch_deadline_us,
+        arrival_rate: rate,
         distinct_signatures: distinct.len(),
         wall_secs,
         requests_per_sec: executions as f64 / wall_secs,
@@ -925,6 +1456,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             0.0
         },
         batching,
+        admission,
+        sweep,
         cache: CacheStatsRecord {
             hits: stats.hits,
             misses: stats.misses,
@@ -1150,8 +1683,113 @@ mod tests {
     #[test]
     fn single_client_run_works() {
         let report = run_ok(&ServeConfig { requests: 32, clients: 1, ..tiny_cfg() });
-        assert_eq!(report.clients, 1);
+        assert_eq!(report.clients_resolved, 1);
+        assert_eq!(report.clients_requested, 1);
         assert_eq!(report.requests, 32);
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        // The happy path reproduces the defaults.
+        let cfg = ServeConfig::builder().build().expect("defaults build");
+        assert_eq!(cfg.requests, ServeConfig::default().requests);
+        assert_eq!(cfg.batch_deadline_us, 250);
+
+        // Explicit zero clients is a named error, not a silent clamp —
+        // and auto (the default) still resolves with the documented cap.
+        assert_eq!(ServeConfig::builder().clients(0).build(), Err(ServeError::ZeroClients));
+        let auto = ServeConfig::builder().clients_auto().build().expect("auto builds");
+        assert_eq!(auto.clients, 0);
+        assert!(auto.resolved_clients() >= 1 && auto.resolved_clients() <= 8);
+        // Explicit counts pass through verbatim, beyond the auto cap too.
+        let cfg = ServeConfig::builder().clients(12).build().expect("explicit builds");
+        assert_eq!((cfg.clients, cfg.resolved_clients()), (12, 12));
+
+        assert_eq!(ServeConfig::builder().shards(0).build(), Err(ServeError::ZeroShards));
+        assert_eq!(
+            ServeConfig::builder().batch_window(8).batch_deadline_us(0).build(),
+            Err(ServeError::MissingDeadline { window: 8 })
+        );
+        // Window 1 never holds a partial batch: no deadline required.
+        assert!(ServeConfig::builder().batch_window(1).batch_deadline_us(0).build().is_ok());
+
+        // Backend names resolve at build time, before any dispatch.
+        let err = ServeConfig::builder().backends(["cuda"]).build().expect_err("unknown");
+        assert!(
+            matches!(err, ServeError::UnknownBackend { ref requested, .. } if requested == "cuda")
+        );
+        assert!(ServeConfig::builder().backends(Vec::<String>::new()).build().is_err());
+
+        // A built config runs end to end.
+        let cfg = ServeConfig::smoke_builder()
+            .requests(48)
+            .n(12)
+            .clients(2)
+            .seed(7)
+            .backends(["seed"])
+            .batch_window(4)
+            .batch_deadline_us(200)
+            .arrival_rate(4000.0)
+            .build()
+            .expect("smoke builder config is valid");
+        let report = run_ok(&cfg);
+        assert_eq!(report.batch_window, 4);
+        assert_eq!(report.batch_deadline_us, 200);
+        assert_eq!(report.backends[0].backend, "seed");
+    }
+
+    #[test]
+    fn live_admission_reports_deadline_flushes_and_queue_delay() {
+        let report = run_ok(&tiny_cfg());
+        let a = &report.admission;
+        assert_eq!(a.window, 8);
+        assert_eq!(a.deadline_us, 250);
+        assert_eq!(a.requests, report.requests);
+        assert_eq!(a.occupancy_flushes + a.deadline_flushes + a.drain_flushes, a.batches as u64);
+        assert!(a.batches >= 1 && a.mean_occupancy >= 1.0);
+        // At 2000 req/s spread over ~a dozen signature keys, per-key
+        // inter-arrival dwarfs the 250 µs budget: the deadline path must
+        // fire — this is timing-robust, unlike latency magnitudes.
+        assert!(a.deadline_flushes > 0, "deadline flushes expected: {a:?}");
+        assert!(a.queue_delay_p99_us >= a.queue_delay_p50_us);
+        assert!(a.queue_delay_p50_us > 0.0, "queueing delay is always positive");
+
+        // The sweep covers windows {1, window} × rates {r/4, r}.
+        assert_eq!(report.sweep.len(), 4);
+        assert!(report.sweep.iter().all(|c| c.requests > 0 && c.batches > 0));
+        let low_coalescing: Vec<&AdmissionRecord> = report
+            .sweep
+            .iter()
+            .filter(|c| c.window >= 2 && c.arrival_rate < report.arrival_rate)
+            .collect();
+        assert!(!low_coalescing.is_empty());
+        for c in low_coalescing {
+            assert!(c.deadline_flushes > 0, "low-rate coalescing cell must deadline-flush: {c:?}");
+        }
+        // Window-1 cells never coalesce: every flush is an occupancy
+        // flush of a singleton batch.
+        for c in report.sweep.iter().filter(|c| c.window == 1) {
+            assert_eq!(c.deadline_flushes, 0, "{c:?}");
+            assert_eq!(c.mean_occupancy, 1.0);
+            assert_eq!(c.occupancy_flushes, c.requests as u64);
+        }
+    }
+
+    #[test]
+    fn transport_errors_chain_their_sources() {
+        let io = Arc::new(std::io::Error::new(std::io::ErrorKind::AddrInUse, "taken"));
+        let err = ServeError::Bind { addr: "tcp:127.0.0.1:1".into(), source: io };
+        assert!(err.to_string().contains("failed to bind"), "{err}");
+        let src = std::error::Error::source(&err).expect("bind error chains its io source");
+        assert!(src.to_string().contains("taken"), "{src}");
+        // Wrapped io errors compare by kind, keeping assert_eq usable.
+        let io2 = Arc::new(std::io::Error::new(std::io::ErrorKind::AddrInUse, "different text"));
+        assert_eq!(err, ServeError::Bind { addr: "tcp:127.0.0.1:1".into(), source: io2 });
+
+        let frame = ServeError::Frame(FrameError::UnknownVersion(9));
+        let src = std::error::Error::source(&frame).expect("frame error chains");
+        assert!(src.to_string().contains("version"), "{src}");
+        assert_ne!(frame, ServeError::Frame(FrameError::UnknownVersion(8)));
     }
 
     #[test]

@@ -53,14 +53,24 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod bench;
 mod cache;
+pub mod loadgen;
 mod plan;
+pub mod proto;
+pub mod server;
 mod signature;
 pub mod workload;
 
-pub use bench::{run, BackendRecord, ServeConfig, ServeError, ServeReport};
+pub use admission::{AdmissionQueue, AdmissionStats, FlushKind};
+pub use bench::{
+    run, AdmissionRecord, BackendRecord, ServeConfig, ServeConfigBuilder, ServeError, ServeReport,
+};
 pub use cache::{CacheStats, Lookup, PlanCache};
 pub use laab_backend::BackendId;
+pub use loadgen::{Arrival, LoadgenConfig, LoadgenReport};
 pub use plan::Plan;
+pub use proto::{FrameError, Message, RequestMsg, ResponseMsg};
+pub use server::{Listen, Server, ServerStats};
 pub use signature::{Dtype, Signature};

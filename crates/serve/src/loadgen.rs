@@ -1,0 +1,669 @@
+//! The standalone load generator: drives a running [`Server`](crate::Server)
+//! over its socket and measures latency *from the client side*.
+//!
+//! Where `laab serve` reports what the serving loop saw, `laab loadgen`
+//! reports what a caller would see: round-trip time over the wire,
+//! including framing, the admission queue's deadline-or-occupancy wait,
+//! and the response's journey back. It replays the same deterministic
+//! [`synthetic_mix`] stream the in-process benchmark uses, under three
+//! swept arrival processes:
+//!
+//! - **closed-loop** — each connection keeps exactly one request in
+//!   flight; throughput is latency-bound.
+//! - **open-loop Poisson** — requests arrive on an exponential clock at
+//!   a configured rate regardless of completions; queueing delay shows
+//!   up honestly instead of being absorbed by back-pressure.
+//! - **bursty** — Poisson-spaced *bursts* of back-to-back requests, the
+//!   adversarial case for a deadline-flushed admission window.
+//!
+//! Because the stream, the operand pools, and the payload draws are all
+//! seeded, the generator can also compute each request's expected result
+//! locally and compare it to the server's response
+//! [checksum](crate::proto::result_checksum) — a bitwise end-to-end
+//! check that the network path executes the *same arithmetic* as the
+//! in-process loop (exact for backends whose batched execution is a
+//! per-item loop, e.g. `seed`/`reference`; disable with
+//! [`LoadgenConfig::verify`] for backends with stacked batched kernels).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use laab_backend::{BackendScalar, Dtype, Registration};
+use laab_framework::Framework;
+use laab_stats::Samples;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::bench::{resolve_backends, ServeError};
+use crate::cache::PlanCache;
+use crate::plan::Plan;
+use crate::proto::{self, Message, Outcome, RequestMsg};
+use crate::server::{connect, Listen};
+use crate::workload::{synthetic_mix, Request};
+use crate::FlushKind;
+
+/// Schema tag embedded in every [`LoadgenReport`]. `laab-core`'s bench
+/// registry mirrors this constant; a test holds the pair equal.
+pub const LOADGEN_REPORT_SCHEMA: &str = "laab-loadgen-v1";
+
+/// An arrival process for one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// One request in flight per connection; the next departs when the
+    /// response lands.
+    Closed,
+    /// Open-loop Poisson arrivals at `rate` requests/second (split
+    /// evenly across connections), independent of completions.
+    OpenPoisson {
+        /// Aggregate arrival rate, requests per second.
+        rate: f64,
+    },
+    /// Poisson-spaced bursts: `burst` requests back-to-back, bursts
+    /// timed so the aggregate rate is still `rate`.
+    Bursty {
+        /// Aggregate arrival rate, requests per second.
+        rate: f64,
+        /// Requests per burst.
+        burst: usize,
+    },
+}
+
+impl Arrival {
+    /// Parse a CLI spec: `closed`, `poisson:<rate>`, or
+    /// `bursty:<rate>x<burst>`.
+    pub fn parse(spec: &str) -> Result<Arrival, ServeError> {
+        let bad = || ServeError::BadArrival(spec.to_string());
+        if spec == "closed" {
+            return Ok(Arrival::Closed);
+        }
+        if let Some(rate) = spec.strip_prefix("poisson:") {
+            let rate: f64 = rate.parse().map_err(|_| bad())?;
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(bad());
+            }
+            return Ok(Arrival::OpenPoisson { rate });
+        }
+        if let Some(rest) = spec.strip_prefix("bursty:") {
+            let (rate, burst) = rest.split_once('x').ok_or_else(bad)?;
+            let rate: f64 = rate.parse().map_err(|_| bad())?;
+            let burst: usize = burst.parse().map_err(|_| bad())?;
+            if !rate.is_finite() || rate <= 0.0 || burst == 0 {
+                return Err(bad());
+            }
+            return Ok(Arrival::Bursty { rate, burst });
+        }
+        Err(bad())
+    }
+
+    /// The canonical spec spelling ([`parse`](Self::parse) inverts it).
+    pub fn display(&self) -> String {
+        match self {
+            Arrival::Closed => "closed".to_string(),
+            Arrival::OpenPoisson { rate } => format!("poisson:{rate}"),
+            Arrival::Bursty { rate, burst } => format!("bursty:{rate}x{burst}"),
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        match self {
+            Arrival::Closed => 0.0,
+            Arrival::OpenPoisson { rate } | Arrival::Bursty { rate, .. } => *rate,
+        }
+    }
+}
+
+/// What to drive at the server and how hard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Server address spec (`unix:<path>` or `tcp:<host:port>`).
+    pub addr: String,
+    /// Requests per arrival-process run.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Base operand size of the request stream.
+    pub n: usize,
+    /// Stream/pool seed. **Must match the server's `--seed`** for the
+    /// bitwise verification to be meaningful (the payload draws hang off
+    /// it on both sides).
+    pub seed: u64,
+    /// Every `churn_every`-th request changes signature (0 disables).
+    pub churn_every: usize,
+    /// Pin the stream to one precision (`None` = mixed).
+    pub dtype: Option<Dtype>,
+    /// Backend name every request asks the server to dispatch to.
+    pub backend: String,
+    /// Arrival processes to sweep, one run each, in order.
+    pub arrivals: Vec<Arrival>,
+    /// Compute each request's expected checksum locally and count
+    /// mismatches. Exact only for backends whose batched execution is
+    /// per-item (`seed`, `reference`).
+    pub verify: bool,
+    /// Send a [`Message::Shutdown`] after the last run, so the server
+    /// exits and (for unix sockets) removes its socket file.
+    pub shutdown: bool,
+    /// `true` for the CI smoke protocol (recorded in the report).
+    pub smoke: bool,
+}
+
+impl LoadgenConfig {
+    /// The CI smoke protocol: a small stream, all three arrival
+    /// processes, bitwise verification on, shutdown at the end.
+    pub fn smoke(addr: &str) -> Self {
+        LoadgenConfig {
+            addr: addr.to_string(),
+            requests: 96,
+            connections: 2,
+            n: 24,
+            // Matches `ServeConfig::smoke()` — the server's operand
+            // pools and payload draws hang off *its* seed, so the
+            // bitwise oracle only lines up when the two agree.
+            seed: 0x1AAB,
+            churn_every: 7,
+            dtype: None,
+            backend: "seed".to_string(),
+            arrivals: vec![
+                Arrival::Closed,
+                Arrival::OpenPoisson { rate: 2000.0 },
+                Arrival::Bursty { rate: 2000.0, burst: 8 },
+            ],
+            verify: true,
+            shutdown: true,
+            smoke: true,
+        }
+    }
+}
+
+/// One arrival-process run's client-side measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArrivalRun {
+    /// The arrival spec ([`Arrival::display`]).
+    pub arrival: String,
+    /// Aggregate arrival rate (0 for closed-loop).
+    pub rate: f64,
+    /// Requests sent.
+    pub sent: u64,
+    /// `Ok` responses received.
+    pub completed: u64,
+    /// Error responses received.
+    pub errors: u64,
+    /// Client-observed round-trip p50, microseconds.
+    pub rtt_p50_us: f64,
+    /// Client-observed round-trip p99, microseconds.
+    pub rtt_p99_us: f64,
+    /// Client-observed round-trip mean, microseconds.
+    pub rtt_mean_us: f64,
+    /// Server-reported queue delay p50, microseconds.
+    pub queue_p50_us: f64,
+    /// Server-reported queue delay p99, microseconds.
+    pub queue_p99_us: f64,
+    /// Mean batch occupancy over `Ok` responses.
+    pub occupancy_mean: f64,
+    /// Responses whose batch flushed on occupancy.
+    pub occupancy_flushes: u64,
+    /// Responses whose batch flushed on deadline.
+    pub deadline_flushes: u64,
+    /// Responses whose batch flushed on drain.
+    pub drain_flushes: u64,
+    /// Responses whose checksum differed from the local oracle.
+    pub checksum_mismatches: u64,
+    /// Wall-clock of the run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Completed responses per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+/// The client-side report `laab loadgen` emits (schema
+/// [`LOADGEN_REPORT_SCHEMA`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Schema tag.
+    pub schema: String,
+    /// Server address driven (canonical form).
+    pub addr: String,
+    /// Backend requested of the server.
+    pub backend: String,
+    /// Requests per run.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Base operand size.
+    pub n: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Whether bitwise verification ran.
+    pub verified: bool,
+    /// Whether this was the smoke protocol.
+    pub smoke: bool,
+    /// One entry per swept arrival process, in run order.
+    pub runs: Vec<ArrivalRun>,
+    /// Total checksum mismatches across all runs (0 = the socket path is
+    /// bitwise identical to the in-process oracle).
+    pub checksum_mismatches: u64,
+}
+
+impl LoadgenReport {
+    /// Pretty-printed JSON (the `BENCH_loadgen.json` artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("LoadgenReport serializes infallibly")
+    }
+}
+
+/// One decoded `Ok` response with its client-side round trip.
+struct Sample {
+    rtt_ns: u64,
+    queue_ns: u64,
+    occupancy: u32,
+    flush: FlushKind,
+    checksum: u64,
+    id: u64,
+}
+
+struct ConnResult {
+    samples: Vec<Sample>,
+    sent: u64,
+    errors: u64,
+}
+
+/// Drive the server at `cfg.addr` through every configured arrival
+/// process and assemble the client-side report.
+///
+/// # Errors
+/// [`ServeError::BadListen`]/[`ServeError::Connect`] for an unreachable
+/// address, [`ServeError::Socket`]/[`ServeError::Frame`] for transport
+/// failures mid-run, plus config rejections ([`ServeError::UnknownBackend`]
+/// when `verify` needs a backend this binary does not link).
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    let addr = Listen::parse(&cfg.addr)?;
+    if cfg.arrivals.is_empty() {
+        return Err(ServeError::BadArrival("no arrival processes configured".to_string()));
+    }
+    let requests = cfg.requests.max(1);
+    let connections = cfg.connections.clamp(1, requests);
+    let mix = synthetic_mix(requests, cfg.n, cfg.seed, cfg.churn_every, cfg.dtype);
+    let expected: Vec<u64> = if cfg.verify {
+        let reg = resolve_backends(std::slice::from_ref(&cfg.backend))?[0];
+        oracle_checksums(&mix, reg, cfg.seed)
+    } else {
+        Vec::new()
+    };
+
+    let mut runs = Vec::with_capacity(cfg.arrivals.len());
+    let mut total_mismatches = 0u64;
+    for arrival in &cfg.arrivals {
+        let run = drive_once(&addr, cfg, &mix, *arrival, &expected, connections)?;
+        total_mismatches += run.checksum_mismatches;
+        runs.push(run);
+    }
+
+    if cfg.shutdown {
+        shutdown_server(&addr)?;
+    }
+
+    Ok(LoadgenReport {
+        schema: LOADGEN_REPORT_SCHEMA.to_string(),
+        addr: addr.display(),
+        backend: cfg.backend.clone(),
+        requests,
+        connections,
+        n: cfg.n,
+        seed: cfg.seed,
+        verified: cfg.verify,
+        smoke: cfg.smoke,
+        runs,
+        checksum_mismatches: total_mismatches,
+    })
+}
+
+/// Send an in-band shutdown and wait for the ack.
+fn shutdown_server(addr: &Listen) -> Result<(), ServeError> {
+    let mut stream = connect(addr)?;
+    proto::write_message(&mut stream, &Message::Shutdown)
+        .map_err(|e| ServeError::Socket(Arc::new(e)))?;
+    loop {
+        match proto::read_message(&mut stream)? {
+            Some(Message::ShutdownAck) | None => return Ok(()),
+            Some(_) => continue,
+        }
+    }
+}
+
+/// One arrival process against one fresh set of connections.
+fn drive_once(
+    addr: &Listen,
+    cfg: &LoadgenConfig,
+    mix: &[Request],
+    arrival: Arrival,
+    expected: &[u64],
+    connections: usize,
+) -> Result<ArrivalRun, ServeError> {
+    // Round-robin the stream across connections; ids index into `mix`,
+    // so the oracle lookup on the way back is O(1).
+    let mut shares: Vec<Vec<(u64, Request)>> = vec![Vec::new(); connections];
+    for (i, req) in mix.iter().enumerate() {
+        shares[i % connections].push((i as u64, *req));
+    }
+    let started = Instant::now();
+    let transport_err: Mutex<Option<ServeError>> = Mutex::new(None);
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for (c, share) in shares.into_iter().enumerate() {
+            let (transport_err, backend) = (&transport_err, cfg.backend.as_str());
+            let rate_share = arrival.rate() / connections as f64;
+            let seed = cfg.seed ^ 0x10AD_0000 ^ (c as u64);
+            handles.push(scope.spawn(move || {
+                match drive_connection(addr, share, backend, arrival, rate_share, seed) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        transport_err.lock().expect("loadgen error slot").get_or_insert(e);
+                        ConnResult { samples: Vec::new(), sent: 0, errors: 0 }
+                    }
+                }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("loadgen connection thread")).collect()
+    });
+    if let Some(e) = transport_err.into_inner().expect("loadgen error slot") {
+        return Err(e);
+    }
+    let elapsed = started.elapsed();
+
+    let mut rtt_us = Vec::new();
+    let mut queue_us = Vec::new();
+    let (mut sent, mut errors, mut occ_sum, mut mismatches) = (0u64, 0u64, 0u64, 0u64);
+    let (mut occ_fl, mut dl_fl, mut dr_fl) = (0u64, 0u64, 0u64);
+    let mut completed = 0u64;
+    for r in &results {
+        sent += r.sent;
+        errors += r.errors;
+        for s in &r.samples {
+            completed += 1;
+            rtt_us.push(s.rtt_ns as f64 / 1_000.0);
+            queue_us.push(s.queue_ns as f64 / 1_000.0);
+            occ_sum += s.occupancy as u64;
+            match s.flush {
+                FlushKind::Occupancy => occ_fl += 1,
+                FlushKind::Deadline => dl_fl += 1,
+                FlushKind::Drain => dr_fl += 1,
+            }
+            if !expected.is_empty() && expected[s.id as usize] != s.checksum {
+                mismatches += 1;
+            }
+        }
+    }
+    // `Samples` rejects an empty set; a run where every request errored
+    // still deserves a report row (of zeros).
+    let summarize = |v: Vec<f64>| -> (f64, f64, f64) {
+        if v.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let s = Samples::new(v);
+        (s.median(), s.quantile(0.99), s.mean())
+    };
+    let (rtt_p50, rtt_p99, rtt_mean) = summarize(rtt_us);
+    let (queue_p50, queue_p99, _) = summarize(queue_us);
+    Ok(ArrivalRun {
+        arrival: arrival.display(),
+        rate: arrival.rate(),
+        sent,
+        completed,
+        errors,
+        rtt_p50_us: rtt_p50,
+        rtt_p99_us: rtt_p99,
+        rtt_mean_us: rtt_mean,
+        queue_p50_us: queue_p50,
+        queue_p99_us: queue_p99,
+        occupancy_mean: if completed == 0 { 0.0 } else { occ_sum as f64 / completed as f64 },
+        occupancy_flushes: occ_fl,
+        deadline_flushes: dl_fl,
+        drain_flushes: dr_fl,
+        checksum_mismatches: mismatches,
+        elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
+        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+            completed as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+    })
+}
+
+fn wire_request(id: u64, req: &Request, backend: &str) -> Message {
+    Message::Request(RequestMsg {
+        id,
+        family: req.family.id().to_string(),
+        n: req.n as u64,
+        dtype: req.dtype,
+        backend: backend.to_string(),
+        payload: req.payload,
+    })
+}
+
+/// One connection's share of a run. Closed-loop is a synchronous
+/// request/response loop; the open-loop shapes split into a pacing
+/// sender and a collecting reader so queueing at the server cannot
+/// back-pressure the arrival clock.
+fn drive_connection(
+    addr: &Listen,
+    share: Vec<(u64, Request)>,
+    backend: &str,
+    arrival: Arrival,
+    rate_share: f64,
+    seed: u64,
+) -> Result<ConnResult, ServeError> {
+    let mut stream = connect(addr)?;
+    let sock = |e: std::io::Error| ServeError::Socket(Arc::new(e));
+    if share.is_empty() {
+        return Ok(ConnResult { samples: Vec::new(), sent: 0, errors: 0 });
+    }
+
+    if matches!(arrival, Arrival::Closed) {
+        let mut samples = Vec::with_capacity(share.len());
+        let mut errors = 0u64;
+        let mut sent = 0u64;
+        for (id, req) in &share {
+            let t0 = Instant::now();
+            proto::write_message(&mut stream, &wire_request(*id, req, backend)).map_err(sock)?;
+            sent += 1;
+            match proto::read_message(&mut stream)? {
+                Some(Message::Response(resp)) => match resp.outcome {
+                    Outcome::Ok { queue_ns, occupancy, flush, checksum, .. } => {
+                        samples.push(Sample {
+                            rtt_ns: t0.elapsed().as_nanos() as u64,
+                            queue_ns,
+                            occupancy,
+                            flush,
+                            checksum,
+                            id: resp.id,
+                        });
+                    }
+                    Outcome::Err { .. } => errors += 1,
+                },
+                _ => break,
+            }
+        }
+        return Ok(ConnResult { samples, sent, errors });
+    }
+
+    // Open-loop: the reader owns the original stream, the sender a
+    // clone. Send instants are shared through a map keyed by request id
+    // (responses may interleave across batches).
+    let mut wstream = stream.try_clone().map_err(sock)?;
+    let pending: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
+    let want = share.len();
+    let sent = AtomicU64::new(0);
+    let (samples, errors) = std::thread::scope(|scope| {
+        let (pending_ref, sent_ref) = (&pending, &sent);
+        let sender = scope.spawn(move || -> Result<(), ServeError> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let burst = match arrival {
+                Arrival::Bursty { burst, .. } => burst,
+                _ => 1,
+            };
+            // Bursts arrive on the exponential clock; spacing them at
+            // rate/burst keeps the aggregate request rate at `rate`.
+            let burst_rate = rate_share / burst as f64;
+            for chunk in share.chunks(burst) {
+                let u: f64 = rng.gen();
+                let gap = -(1.0 - u).ln() / burst_rate;
+                std::thread::sleep(Duration::from_secs_f64(gap.min(0.25)));
+                for (id, req) in chunk {
+                    pending_ref.lock().expect("pending map").insert(*id, Instant::now());
+                    proto::write_message(&mut wstream, &wire_request(*id, req, backend))
+                        .map_err(|e| ServeError::Socket(Arc::new(e)))?;
+                    sent_ref.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        });
+        let mut samples = Vec::with_capacity(want);
+        let mut errors = 0u64;
+        let mut got = 0usize;
+        let mut read_err: Option<ServeError> = None;
+        while got < want {
+            match proto::read_message(&mut stream) {
+                Ok(Some(Message::Response(resp))) => {
+                    got += 1;
+                    let sent_at = pending.lock().expect("pending map").remove(&resp.id);
+                    match resp.outcome {
+                        Outcome::Ok { queue_ns, occupancy, flush, checksum, .. } => {
+                            let rtt_ns =
+                                sent_at.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(queue_ns);
+                            samples.push(Sample {
+                                rtt_ns,
+                                queue_ns,
+                                occupancy,
+                                flush,
+                                checksum,
+                                id: resp.id,
+                            });
+                        }
+                        Outcome::Err { .. } => errors += 1,
+                    }
+                }
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    read_err = Some(e.into());
+                    break;
+                }
+            }
+        }
+        let send_result = sender.join().expect("loadgen sender thread");
+        (send_result.and(read_err.map_or(Ok(()), Err)).map(|_| samples), errors)
+    });
+    samples.map(|samples| ConnResult { samples, sent: sent.load(Ordering::Relaxed), errors })
+}
+
+/// Execute every request solo, in-process, and checksum the results —
+/// the oracle the socket path is compared against. Memoized by the
+/// request's full identity `(family, n, dtype, payload)`; plans are
+/// cached by signature like the server does.
+fn oracle_checksums(mix: &[Request], reg: &'static Registration, seed: u64) -> Vec<u64> {
+    let fw = Framework::flow();
+    let cache = PlanCache::with_shards(64, 4);
+    let mut memo: HashMap<Request, u64> = HashMap::new();
+    let mut pools_f64: HashMap<(crate::workload::Family, usize), laab_expr::eval::Env<f64>> =
+        HashMap::new();
+    let mut pools_f32: HashMap<(crate::workload::Family, usize), laab_expr::eval::Env<f32>> =
+        HashMap::new();
+    mix.iter()
+        .map(|req| {
+            if let Some(&c) = memo.get(req) {
+                return c;
+            }
+            let c = match req.dtype {
+                Dtype::F64 => {
+                    let pool = pools_f64
+                        .entry((req.family, req.n))
+                        .or_insert_with(|| req.family.env::<f64>(req.n, seed));
+                    oracle_one::<f64>(req, pool, reg, &fw, &cache, seed)
+                }
+                Dtype::F32 => {
+                    let pool = pools_f32
+                        .entry((req.family, req.n))
+                        .or_insert_with(|| req.family.env::<f32>(req.n, seed));
+                    oracle_one::<f32>(req, pool, reg, &fw, &cache, seed)
+                }
+            };
+            memo.insert(*req, c);
+            c
+        })
+        .collect()
+}
+
+fn oracle_one<T: BackendScalar>(
+    req: &Request,
+    pool: &laab_expr::eval::Env<T>,
+    reg: &'static Registration,
+    fw: &Framework,
+    cache: &PlanCache,
+    seed: u64,
+) -> u64 {
+    let (plan, _) = cache.get_or_compile(req.signature(reg.id()), || {
+        Plan::compile_with_varying(
+            fw,
+            &req.family.expr(req.n),
+            &req.family.ctx(req.n),
+            reg,
+            req.family.varying_operands(),
+        )
+    });
+    let results = if req.family.payload_operands().is_empty() {
+        plan.execute::<T>(pool)
+    } else {
+        plan.execute::<T>(&req.env_from_pool(pool, seed))
+    };
+    proto::result_checksum(&results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_specs_round_trip() {
+        for spec in ["closed", "poisson:2000", "bursty:1500x8"] {
+            assert_eq!(Arrival::parse(spec).unwrap().display(), spec);
+        }
+        for bad in [
+            "",
+            "poisson:",
+            "poisson:-3",
+            "poisson:nan?",
+            "bursty:100",
+            "bursty:0x4",
+            "bursty:100x0",
+            "open",
+        ] {
+            assert!(Arrival::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic_and_payload_sensitive() {
+        let reg = resolve_backends(&["seed".to_string()]).unwrap()[0];
+        let mix = synthetic_mix(24, 16, 7, 5, None);
+        let a = oracle_checksums(&mix, reg, 7);
+        let b = oracle_checksums(&mix, reg, 7);
+        assert_eq!(a, b, "same stream, same seed, same checksums");
+        // Chain requests carry a per-request payload vector, so two
+        // requests sharing a signature still get distinct checksums.
+        let mk = |payload| Request {
+            family: crate::workload::Family::Chain,
+            n: 16,
+            dtype: Dtype::F64,
+            payload,
+        };
+        let pair = oracle_checksums(&[mk(1), mk(2)], reg, 7);
+        assert_ne!(pair[0], pair[1]);
+    }
+
+    #[test]
+    fn schema_is_registered_in_laab_core() {
+        assert_eq!(LOADGEN_REPORT_SCHEMA, laab_core::bench_registry::LOADGEN_SCHEMA);
+        let spec = laab_core::bench_registry::find("loadgen").expect("registered");
+        assert_eq!(spec.schema, LOADGEN_REPORT_SCHEMA);
+    }
+}

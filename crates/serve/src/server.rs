@@ -1,0 +1,585 @@
+//! The blocking network server: listener → admission → batch → backend.
+//!
+//! `laab serve --listen <addr>` runs this front-end. The dataflow is the
+//! same three layers the in-process loop composes, with the generator
+//! replaced by sockets:
+//!
+//! ```text
+//!  connections ──► reader threads ──► AdmissionQueue ──► executor pool
+//!  (unix/tcp)      (decode+validate)  (deadline|occupancy)  (plan cache
+//!                                                           → backend)
+//! ```
+//!
+//! One reader thread per accepted connection decodes
+//! [`proto`] frames, validates each request against the
+//! served backend set (unknown family/backend, unsupported dtype, and
+//! out-of-range sizes are *rejected with a response frame*, never a
+//! panic), and submits jobs keyed by `(family, n, dtype, backend)` —
+//! exactly what determines the plan-cache [`Signature`](crate::Signature).
+//! A pool of executor threads (the `clients` count of the in-process
+//! loop) drains whole batches through the shared [`PlanCache`] and
+//! writes one response frame per request, carrying the measured queue
+//! delay, the per-request execution share, the batch occupancy and
+//! [`FlushKind`](crate::FlushKind), and a [checksum](crate::proto::result_checksum)
+//! of the result matrices for client-side bitwise validation.
+//!
+//! Shutdown is graceful and in-band: a [`Message::Shutdown`] frame is
+//! acknowledged immediately, the listener stops accepting, readers drain
+//! to EOF, the admission queue flushes its partial groups, executors
+//! finish the backlog, and — for unix sockets — the socket file is
+//! removed. [`Server::run`] then returns the run's [`ServerStats`].
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use laab_backend::{BackendScalar, Dtype, Registration};
+use laab_expr::eval::Env;
+use laab_framework::Framework;
+
+use crate::admission::{AdmissionQueue, AdmissionStats, FlushedBatch};
+use crate::bench::{resolve_backends, ServeConfig, ServeError};
+use crate::cache::PlanCache;
+use crate::plan::Plan;
+use crate::proto::{self, Message, Outcome, RequestMsg, ResponseMsg};
+use crate::workload::{Family, Request};
+
+/// A parsed listen/connect address: a unix socket path or a TCP
+/// host:port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parse an address spec. Accepted forms: `unix:<path>`,
+    /// `tcp:<host:port>`, a bare path containing `/` (unix), or a bare
+    /// `host:port` (TCP).
+    pub fn parse(spec: &str) -> Result<Listen, ServeError> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ServeError::BadListen(spec.to_string()));
+            }
+            return Ok(Listen::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            if addr.is_empty() || !addr.contains(':') {
+                return Err(ServeError::BadListen(spec.to_string()));
+            }
+            return Ok(Listen::Tcp(addr.to_string()));
+        }
+        if spec.contains('/') {
+            return Ok(Listen::Unix(PathBuf::from(spec)));
+        }
+        if spec.contains(':') {
+            return Ok(Listen::Tcp(spec.to_string()));
+        }
+        Err(ServeError::BadListen(spec.to_string()))
+    }
+
+    /// The canonical `unix:`/`tcp:`-prefixed spelling.
+    pub fn display(&self) -> String {
+        match self {
+            Listen::Unix(p) => format!("unix:{}", p.display()),
+            Listen::Tcp(a) => format!("tcp:{a}"),
+        }
+    }
+}
+
+/// One established connection, either flavor. Cloned once per
+/// connection: the original feeds the reader, the clone (behind a
+/// mutex) is shared by the executors writing responses.
+pub(crate) enum Stream {
+    /// A unix-domain stream.
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connect to a listening server (used by the load generator and by the
+/// server itself to unblock its own accept loop at shutdown).
+pub(crate) fn connect(addr: &Listen) -> Result<Stream, ServeError> {
+    let wrap =
+        |e: std::io::Error| ServeError::Connect { addr: addr.display(), source: Arc::new(e) };
+    match addr {
+        Listen::Unix(path) => UnixStream::connect(path).map(Stream::Unix).map_err(wrap),
+        Listen::Tcp(spec) => TcpStream::connect(spec.as_str()).map(Stream::Tcp).map_err(wrap),
+    }
+}
+
+enum ListenerKind {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl ListenerKind {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            ListenerKind::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (the shutdown-unblocking self-connection is
+    /// not counted).
+    pub connections: u64,
+    /// Requests executed and answered with an `Ok` response.
+    pub served: u64,
+    /// Requests answered with an error response (validation failures,
+    /// submits after close).
+    pub rejected: u64,
+    /// The admission queue's flush counters.
+    pub admission: AdmissionStats,
+}
+
+/// One validated request waiting in the admission queue.
+struct ServerJob {
+    writer: Arc<Mutex<Stream>>,
+    id: u64,
+    request: Request,
+    backend: &'static Registration,
+    at: Instant,
+}
+
+/// Per-`(family, n)` operand pools, built lazily as signatures appear.
+struct PoolPair {
+    f64: Env<f64>,
+    f32: Env<f32>,
+}
+
+/// The blocking serving front-end. Construct with [`Server::bind`], then
+/// [`Server::run`] until a client sends [`Message::Shutdown`].
+pub struct Server {
+    local: Listen,
+    listener: ListenerKind,
+    cfg: ServeConfig,
+    regs: Vec<&'static Registration>,
+}
+
+impl Server {
+    /// Bind the listener. Validates the config the way the builder does
+    /// — backend names, shard count, window/deadline coherence — because
+    /// a live server with a coalescing window and no deadline would hold
+    /// lonely requests forever.
+    ///
+    /// # Errors
+    /// Config rejections ([`ServeError::UnknownBackend`] etc.,
+    /// [`ServeError::ZeroShards`], [`ServeError::MissingDeadline`]),
+    /// [`ServeError::BadListen`] for an unintelligible address, and
+    /// [`ServeError::Bind`] when the OS refuses the socket.
+    pub fn bind(spec: &str, cfg: &ServeConfig) -> Result<Server, ServeError> {
+        let addr = Listen::parse(spec)?;
+        let regs = resolve_backends(&cfg.backends)?;
+        if cfg.shards == 0 {
+            return Err(ServeError::ZeroShards);
+        }
+        if cfg.batching_enabled() && cfg.batch_deadline_us == 0 {
+            return Err(ServeError::MissingDeadline { window: cfg.batch_window });
+        }
+        let wrap =
+            |e: std::io::Error| ServeError::Bind { addr: addr.display(), source: Arc::new(e) };
+        let (listener, local) = match &addr {
+            Listen::Unix(path) => {
+                (ListenerKind::Unix(UnixListener::bind(path).map_err(wrap)?), addr.clone())
+            }
+            Listen::Tcp(spec) => {
+                let l = TcpListener::bind(spec.as_str()).map_err(wrap)?;
+                // Report the resolved address, so `tcp:127.0.0.1:0`
+                // (ephemeral port) is connectable from the returned spec.
+                let local = l
+                    .local_addr()
+                    .map(|a| Listen::Tcp(a.to_string()))
+                    .unwrap_or_else(|_| addr.clone());
+                (ListenerKind::Tcp(l), local)
+            }
+        };
+        Ok(Server { local, listener, cfg: cfg.clone(), regs })
+    }
+
+    /// The bound address in canonical `unix:`/`tcp:` form (for TCP, with
+    /// the ephemeral port resolved).
+    pub fn local_addr(&self) -> String {
+        self.local.display()
+    }
+
+    /// Serve until a client sends [`Message::Shutdown`], then drain and
+    /// return the stats. Blocking: readers, executors, and the accept
+    /// loop all run on scoped threads inside this call. On a unix
+    /// listener the socket file is removed before returning — a clean
+    /// shutdown leaks nothing.
+    ///
+    /// # Errors
+    /// [`ServeError::Accept`] if the listener itself fails (individual
+    /// connection failures only drop that connection).
+    pub fn run(self) -> Result<ServerStats, ServeError> {
+        let Server { local, listener, cfg, regs } = self;
+        let queue: AdmissionQueue<(Family, usize, Dtype, &'static str), ServerJob> =
+            AdmissionQueue::new(cfg.batch_window, cfg.deadline());
+        let cache = PlanCache::with_shards(cfg.cache_capacity.max(1) * regs.len(), cfg.shards);
+        let fw = Framework::flow();
+        let pools: Mutex<HashMap<(Family, usize), Arc<PoolPair>>> = Mutex::new(HashMap::new());
+        let shutdown = AtomicBool::new(false);
+        let served = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let mut connections = 0u64;
+        let mut accept_err: Option<ServeError> = None;
+
+        std::thread::scope(|scope| {
+            let mut executors = Vec::new();
+            for _ in 0..cfg.resolved_clients() {
+                let (queue, cache, fw, pools, served) = (&queue, &cache, &fw, &pools, &served);
+                let seed = cfg.seed;
+                executors.push(scope.spawn(move || {
+                    while let Some(batch) = queue.next_batch() {
+                        let n = batch.items.len() as u64;
+                        execute_batch(&batch, cache, fw, pools, seed);
+                        served.fetch_add(n, Ordering::Relaxed);
+                    }
+                }));
+            }
+
+            let mut readers = Vec::new();
+            loop {
+                let stream = match listener.accept() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        if !shutdown.load(Ordering::SeqCst) {
+                            accept_err = Some(ServeError::Accept(Arc::new(e)));
+                        }
+                        break;
+                    }
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    // The self-connection that unblocked accept; drop it.
+                    break;
+                }
+                connections += 1;
+                let (queue, regs, shutdown, local, rejected) =
+                    (&queue, &regs, &shutdown, &local, &rejected);
+                readers.push(scope.spawn(move || {
+                    reader_loop(stream, queue, regs, shutdown, local, rejected);
+                }));
+            }
+
+            // Readers exit at their client's EOF; only then is the queue
+            // closed, so no accepted request is dropped un-answered.
+            for r in readers {
+                let _ = r.join();
+            }
+            queue.close();
+            for e in executors {
+                let _ = e.join();
+            }
+        });
+
+        if let Listen::Unix(path) = &local {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(e) = accept_err {
+            return Err(e);
+        }
+        Ok(ServerStats {
+            connections,
+            served: served.load(Ordering::Relaxed),
+            rejected: rejected.load(Ordering::Relaxed),
+            admission: queue.stats(),
+        })
+    }
+}
+
+/// Answer one connection: decode frames, validate, submit; on
+/// [`Message::Shutdown`], ack, stop the acceptor, and drain to EOF. A
+/// malformed frame drops the connection (the stream position is
+/// unrecoverable) without touching the rest of the server.
+fn reader_loop(
+    stream: Stream,
+    queue: &AdmissionQueue<(Family, usize, Dtype, &'static str), ServerJob>,
+    regs: &[&'static Registration],
+    shutdown: &AtomicBool,
+    local: &Listen,
+    rejected: &AtomicU64,
+) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        match proto::read_message(&mut reader) {
+            Ok(Some(Message::Request(msg))) => match validate(&msg, regs) {
+                Ok((request, backend)) => {
+                    let key = (request.family, request.n, request.dtype, backend.name());
+                    let job = ServerJob {
+                        writer: writer.clone(),
+                        id: msg.id,
+                        request,
+                        backend,
+                        at: Instant::now(),
+                    };
+                    if !queue.submit(key, job) {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        respond(
+                            &writer,
+                            msg.id,
+                            Outcome::Err { message: "server is shutting down".to_string() },
+                        );
+                    }
+                }
+                Err(message) => {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    respond(&writer, msg.id, Outcome::Err { message });
+                }
+            },
+            Ok(Some(Message::Shutdown)) => {
+                {
+                    let mut w = writer.lock().expect("connection writer");
+                    let _ = proto::write_message(&mut *w, &Message::ShutdownAck);
+                }
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the blocking accept loop with a self-connection.
+                let _ = connect(local);
+                // Keep reading: the client closes after the ack, and any
+                // in-flight responses still flow through the writer.
+            }
+            Ok(Some(other)) => {
+                // A server never receives responses or acks; drop the
+                // connection rather than guess at the peer's state.
+                let _ = other;
+                break;
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+/// Validate one wire request against the served configuration. The
+/// error string travels back to the client verbatim in an error
+/// response.
+fn validate(
+    msg: &RequestMsg,
+    regs: &[&'static Registration],
+) -> Result<(Request, &'static Registration), String> {
+    let family = Family::from_id(&msg.family)
+        .ok_or_else(|| format!("unknown request family `{}`", msg.family))?;
+    if msg.n < 2 || msg.n > 4096 {
+        return Err(format!("operand size {} out of range [2, 4096]", msg.n));
+    }
+    let reg = regs.iter().find(|r| r.name() == msg.backend).copied().ok_or_else(|| {
+        let names: Vec<&str> = regs.iter().map(|r| r.name()).collect();
+        format!("backend `{}` is not served here (serving: {})", msg.backend, names.join(", "))
+    })?;
+    if !reg.supports(msg.dtype) {
+        return Err(format!(
+            "backend `{}` does not support dtype {}",
+            msg.backend,
+            msg.dtype.name()
+        ));
+    }
+    Ok((Request { family, n: msg.n as usize, dtype: msg.dtype, payload: msg.payload }, reg))
+}
+
+/// Write one response frame (best-effort: a vanished client only loses
+/// its own responses).
+fn respond(writer: &Arc<Mutex<Stream>>, id: u64, outcome: Outcome) {
+    let mut w = writer.lock().expect("connection writer");
+    let _ = proto::write_message(&mut *w, &Message::Response(ResponseMsg { id, outcome }));
+}
+
+/// Fetch (or lazily build) the operand pool for `(family, n)`.
+fn pool_for(
+    pools: &Mutex<HashMap<(Family, usize), Arc<PoolPair>>>,
+    family: Family,
+    n: usize,
+    seed: u64,
+) -> Arc<PoolPair> {
+    if let Some(p) = pools.lock().expect("pool map").get(&(family, n)) {
+        return p.clone();
+    }
+    // Built outside the lock: two racing executors may build the same
+    // pool, but both builds are deterministic and the map keeps one.
+    let built =
+        Arc::new(PoolPair { f64: family.env::<f64>(n, seed), f32: family.env::<f32>(n, seed) });
+    pools.lock().expect("pool map").entry((family, n)).or_insert(built).clone()
+}
+
+/// Execute one admitted batch and answer every request in it.
+fn execute_batch(
+    batch: &FlushedBatch<ServerJob>,
+    cache: &PlanCache,
+    fw: &Framework,
+    pools: &Mutex<HashMap<(Family, usize), Arc<PoolPair>>>,
+    seed: u64,
+) {
+    let start = Instant::now();
+    let req0 = &batch.items[0].request;
+    let pool = pool_for(pools, req0.family, req0.n, seed);
+    match req0.dtype {
+        Dtype::F64 => execute_typed::<f64>(batch, &pool.f64, cache, fw, seed, start),
+        Dtype::F32 => execute_typed::<f32>(batch, &pool.f32, cache, fw, seed, start),
+    }
+}
+
+/// The typed half of [`execute_batch`]: bind envs, one cache lookup,
+/// one batched execution (solo at occupancy 1 — bitwise identical to
+/// the in-process loop for any backend), respond per request.
+fn execute_typed<T: BackendScalar>(
+    batch: &FlushedBatch<ServerJob>,
+    pool_env: &Env<T>,
+    cache: &PlanCache,
+    fw: &Framework,
+    seed: u64,
+    start: Instant,
+) {
+    let jobs = &batch.items;
+    let occ = jobs.len();
+    let req0 = &jobs[0].request;
+    let reg = jobs[0].backend;
+    let has_payload = !req0.family.payload_operands().is_empty();
+    let owned: Vec<Env<T>> = if has_payload {
+        jobs.iter().map(|j| j.request.env_from_pool(pool_env, seed)).collect()
+    } else {
+        Vec::new()
+    };
+    let refs: Vec<&Env<T>> =
+        if has_payload { owned.iter().collect() } else { jobs.iter().map(|_| pool_env).collect() };
+    let t_exec = Instant::now();
+    let (plan, _) = cache.get_or_compile(req0.signature(reg.id()), || {
+        Plan::compile_with_varying(
+            fw,
+            &req0.family.expr(req0.n),
+            &req0.family.ctx(req0.n),
+            reg,
+            req0.family.varying_operands(),
+        )
+    });
+    let results: Vec<Vec<laab_dense::Matrix<T>>> =
+        if occ >= 2 { plan.execute_batched::<T>(&refs) } else { vec![plan.execute::<T>(refs[0])] };
+    let share = t_exec.elapsed().as_nanos() as u64 / occ as u64;
+    for (j, job) in jobs.iter().enumerate() {
+        let outcome = Outcome::Ok {
+            queue_ns: start.duration_since(job.at).as_nanos() as u64,
+            exec_ns: share,
+            occupancy: occ as u32,
+            flush: batch.kind,
+            checksum: proto::result_checksum(&results[j]),
+        };
+        respond(&job.writer, job.id, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_specs_parse_and_display() {
+        assert_eq!(
+            Listen::parse("unix:/tmp/x.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            Listen::parse("/tmp/x.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:7070").unwrap(),
+            Listen::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(Listen::parse("127.0.0.1:7070").unwrap(), Listen::Tcp("127.0.0.1:7070".into()));
+        assert_eq!(Listen::parse("unix:").unwrap_err(), ServeError::BadListen("unix:".into()));
+        assert_eq!(Listen::parse("tcp:").unwrap_err(), ServeError::BadListen("tcp:".into()));
+        assert_eq!(
+            Listen::parse("nonsense").unwrap_err(),
+            ServeError::BadListen("nonsense".into())
+        );
+        assert_eq!(Listen::parse("unix:/a").unwrap().display(), "unix:/a");
+        assert_eq!(Listen::parse("tcp:h:1").unwrap().display(), "tcp:h:1");
+    }
+
+    #[test]
+    fn bind_validates_like_the_builder() {
+        let cfg = ServeConfig { batch_deadline_us: 0, ..ServeConfig::smoke() };
+        assert_eq!(
+            Server::bind("unix:/tmp/never-bound.sock", &cfg).err(),
+            Some(ServeError::MissingDeadline { window: cfg.batch_window })
+        );
+        let cfg = ServeConfig { backends: vec!["cuda".into()], ..ServeConfig::smoke() };
+        assert!(matches!(
+            Server::bind("unix:/tmp/never-bound.sock", &cfg),
+            Err(ServeError::UnknownBackend { .. })
+        ));
+        let cfg = ServeConfig { shards: 0, ..ServeConfig::smoke() };
+        assert_eq!(
+            Server::bind("unix:/tmp/never-bound.sock", &cfg).err(),
+            Some(ServeError::ZeroShards)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_with_messages_not_panics() {
+        let regs = resolve_backends(&["seed".to_string()]).unwrap();
+        let msg = |family: &str, n: u64, backend: &str| RequestMsg {
+            id: 0,
+            family: family.to_string(),
+            n,
+            dtype: Dtype::F64,
+            backend: backend.to_string(),
+            payload: 0,
+        };
+        assert!(validate(&msg("chain", 16, "seed"), &regs).is_ok());
+        assert!(validate(&msg("no_such", 16, "seed"), &regs)
+            .unwrap_err()
+            .contains("unknown request family"));
+        assert!(validate(&msg("chain", 1, "seed"), &regs).unwrap_err().contains("out of range"));
+        assert!(validate(&msg("chain", 1 << 40, "seed"), &regs)
+            .unwrap_err()
+            .contains("out of range"));
+        let err = validate(&msg("chain", 16, "engine"), &regs).unwrap_err();
+        assert!(err.contains("not served here") && err.contains("seed"), "{err}");
+    }
+}

@@ -64,6 +64,14 @@ impl Family {
         }
     }
 
+    /// Resolve a wire/report identifier back to the family — the inverse
+    /// of [`Family::id`], used by the network server to decode request
+    /// frames. `None` for a callsite this build does not define (a
+    /// structured rejection, not a panic).
+    pub fn from_id(id: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.id() == id)
+    }
+
     /// The paper experiment this family is drawn from.
     pub fn experiment(self) -> &'static str {
         match self {
@@ -151,7 +159,7 @@ impl Family {
 }
 
 /// One synthetic serving request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Which callsite the request hits.
     pub family: Family,

@@ -1,0 +1,140 @@
+//! Property suite for the wire protocol: `decode_frame` must be total.
+//!
+//! Whatever bytes arrive — a faithful encoding, a truncation mid-frame,
+//! a hostile length prefix, a future protocol version, or pure noise —
+//! the decoder returns a structured [`FrameError`]; it never panics and
+//! never trusts a length prefix enough to allocate unboundedly. And for
+//! well-formed messages, decode is the exact inverse of encode.
+
+use laab_backend::Dtype;
+use laab_serve::proto::{
+    decode_frame, encode_frame, read_message, FrameError, Message, Outcome, RequestMsg,
+    ResponseMsg, MAX_FRAME_LEN,
+};
+use laab_serve::FlushKind;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A seeded ASCII string (the shim has no string strategy); includes
+/// empty and multi-byte-ish lengths.
+fn seeded_string(seed: u64, max_len: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| (b'!' + (rng.gen::<u64>() % 90) as u8) as char).collect()
+}
+
+fn seeded_request(seed: u64) -> Message {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Message::Request(RequestMsg {
+        id: rng.gen(),
+        family: seeded_string(seed ^ 1, 24),
+        n: rng.gen(),
+        dtype: if rng.gen::<bool>() { Dtype::F64 } else { Dtype::F32 },
+        backend: seeded_string(seed ^ 2, 24),
+        payload: rng.gen(),
+    })
+}
+
+fn seeded_response(seed: u64) -> Message {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = if rng.gen::<bool>() {
+        Outcome::Ok {
+            queue_ns: rng.gen(),
+            exec_ns: rng.gen(),
+            occupancy: rng.gen::<u32>(),
+            flush: [FlushKind::Occupancy, FlushKind::Deadline, FlushKind::Drain]
+                [rng.gen_range(0..3)],
+            checksum: rng.gen(),
+        }
+    } else {
+        Outcome::Err { message: seeded_string(seed ^ 3, 120) }
+    };
+    Message::Response(ResponseMsg { id: rng.gen(), outcome })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip: decode(encode(m)) == m, consuming exactly the frame.
+    #[test]
+    fn encode_decode_round_trips(seed in any::<u64>()) {
+        for msg in [
+            seeded_request(seed),
+            seeded_response(seed),
+            Message::Shutdown,
+            Message::ShutdownAck,
+        ] {
+            let bytes = encode_frame(&msg);
+            let (decoded, used) = decode_frame(&bytes).expect("own encoding decodes");
+            prop_assert_eq!(&decoded, &msg);
+            prop_assert_eq!(used, bytes.len(), "a frame consumes exactly itself");
+        }
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` — never a
+    /// panic, never a bogus success.
+    #[test]
+    fn truncation_is_rejected_at_every_split_point(seed in any::<u64>()) {
+        let bytes = encode_frame(&seeded_request(seed));
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => prop_assert!(
+                    false,
+                    "prefix of {cut}/{} bytes must be Truncated, got {:?}",
+                    bytes.len(),
+                    other
+                ),
+            }
+        }
+    }
+
+    /// A hostile length prefix above `MAX_FRAME_LEN` is rejected before
+    /// any allocation, regardless of what follows.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(extra in 1u32..1_000_000) {
+        let len = MAX_FRAME_LEN.saturating_add(extra);
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        prop_assert_eq!(decode_frame(&bytes), Err(FrameError::Oversized { len }));
+        // The streaming reader hits the same wall.
+        let mut cursor = &bytes[..];
+        prop_assert_eq!(read_message(&mut cursor), Err(FrameError::Oversized { len }));
+    }
+
+    /// A frame stamped with any version byte other than ours is
+    /// `UnknownVersion` — future protocol revisions fail loudly instead
+    /// of being misparsed.
+    #[test]
+    fn unknown_versions_are_rejected(seed in any::<u64>(), bump in 1u8..=255) {
+        let mut bytes = encode_frame(&seeded_request(seed));
+        bytes[4] = bytes[4].wrapping_add(bump);
+        prop_assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::UnknownVersion(bytes[4]))
+        );
+    }
+
+    /// Total on noise: random bytes with a sane length prefix decode to
+    /// *some* structured result without panicking.
+    #[test]
+    fn decoder_is_total_on_noise(seed in any::<u64>(), len in 0usize..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = (len as u32).to_le_bytes().to_vec();
+        bytes.extend((0..len).map(|_| rng.gen::<u64>() as u8));
+        let _ = decode_frame(&bytes); // must return, Ok or Err
+        let mut cursor = &bytes[..];
+        let _ = read_message(&mut cursor);
+    }
+
+    /// Flipping any single byte of a frame never panics the decoder, and
+    /// on the fixed header bytes it yields a structured error (a flipped
+    /// body byte may legitimately decode to a different valid message).
+    #[test]
+    fn single_byte_corruption_never_panics(seed in any::<u64>(), at in 0usize..64) {
+        let mut bytes = encode_frame(&seeded_response(seed));
+        let at = at % bytes.len();
+        bytes[at] ^= 0x5A;
+        let _ = decode_frame(&bytes);
+    }
+}

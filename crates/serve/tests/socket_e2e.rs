@@ -1,0 +1,113 @@
+//! End-to-end smoke over real sockets: a `Server` on one thread, the
+//! load generator driving it from this one, and three acceptance
+//! assertions — the socket path is **bitwise identical** to the
+//! in-process oracle at the same seed, low-rate traffic flushes on the
+//! **deadline** (not just at drain), and shutdown is clean (no leaked
+//! socket file, every thread joined).
+
+use laab_serve::loadgen::{self, Arrival, LoadgenConfig};
+use laab_serve::{ServeConfig, Server};
+
+fn server_cfg() -> ServeConfig {
+    // The seed backend's batched execution is a per-item loop, so
+    // batched ≡ solo bitwise — the only backend where the oracle check
+    // is exact by construction.
+    ServeConfig::smoke_builder().backends(["seed"]).build().expect("smoke config validates")
+}
+
+#[test]
+fn unix_socket_serving_is_bitwise_identical_and_shuts_down_clean() {
+    let path = std::env::temp_dir().join(format!("laab-e2e-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server =
+        Server::bind(&format!("unix:{}", path.display()), &server_cfg()).expect("bind unix");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let report = loadgen::run(&LoadgenConfig::smoke(&addr)).expect("loadgen completes");
+
+    // Every request of every arrival process completed, and every result
+    // matched the in-process solo execution bit for bit.
+    assert_eq!(report.runs.len(), 3, "closed, poisson, bursty");
+    for run in &report.runs {
+        assert_eq!(run.completed, report.requests as u64, "{} completed", run.arrival);
+        assert_eq!(run.errors, 0, "{} errors", run.arrival);
+        assert_eq!(run.checksum_mismatches, 0, "{} bitwise", run.arrival);
+        assert!(run.rtt_p50_us > 0.0 && run.rtt_p99_us >= run.rtt_p50_us, "{}", run.arrival);
+    }
+    assert!(report.verified);
+    assert_eq!(report.checksum_mismatches, 0);
+
+    // At these arrival rates the per-signature inter-arrival dwarfs the
+    // 250 µs budget, so batches must flush on the deadline, live — not
+    // only when the queue drains.
+    let open = report.runs.iter().find(|r| r.arrival.starts_with("poisson")).unwrap();
+    assert!(open.deadline_flushes > 0, "open-loop low-rate traffic must deadline-flush");
+
+    // The smoke config sends the in-band shutdown; the server must come
+    // back with matching counters and remove its socket file.
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!(stats.served, 3 * report.requests as u64);
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.admission.deadline_flushes > 0);
+    assert!(!path.exists(), "socket file must not leak past shutdown");
+}
+
+#[test]
+fn tcp_serving_round_trips_or_skips_without_network() {
+    // Loopback TCP with an ephemeral port; environments that forbid even
+    // that skip rather than fail.
+    let server = match Server::bind("tcp:127.0.0.1:0", &server_cfg()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("skipping tcp e2e: {e}");
+            return;
+        }
+    };
+    let addr = server.local_addr();
+    assert!(addr.starts_with("tcp:"), "{addr}");
+    let handle = std::thread::spawn(move || server.run());
+
+    let cfg = LoadgenConfig {
+        requests: 32,
+        connections: 2,
+        arrivals: vec![Arrival::Closed],
+        ..LoadgenConfig::smoke(&addr)
+    };
+    let report = loadgen::run(&cfg).expect("loadgen completes");
+    assert_eq!(report.runs[0].completed, 32);
+    assert_eq!(report.checksum_mismatches, 0, "tcp path bitwise vs oracle");
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!(stats.served, 32);
+}
+
+#[test]
+fn requests_for_unserved_backends_are_rejected_not_executed() {
+    let path = std::env::temp_dir().join(format!("laab-e2e-rej-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server =
+        Server::bind(&format!("unix:{}", path.display()), &server_cfg()).expect("bind unix");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Ask for a backend the server does not serve: every request must
+    // come back as a structured error response — counted, not executed,
+    // and the connection survives to carry the shutdown.
+    let cfg = LoadgenConfig {
+        requests: 16,
+        connections: 1,
+        backend: "engine".to_string(),
+        arrivals: vec![Arrival::Closed],
+        verify: false,
+        ..LoadgenConfig::smoke(&addr)
+    };
+    let report = loadgen::run(&cfg).expect("loadgen completes");
+    assert_eq!(report.runs[0].errors, 16);
+    assert_eq!(report.runs[0].completed, 0);
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.rejected, 16);
+    assert!(!path.exists());
+}

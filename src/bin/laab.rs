@@ -4,6 +4,8 @@
 //! laab run [OPTIONS] [EXPERIMENT]...   run experiments (default: all)
 //! laab bench [OPTIONS]                 GEMM engine perf trajectory
 //! laab serve [OPTIONS]                 plan-cache serving throughput
+//! laab serve --listen ADDR [OPTIONS]   network server (unix/tcp RPC)
+//! laab loadgen --addr ADDR [OPTIONS]   drive a server, client-side latency
 //! laab list                            list experiments + report formats
 //! laab help                            this message
 //! ```
@@ -13,7 +15,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use laab::serve::{self, ServeConfig};
+use laab::serve::{self, loadgen, ServeConfig, Server};
 use laab::suite::bench_registry;
 use laab::suite::gemm_bench::{self, GemmBenchConfig};
 use laab::suite::runner::{self, Experiment};
@@ -27,6 +29,7 @@ USAGE:
     laab run [OPTIONS] [EXPERIMENT]...
     laab bench [BENCH OPTIONS]
     laab serve [SERVE OPTIONS]
+    laab loadgen --addr ADDR [LOADGEN OPTIONS]
     laab list
     laab help
 
@@ -59,7 +62,12 @@ BENCH OPTIONS (laab bench — GEMM engine GFLOP/s trajectory):
 SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
     --smoke          CI smoke protocol: n = 48, 320 requests
     --requests R     synthetic requests to drain   [default: 2048]
-    --clients C      serving clients               [default: detected, max 8]
+    --clients C      serving clients. Explicit counts are taken verbatim
+                     (never clamped); omit the flag for auto-detection,
+                     which caps at 8 — beyond that the 1-socket kernels,
+                     not the serving layer, are the bottleneck. `--clients
+                     0` is rejected: it is not \"all cores\".
+                                                   [default: auto, max 8]
     --n N            base operand size             [default: 192]
     --seed S         stream/operand seed           [default: 6827 (0x1AAB)]
     --backends LIST  comma-separated execution backends to A/B under the
@@ -69,11 +77,43 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
                                                    [default: mixed]
     --batch-window N admission window: coalesce up to N pending
                      same-signature requests into one batched (multi-RHS)
-                     execution; measures batched vs solo interleaved
-                                                   [default: 8]
+                     execution                     [default: 8]
+    --batch-deadline-us D
+                     latency budget of a live partial batch: it flushes
+                     when its oldest request has waited D µs, even below
+                     the window (deadline OR occupancy, whichever first).
+                     Required ≥ 1 when the window coalesces.
+                                                   [default: 250]
+    --arrival-rate R offered load of the live/open-loop phases, req/s
+                                                   [default: 2000]
     --no-batch       disable batching (same as --batch-window 0)
+    --listen ADDR    serve over a socket instead of benchmarking:
+                     unix:<path> or tcp:<host:port>. Runs until a client
+                     sends the in-band shutdown frame (see laab loadgen).
     --json           print the machine-readable report to stdout
     --out PATH       write the JSON report to PATH (BENCH_serve.json format)
+
+LOADGEN OPTIONS (laab loadgen — drive a --listen server from the outside):
+    --addr ADDR      server address (unix:<path> or tcp:<host:port>)
+    --smoke          CI smoke protocol: 96 requests, 2 connections, all
+                     three arrival processes, verify + shutdown
+    --requests R     requests per arrival-process run   [default: 512]
+    --connections C  concurrent connections             [default: 2]
+    --n N            base operand size (must match the server's pools
+                     only in as much as sizes stay in [2, 4096])
+                                                        [default: 192]
+    --seed S         stream seed; MUST match the server's --seed for the
+                     bitwise check                      [default: 6827]
+    --backend B      backend each request asks for      [default: engine]
+    --dtype D        pin request precision: f32 | f64 | mixed
+    --arrivals LIST  comma-separated arrival processes to sweep:
+                     closed | poisson:<rate> | bursty:<rate>x<burst>
+                                 [default: closed,poisson:2000,bursty:2000x8]
+    --no-verify      skip the local bitwise oracle (needed for backends
+                     whose batched kernels are not per-item loops)
+    --no-shutdown    leave the server running afterwards
+    --json           print the machine-readable report to stdout
+    --out PATH       write the JSON report to PATH (BENCH_loadgen.json)
 ";
 
 struct RunArgs {
@@ -130,6 +170,17 @@ fn main() -> ExitCode {
         },
         Some("serve") => match parse_serve_args(args) {
             Ok(Some(serve_args)) => run_serve(serve_args),
+            Ok(None) => {
+                emit(USAGE);
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("loadgen") => match parse_loadgen_args(args) {
+            Ok(Some(loadgen_args)) => run_loadgen(loadgen_args),
             Ok(None) => {
                 emit(USAGE);
                 ExitCode::SUCCESS
@@ -288,65 +339,240 @@ fn run_bench(args: BenchArgs) -> ExitCode {
 
 struct ServeArgs {
     cfg: ServeConfig,
+    listen: Option<String>,
     json_stdout: bool,
     out: Option<String>,
 }
 
+/// Parse a `--dtype` value shared by `laab serve` and `laab loadgen`.
+fn parse_dtype(value: Option<String>) -> Result<Option<laab::serve::Dtype>, String> {
+    match value.ok_or("--dtype requires a value")?.as_str() {
+        "f32" => Ok(Some(laab::serve::Dtype::F32)),
+        "f64" => Ok(Some(laab::serve::Dtype::F64)),
+        "mixed" => Ok(None),
+        other => Err(format!("invalid value `{other}` for --dtype (expected f32, f64, or mixed)")),
+    }
+}
+
+/// Parse a comma-separated name list (`--backends`, `--arrivals`).
+fn parse_list(value: Option<String>, flag: &str) -> Result<Vec<String>, String> {
+    let list: Vec<String> = value
+        .ok_or_else(|| format!("{flag} requires a comma-separated list"))?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if list.is_empty() {
+        return Err(format!("{flag} requires at least one entry"));
+    }
+    Ok(list)
+}
+
 /// Parse `laab serve` arguments. `Ok(None)` means `--help` was requested.
+/// Construction goes through [`ServeConfig::builder`] so every invalid
+/// combination — unknown backends, `--clients 0`, a coalescing window
+/// without a deadline — is rejected here with a usage error, not deep in
+/// the run.
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeArgs>, String> {
-    let mut out = ServeArgs { cfg: ServeConfig::default(), json_stdout: false, out: None };
+    let mut builder = ServeConfig::builder();
+    let mut listen = None;
+    let mut json_stdout = false;
+    let mut out = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            // --smoke selects the whole base protocol; flags after it
+            // --smoke reseeds the whole base protocol; flags after it
             // refine it (flags before it are overwritten, like --quick
             // in `laab run`).
-            "--smoke" => out.cfg = ServeConfig::smoke(),
-            "--requests" => out.cfg.requests = parse_num(args.next(), "--requests")?,
-            "--clients" => out.cfg.clients = parse_num(args.next(), "--clients")?,
-            "--n" => out.cfg.n = parse_num(args.next(), "--n")?,
-            "--seed" => out.cfg.seed = parse_num(args.next(), "--seed")?,
-            "--backends" => {
-                let list = args.next().ok_or("--backends requires a comma-separated list")?;
-                out.cfg.backends = list
-                    .split(',')
-                    .map(str::trim)
-                    .filter(|s| !s.is_empty())
-                    .map(String::from)
-                    .collect();
-                if out.cfg.backends.is_empty() {
-                    return Err("--backends requires at least one backend name".into());
-                }
-            }
-            "--dtype" => {
-                out.cfg.dtype = match args.next().ok_or("--dtype requires a value")?.as_str() {
-                    "f32" => Some(laab::serve::Dtype::F32),
-                    "f64" => Some(laab::serve::Dtype::F64),
-                    "mixed" => None,
-                    other => {
-                        return Err(format!(
-                            "invalid value `{other}` for --dtype (expected f32, f64, or mixed)"
-                        ))
-                    }
-                };
-            }
+            "--smoke" => builder = ServeConfig::smoke_builder(),
+            "--requests" => builder = builder.requests(parse_num(args.next(), "--requests")?),
+            "--clients" => builder = builder.clients(parse_num(args.next(), "--clients")?),
+            "--n" => builder = builder.n(parse_num(args.next(), "--n")?),
+            "--seed" => builder = builder.seed(parse_num(args.next(), "--seed")?),
+            "--backends" => builder = builder.backends(parse_list(args.next(), "--backends")?),
+            "--dtype" => builder = builder.dtype(parse_dtype(args.next())?),
             "--batch-window" => {
-                out.cfg.batch_window = parse_num(args.next(), "--batch-window")?;
+                builder = builder.batch_window(parse_num(args.next(), "--batch-window")?);
             }
-            "--no-batch" => out.cfg.batch_window = 0,
-            "--json" => out.json_stdout = true,
-            "--out" => out.out = Some(args.next().ok_or("--out requires a path")?),
+            "--batch-deadline-us" => {
+                builder = builder.batch_deadline_us(parse_num(args.next(), "--batch-deadline-us")?);
+            }
+            "--arrival-rate" => {
+                builder = builder.arrival_rate(parse_num(args.next(), "--arrival-rate")?);
+            }
+            "--no-batch" => builder = builder.batch_window(0),
+            "--listen" => listen = Some(args.next().ok_or("--listen requires an address")?),
+            "--json" => json_stdout = true,
+            "--out" => out = Some(args.next().ok_or("--out requires a path")?),
             "--help" | "-h" => return Ok(None),
             flag => return Err(format!("unknown option `{flag}` for `laab serve`")),
         }
     }
-    if out.cfg.requests == 0 {
-        return Err("--requests must be at least 1".into());
+    let cfg = builder.build().map_err(|e| e.to_string())?;
+    Ok(Some(ServeArgs { cfg, listen, json_stdout, out }))
+}
+
+struct LoadgenArgs {
+    cfg: loadgen::LoadgenConfig,
+    json_stdout: bool,
+    out: Option<String>,
+}
+
+/// Parse `laab loadgen` arguments. `Ok(None)` means `--help` was
+/// requested.
+fn parse_loadgen_args(args: impl Iterator<Item = String>) -> Result<Option<LoadgenArgs>, String> {
+    let mut cfg = loadgen::LoadgenConfig {
+        addr: String::new(),
+        requests: 512,
+        connections: 2,
+        n: 192,
+        seed: 0x1AAB,
+        churn_every: 16,
+        dtype: None,
+        backend: "engine".to_string(),
+        arrivals: vec![
+            loadgen::Arrival::Closed,
+            loadgen::Arrival::OpenPoisson { rate: 2000.0 },
+            loadgen::Arrival::Bursty { rate: 2000.0, burst: 8 },
+        ],
+        verify: true,
+        shutdown: true,
+        smoke: false,
+    };
+    let mut json_stdout = false;
+    let mut out = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = args.next().ok_or("--addr requires an address")?,
+            "--smoke" => {
+                let addr = std::mem::take(&mut cfg.addr);
+                cfg = loadgen::LoadgenConfig::smoke(&addr);
+            }
+            "--requests" => cfg.requests = parse_num(args.next(), "--requests")?,
+            "--connections" => cfg.connections = parse_num(args.next(), "--connections")?,
+            "--n" => cfg.n = parse_num(args.next(), "--n")?,
+            "--seed" => cfg.seed = parse_num(args.next(), "--seed")?,
+            "--backend" => cfg.backend = args.next().ok_or("--backend requires a name")?,
+            "--dtype" => cfg.dtype = parse_dtype(args.next())?,
+            "--arrivals" => {
+                cfg.arrivals = parse_list(args.next(), "--arrivals")?
+                    .iter()
+                    .map(|s| loadgen::Arrival::parse(s).map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--no-verify" => cfg.verify = false,
+            "--no-shutdown" => cfg.shutdown = false,
+            "--json" => json_stdout = true,
+            "--out" => out = Some(args.next().ok_or("--out requires a path")?),
+            "--help" | "-h" => return Ok(None),
+            flag => return Err(format!("unknown option `{flag}` for `laab loadgen`")),
+        }
     }
-    Ok(Some(out))
+    if cfg.addr.is_empty() {
+        return Err("--addr is required (the server's unix:<path> or tcp:<host:port>)".into());
+    }
+    Ok(Some(LoadgenArgs { cfg, json_stdout, out }))
+}
+
+fn run_loadgen(args: LoadgenArgs) -> ExitCode {
+    eprintln!(
+        "driving {} with {} requests x {} arrival processes over {} connections...",
+        args.cfg.addr,
+        args.cfg.requests,
+        args.cfg.arrivals.len(),
+        args.cfg.connections,
+    );
+    let report = match loadgen::run(&args.cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json_stdout {
+        emit(&report.to_json());
+    } else {
+        for run in &report.runs {
+            emit(&format!(
+                "{:<18} {:>6}/{} ok  rtt p50 {:>8.1} us  p99 {:>8.1} us  \
+                 queue p50 {:>7.1} us  occupancy {:.2}  \
+                 flushes occ/deadline/drain {}/{}/{}  {:.0} req/s",
+                run.arrival,
+                run.completed,
+                run.sent,
+                run.rtt_p50_us,
+                run.rtt_p99_us,
+                run.queue_p50_us,
+                run.occupancy_mean,
+                run.occupancy_flushes,
+                run.deadline_flushes,
+                run.drain_flushes,
+                run.throughput_rps,
+            ));
+        }
+        if report.verified {
+            emit(&format!(
+                "bitwise vs in-process oracle: {} mismatches",
+                report.checksum_mismatches
+            ));
+        }
+    }
+    if let Some(path) = &args.out {
+        let json = report.to_json();
+        if let Err(e) = std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.write_all(b"\n")))
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if report.verified && report.checksum_mismatches > 0 {
+        eprintln!("error: the socket path diverged from the in-process oracle");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_serve(args: ServeArgs) -> ExitCode {
+    if let Some(spec) = &args.listen {
+        let server = match Server::bind(spec, &args.cfg) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        eprintln!(
+            "listening on {} (backends: {}, window {}, deadline {} us); \
+             send a shutdown frame (laab loadgen) to stop",
+            server.local_addr(),
+            args.cfg.backends.join(","),
+            args.cfg.batch_window,
+            args.cfg.batch_deadline_us,
+        );
+        return match server.run() {
+            Ok(stats) => {
+                eprintln!(
+                    "served {} requests over {} connections ({} rejected); \
+                     flushes occ/deadline/drain {}/{}/{}",
+                    stats.served,
+                    stats.connections,
+                    stats.rejected,
+                    stats.admission.occupancy_flushes,
+                    stats.admission.deadline_flushes,
+                    stats.admission.drain_flushes,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     eprintln!(
         "serving {} synthetic requests ({} protocol, base n = {}, backends: {}, {})...",
         args.cfg.requests,
@@ -379,7 +605,7 @@ fn run_serve(args: ServeArgs) -> ExitCode {
              {} evicted recompiles @ {:.3} ms), hit rate {:.3}\n\
              cold trace {:.3} ms vs cache hit {:.3} ms: {:.2}x",
             report.requests_per_sec,
-            report.clients,
+            report.clients_resolved,
             report.p50_ms,
             report.p99_ms,
             report.cache.hits,
@@ -414,6 +640,23 @@ fn run_serve(args: ServeArgs) -> ExitCode {
                 b.solo_requests_per_sec,
             ));
         }
+        let a = &report.admission;
+        emit(&format!(
+            "live admission (poisson {:.0} req/s, window {}, deadline {} us): \
+             queue delay p50 {:.1} us / p99 {:.1} us, \
+             flushes occ/deadline/drain {}/{}/{} over {} batches; \
+             sweep: {} operating points",
+            a.arrival_rate,
+            a.window,
+            a.deadline_us,
+            a.queue_delay_p50_us,
+            a.queue_delay_p99_us,
+            a.occupancy_flushes,
+            a.deadline_flushes,
+            a.drain_flushes,
+            a.batches,
+            report.sweep.len(),
+        ));
     }
     if let Some(path) = &args.out {
         let json = report.to_json();
