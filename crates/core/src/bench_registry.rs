@@ -29,18 +29,18 @@ pub struct BenchSpec {
 /// Schema tag of `laab-serve`'s report. Mirrored here (rather than
 /// imported) because `laab-core` sits below `laab-serve` in the crate
 /// graph; `laab-serve`'s tests assert the two constants stay equal.
-/// `v4`: the transport-separable serving stack — deadline-or-occupancy
-/// admission (`batch_deadline_us`, the live `admission` record with
-/// queue-delay percentiles, the window × arrival-rate `sweep`) and the
-/// `clients_requested`/`clients_resolved` split.
-pub const SERVE_SCHEMA: &str = "laab-serve-bench-v4";
+/// `v5`: the overload-safe serving stack — the bounded-backlog
+/// admission record gains `shed`/`pressure_flushes`, and the report
+/// gains the `overload` sweep (goodput vs offered arrival rate with
+/// shed/expired counts under a bounded backlog and request deadlines).
+pub const SERVE_SCHEMA: &str = "laab-serve-bench-v5";
 
 /// Schema tag of `laab loadgen`'s client-side report. Mirrored for the
 /// same reason as [`SERVE_SCHEMA`]; `laab-serve`'s tests hold the pair
-/// equal. `v1`: client-observed RTT percentiles, server-reported queue
-/// delay/flush kinds, and the bitwise checksum-mismatch count against
-/// the in-process oracle.
-pub const LOADGEN_SCHEMA: &str = "laab-loadgen-v1";
+/// equal. `v2`: per-run rejection classes (`busy`/`expired`/`failed`),
+/// retry counts, pressure flushes, and offered-vs-goodput rates on top
+/// of v1's RTT percentiles, queue delay, and bitwise mismatch count.
+pub const LOADGEN_SCHEMA: &str = "laab-loadgen-v2";
 
 /// Every benchmark report format, in CLI order.
 pub const BENCHES: [BenchSpec; 4] = [

@@ -44,6 +44,10 @@ pub enum FlushKind {
     Deadline,
     /// The queue was closed with the group still partial.
     Drain,
+    /// The backlog crossed half its capacity, so the group flushed early
+    /// — under pressure the queue degrades its batching window to favor
+    /// latency over coalescing.
+    Pressure,
 }
 
 impl FlushKind {
@@ -53,7 +57,27 @@ impl FlushKind {
             FlushKind::Occupancy => "occupancy",
             FlushKind::Deadline => "deadline",
             FlushKind::Drain => "drain",
+            FlushKind::Pressure => "pressure",
         }
+    }
+}
+
+/// What [`AdmissionQueue::submit`] did with an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The item joined a pending group (or flushed with one).
+    Queued,
+    /// The queue's backlog is at capacity; the item was shed. The caller
+    /// should answer with a structured busy/retry rejection.
+    Shed,
+    /// The queue is closed; the item was dropped.
+    Closed,
+}
+
+impl SubmitOutcome {
+    /// `true` when the item was accepted.
+    pub fn is_queued(self) -> bool {
+        matches!(self, SubmitOutcome::Queued)
     }
 }
 
@@ -75,18 +99,22 @@ pub struct FlushedBatch<T> {
 pub struct AdmissionStats {
     /// Items accepted by [`AdmissionQueue::submit`].
     pub admitted: u64,
+    /// Items refused because the backlog was at capacity.
+    pub shed: u64,
     /// Batches flushed because a group filled its window.
     pub occupancy_flushes: u64,
     /// Batches flushed because the head item's deadline expired.
     pub deadline_flushes: u64,
     /// Partial batches flushed at close.
     pub drain_flushes: u64,
+    /// Batches flushed early because the backlog crossed half capacity.
+    pub pressure_flushes: u64,
 }
 
 impl AdmissionStats {
     /// Total batches released.
     pub fn batches(&self) -> u64 {
-        self.occupancy_flushes + self.deadline_flushes + self.drain_flushes
+        self.occupancy_flushes + self.deadline_flushes + self.drain_flushes + self.pressure_flushes
     }
 }
 
@@ -106,6 +134,9 @@ struct State<K, T> {
     ready: VecDeque<FlushedBatch<T>>,
     closed: bool,
     stats: AdmissionStats,
+    /// Items admitted but not yet handed to a consumer (pending groups
+    /// plus the ready list) — the backlog the capacity bound limits.
+    queued: usize,
 }
 
 /// The deadline-or-occupancy admission queue. See the module docs.
@@ -114,6 +145,8 @@ pub struct AdmissionQueue<K, T> {
     cond: Condvar,
     window: usize,
     deadline: Option<Duration>,
+    /// Backlog bound in items; `0` means unbounded.
+    capacity: usize,
 }
 
 impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
@@ -123,6 +156,17 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
     /// `deadline: None` disables the timer — the PR 5 backlog regime,
     /// where only occupancy and drain flush.
     pub fn new(window: usize, deadline: Option<Duration>) -> Self {
+        Self::bounded(window, deadline, 0)
+    }
+
+    /// Like [`new`](Self::new), but with a backlog bound: once `capacity`
+    /// items are queued (pending groups plus undequeued ready batches),
+    /// further submits are [shed](SubmitOutcome::Shed) instead of
+    /// growing the queue without bound. Past *half* capacity the queue
+    /// also flushes each submitting group immediately
+    /// ([`FlushKind::Pressure`]) — degrading the batching window to
+    /// favor latency while overloaded. `capacity: 0` means unbounded.
+    pub fn bounded(window: usize, deadline: Option<Duration>, capacity: usize) -> Self {
         Self {
             state: Mutex::new(State {
                 groups: HashMap::new(),
@@ -130,10 +174,12 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
                 ready: VecDeque::new(),
                 closed: false,
                 stats: AdmissionStats::default(),
+                queued: 0,
             }),
             cond: Condvar::new(),
             window: window.max(1),
             deadline,
+            capacity,
         }
     }
 
@@ -147,14 +193,30 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
         self.deadline
     }
 
-    /// Submit one item under `key`. Returns `false` (dropping the item)
-    /// if the queue is already closed.
-    pub fn submit(&self, key: K, item: T) -> bool {
+    /// The backlog bound in items (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items admitted but not yet handed to a consumer.
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("admission mutex").queued
+    }
+
+    /// Submit one item under `key`. The item is dropped unless the
+    /// outcome is [`SubmitOutcome::Queued`]: a closed queue refuses it,
+    /// and a full backlog sheds it.
+    pub fn submit(&self, key: K, item: T) -> SubmitOutcome {
         let mut s = self.state.lock().expect("admission mutex");
         if s.closed {
-            return false;
+            return SubmitOutcome::Closed;
+        }
+        if self.capacity > 0 && s.queued >= self.capacity {
+            s.stats.shed += 1;
+            return SubmitOutcome::Shed;
         }
         s.stats.admitted += 1;
+        s.queued += 1;
         let now = Instant::now();
         let group = s
             .groups
@@ -163,11 +225,13 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
         let fresh_group = group.items.is_empty();
         group.items.push(item);
         let full = group.items.len() >= self.window;
+        let pressured = !full && self.capacity > 0 && s.queued * 2 >= self.capacity;
         if fresh_group {
             s.order.push_back(key.clone());
         }
-        if full {
-            Self::flush_key(&mut s, &key, FlushKind::Occupancy);
+        if full || pressured {
+            let kind = if full { FlushKind::Occupancy } else { FlushKind::Pressure };
+            Self::flush_key(&mut s, &key, kind);
             // A batch became ready: wake a consumer to take it.
             self.cond.notify_one();
         } else if fresh_group && self.deadline.is_some() {
@@ -175,7 +239,7 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
             // sleep; wake one to re-aim its timeout.
             self.cond.notify_one();
         }
-        true
+        SubmitOutcome::Queued
     }
 
     /// Move the keyed group into the ready list.
@@ -188,6 +252,7 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
             FlushKind::Occupancy => s.stats.occupancy_flushes += 1,
             FlushKind::Deadline => s.stats.deadline_flushes += 1,
             FlushKind::Drain => s.stats.drain_flushes += 1,
+            FlushKind::Pressure => s.stats.pressure_flushes += 1,
         }
         s.ready.push_back(FlushedBatch { items: group.items, kind, enqueued_at: group.head_at });
     }
@@ -200,6 +265,7 @@ impl<K: Eq + Hash + Clone, T> AdmissionQueue<K, T> {
         let mut s = self.state.lock().expect("admission mutex");
         loop {
             if let Some(batch) = s.ready.pop_front() {
+                s.queued -= batch.items.len();
                 return Some(batch);
             }
             if s.closed {
@@ -286,7 +352,7 @@ mod tests {
     fn occupancy_flush_releases_full_windows() {
         let q: AdmissionQueue<u8, usize> = AdmissionQueue::new(3, None);
         for i in 0..7 {
-            assert!(q.submit(0, i));
+            assert!(q.submit(0, i).is_queued());
         }
         // Two full windows are ready without closing.
         let a = q.next_batch().unwrap();
@@ -347,8 +413,44 @@ mod tests {
     fn submit_after_close_is_refused() {
         let q: AdmissionQueue<u8, u8> = AdmissionQueue::new(4, None);
         q.close();
-        assert!(!q.submit(0, 1));
+        assert_eq!(q.submit(0, 1), SubmitOutcome::Closed);
         assert_eq!(q.stats().admitted, 0);
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity_and_recovers_after_drain() {
+        let q: AdmissionQueue<u8, u8> = AdmissionQueue::bounded(1, None, 2);
+        assert_eq!(q.submit(0, 1), SubmitOutcome::Queued);
+        assert_eq!(q.submit(0, 2), SubmitOutcome::Queued);
+        // Backlog full: item 3 is shed, not queued.
+        assert_eq!(q.submit(0, 3), SubmitOutcome::Shed);
+        assert_eq!(q.queued(), 2);
+        // Draining one batch frees a slot.
+        assert_eq!(q.next_batch().unwrap().items, vec![1]);
+        assert_eq!(q.submit(0, 4), SubmitOutcome::Queued);
+        let stats = q.stats();
+        assert_eq!((stats.admitted, stats.shed), (3, 1));
+        q.close();
+        let mut rest = Vec::new();
+        while let Some(b) = q.next_batch() {
+            rest.extend(b.items);
+        }
+        assert_eq!(rest, vec![2, 4], "shed items never reappear");
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn pressure_flushes_degrade_the_window_past_half_capacity() {
+        // Window 8 would normally hold partial groups; with the backlog
+        // at half of capacity 4, each submit flushes immediately.
+        let q: AdmissionQueue<u8, u8> = AdmissionQueue::bounded(8, None, 4);
+        assert_eq!(q.submit(0, 1), SubmitOutcome::Queued);
+        assert_eq!(q.submit(0, 2), SubmitOutcome::Queued); // queued = 2 = capacity/2
+        let batch = q.next_batch().unwrap();
+        assert_eq!((batch.items.as_slice(), batch.kind), (&[1, 2][..], FlushKind::Pressure));
+        assert_eq!(q.stats().pressure_flushes, 1);
+        q.close();
         assert!(q.next_batch().is_none());
     }
 
@@ -414,7 +516,7 @@ mod tests {
                 let q = &q;
                 scope.spawn(move || {
                     for i in 0..100 {
-                        assert!(q.submit(i % 7, p * 1000 + i));
+                        assert!(q.submit(i % 7, p * 1000 + i).is_queued());
                     }
                 });
             }

@@ -59,13 +59,14 @@ use crate::proto::FrameError;
 use crate::workload::{synthetic_mix, Family, Request};
 
 /// Schema tag of the `BENCH_serve.json` report, bumped on breaking
-/// changes. `v4`: the transport-separable serving stack — adds
-/// `batch_deadline_us`/`arrival_rate`, splits the client count into
-/// `clients_requested`/`clients_resolved`, and appends the live
-/// deadline-or-occupancy measurements: the `admission` record (queue
-/// delay under Poisson arrivals at the configured window/deadline) and
-/// the `sweep` grid (window × arrival-rate).
-pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v4";
+/// changes. `v5`: the overload-and-fault tolerance layer — admission
+/// records gain `shed`/`pressure_flushes`, and the report appends the
+/// `overload` sweep: goodput vs. offered load through a **bounded**
+/// backlog with per-request deadlines, at rate multipliers of
+/// `arrival_rate`, with shed/expired/completed counts per point.
+/// (`v4` added the live deadline-or-occupancy `admission` record and
+/// the window × arrival-rate `sweep` grid.)
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v5";
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +117,29 @@ pub struct ServeConfig {
     /// requests per second. Arrivals are open-loop Poisson at this rate;
     /// the sweep also probes a quarter of it.
     pub arrival_rate: f64,
+    /// Network server: per-connection in-flight cap. A connection with
+    /// this many unanswered requests gets `Busy{retry_after_us}` instead
+    /// of queue growth. `0` = unlimited (the pre-v5 behavior).
+    pub max_inflight: usize,
+    /// Network server: global admission-backlog bound in requests.
+    /// Submits past it are shed with a `Busy` response; past *half* of
+    /// it, groups flush early (pressure) to favor latency. `0` =
+    /// unbounded. The in-process drained-backlog phases ignore this (the
+    /// whole stream is pending by construction); the overload sweep and
+    /// the network server enforce it.
+    pub backlog: usize,
+    /// Network server: quarantine a `(signature, backend)` after this
+    /// many caught execution panics — further requests for it fail fast
+    /// instead of re-poisoning executors. `0` = never quarantine.
+    pub quarantine_after: u32,
+    /// Network server: reader-side socket read timeout, milliseconds. A
+    /// connection silent for this long is reaped (counted, connection
+    /// dropped) instead of pinning its reader thread forever. `0` =
+    /// wait forever (the pre-v5 behavior).
+    pub read_timeout_ms: u64,
+    /// Deterministic fault injection for the network server; `None`
+    /// injects nothing.
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +158,11 @@ impl Default for ServeConfig {
             batch_window: 8,
             batch_deadline_us: 250,
             arrival_rate: 2000.0,
+            max_inflight: 256,
+            backlog: 2048,
+            quarantine_after: 3,
+            read_timeout_ms: 30_000,
+            faults: None,
         }
     }
 }
@@ -294,6 +323,38 @@ impl ServeConfigBuilder {
     /// Offered load of the live phases, requests/s (clamped to ≥ 1).
     pub fn arrival_rate(mut self, v: f64) -> Self {
         self.cfg.arrival_rate = if v.is_finite() { v.max(1.0) } else { 1.0 };
+        self
+    }
+
+    /// Per-connection in-flight cap (`0` = unlimited).
+    pub fn max_inflight(mut self, v: usize) -> Self {
+        self.cfg.max_inflight = v;
+        self
+    }
+
+    /// Global admission-backlog bound in requests (`0` = unbounded).
+    pub fn backlog(mut self, v: usize) -> Self {
+        self.cfg.backlog = v;
+        self
+    }
+
+    /// Quarantine a signature after this many caught panics (`0` =
+    /// never).
+    pub fn quarantine_after(mut self, v: u32) -> Self {
+        self.cfg.quarantine_after = v;
+        self
+    }
+
+    /// Reader-side socket read timeout, milliseconds (`0` = wait
+    /// forever).
+    pub fn read_timeout_ms(mut self, v: u64) -> Self {
+        self.cfg.read_timeout_ms = v;
+        self
+    }
+
+    /// Deterministic fault-injection plan for the network server.
+    pub fn faults(mut self, v: Option<crate::fault::FaultPlan>) -> Self {
+        self.cfg.faults = v;
         self
     }
 
@@ -693,6 +754,12 @@ pub struct AdmissionRecord {
     pub deadline_flushes: u64,
     /// Partial batches released at queue close.
     pub drain_flushes: u64,
+    /// Batches released early because the backlog crossed half capacity
+    /// (always `0` for the unbounded live phases).
+    pub pressure_flushes: u64,
+    /// Requests refused at submit because the backlog was full (always
+    /// `0` for the unbounded live phases).
+    pub shed: u64,
     /// `requests / batches`.
     pub mean_occupancy: f64,
     /// Median queueing delay (submit → batch execution start), µs.
@@ -701,6 +768,38 @@ pub struct AdmissionRecord {
     pub queue_delay_p99_us: f64,
     /// Mean queueing delay, µs.
     pub queue_delay_mean_us: f64,
+}
+
+/// One overload operating point: arrival-paced traffic through a
+/// **bounded** admission backlog with per-request deadlines. Where the
+/// `sweep` grid measures queueing delay with an unbounded queue, this
+/// sweep measures what the server *refuses*: past saturation, offered
+/// load goes up while goodput plateaus — shed and expired counts absorb
+/// the difference (`completed + shed + expired = requests`, exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadRecord {
+    /// Offered load of this point, requests per second (a multiplier of
+    /// the configured `arrival_rate`).
+    pub arrival_rate: f64,
+    /// Requests offered.
+    pub requests: usize,
+    /// Requests that executed before their deadline.
+    pub completed: u64,
+    /// Requests refused at submit (backlog full).
+    pub shed: u64,
+    /// Requests admitted but dropped at dequeue (deadline elapsed).
+    pub expired: u64,
+    /// Batches flushed early under backlog pressure.
+    pub pressure_flushes: u64,
+    /// The backlog bound this point ran under, in requests.
+    pub backlog: usize,
+    /// The per-request deadline, microseconds.
+    pub deadline_us: u64,
+    /// Offered load actually achieved: `requests / elapsed`.
+    pub offered_rps: f64,
+    /// Goodput: `completed / elapsed`. The curve of this against
+    /// `offered_rps` is the capacity-planning output.
+    pub goodput_rps: f64,
 }
 
 /// The full machine-readable report (`BENCH_serve.json`).
@@ -769,6 +868,10 @@ pub struct ServeReport {
     /// batch_window)}` × rates `{arrival_rate/4, arrival_rate}`), same
     /// measurement as `admission` on a shorter stream prefix.
     pub sweep: Vec<AdmissionRecord>,
+    /// The overload sweep: goodput vs. offered load through a bounded
+    /// backlog with per-request deadlines, at rate multipliers
+    /// `{1, 2, 4, 8} × arrival_rate` over the sweep stream prefix.
+    pub overload: Vec<OverloadRecord>,
     /// Shared plan-cache counters (all backends; per-backend entries are
     /// independent by signature construction).
     pub cache: CacheStatsRecord,
@@ -1134,6 +1237,8 @@ fn live_phase(
         occupancy_flushes: stats.occupancy_flushes,
         deadline_flushes: stats.deadline_flushes,
         drain_flushes: stats.drain_flushes,
+        pressure_flushes: stats.pressure_flushes,
+        shed: stats.shed,
         mean_occupancy: if stats.batches() > 0 {
             mix.len() as f64 / stats.batches() as f64
         } else {
@@ -1142,6 +1247,115 @@ fn live_phase(
         queue_delay_p50_us: p50,
         queue_delay_p99_us: p99,
         queue_delay_mean_us: mean,
+    }
+}
+
+/// One overload-phase job: a stream index, its submit time, and the
+/// absolute instant its per-request deadline expires.
+struct OverloadJob {
+    idx: usize,
+    deadline: Instant,
+}
+
+/// Measure the serving loop past saturation: a producer paces the stream
+/// at `rate` through a queue **bounded** at `capacity`, each request
+/// carrying a deadline of `req_deadline_us`. Consumers drop expired
+/// requests at dequeue (the same pre-execution enforcement the network
+/// server applies) and execute the rest. Every offered request lands in
+/// exactly one of completed / shed / expired.
+#[allow(clippy::too_many_arguments)]
+fn overload_phase(
+    mix: &[Request],
+    pools: &HashMap<(Family, usize), EnvPair>,
+    reg: &'static Registration,
+    cache: &PlanCache,
+    fw: &Framework,
+    clients: usize,
+    window: usize,
+    batch_deadline_us: u64,
+    capacity: usize,
+    req_deadline_us: u64,
+    rate: f64,
+    seed: u64,
+) -> OverloadRecord {
+    let flush_deadline = if window >= 2 && batch_deadline_us > 0 {
+        Some(Duration::from_micros(batch_deadline_us))
+    } else {
+        None
+    };
+    let queue: AdmissionQueue<(Family, usize, Dtype), OverloadJob> =
+        AdmissionQueue::bounded(window, flush_deadline, capacity);
+    let completed = AtomicU64::new(0);
+    let expired = AtomicU64::new(0);
+    let req_deadline = Duration::from_micros(req_deadline_us);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            let queue = &queue;
+            let completed = &completed;
+            let expired = &expired;
+            scope.spawn(move || {
+                while let Some(batch) = queue.next_batch() {
+                    let now = Instant::now();
+                    let mut live = Vec::with_capacity(batch.items.len());
+                    for job in &batch.items {
+                        if now >= job.deadline {
+                            expired.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            live.push(job.idx);
+                        }
+                    }
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let req0 = &mix[live[0]];
+                    let pool = &pools[&(req0.family, req0.n)];
+                    match req0.dtype {
+                        Dtype::F64 => execute_live(&live, mix, &pool.f64, reg, cache, fw, seed),
+                        Dtype::F32 => execute_live(&live, mix, &pool.f32, reg, cache, fw, seed),
+                    }
+                    completed.fetch_add(live.len() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+        let queue = &queue;
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x05E2_10AD);
+            let t0p = Instant::now();
+            let mut offset = Duration::ZERO;
+            for (i, r) in mix.iter().enumerate() {
+                let u: f64 = rng.gen();
+                offset += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+                let target = t0p + offset;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                let now = Instant::now();
+                // The bounded queue sheds for us and counts it; nothing
+                // to do for a refused submit but move on.
+                let _ = queue.submit(
+                    (r.family, r.n, r.dtype),
+                    OverloadJob { idx: i, deadline: now + req_deadline },
+                );
+            }
+            queue.close();
+        });
+    });
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let stats = queue.stats();
+    let done = completed.load(Ordering::Relaxed);
+    OverloadRecord {
+        arrival_rate: rate,
+        requests: mix.len(),
+        completed: done,
+        shed: stats.shed,
+        expired: expired.load(Ordering::Relaxed),
+        pressure_flushes: stats.pressure_flushes,
+        backlog: capacity,
+        deadline_us: req_deadline_us,
+        offered_rps: mix.len() as f64 / elapsed,
+        goodput_rps: done as f64 / elapsed,
     }
 }
 
@@ -1279,6 +1493,34 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         for cell_rate in [(rate / 4.0).max(1.0), rate] {
             sweep.push(live(window, cell_rate, sweep_stream));
         }
+    }
+
+    // ---- overload sweep: goodput vs. offered load, bounded backlog ----
+    // A deliberately small backlog (a few batches' worth) so saturation
+    // turns into measured shedding instead of queue growth, with a
+    // per-request deadline a few flush budgets wide.
+    let overload_backlog = if cfg.backlog > 0 {
+        cfg.backlog.min((clients * cfg.batch_window.max(1)).max(4))
+    } else {
+        (clients * cfg.batch_window.max(1)).max(4)
+    };
+    let overload_deadline_us = cfg.batch_deadline_us.max(50) * 8;
+    let mut overload = Vec::new();
+    for mult in [1.0, 2.0, 4.0, 8.0] {
+        overload.push(overload_phase(
+            sweep_stream,
+            &pools,
+            regs[0],
+            &cache,
+            &fw,
+            clients,
+            cfg.batch_window,
+            cfg.batch_deadline_us,
+            overload_backlog,
+            overload_deadline_us,
+            rate * mult,
+            cfg.seed,
+        ));
     }
 
     // ---- assemble the report (serial from here on) ----
@@ -1458,6 +1700,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         batching,
         admission,
         sweep,
+        overload,
         cache: CacheStatsRecord {
             hits: stats.hits,
             misses: stats.misses,
@@ -1746,6 +1989,7 @@ mod tests {
         assert_eq!(a.deadline_us, 250);
         assert_eq!(a.requests, report.requests);
         assert_eq!(a.occupancy_flushes + a.deadline_flushes + a.drain_flushes, a.batches as u64);
+        assert_eq!((a.pressure_flushes, a.shed), (0, 0), "live phases are unbounded");
         assert!(a.batches >= 1 && a.mean_occupancy >= 1.0);
         // At 2000 req/s spread over ~a dozen signature keys, per-key
         // inter-arrival dwarfs the 250 µs budget: the deadline path must
@@ -1773,6 +2017,23 @@ mod tests {
             assert_eq!(c.mean_occupancy, 1.0);
             assert_eq!(c.occupancy_flushes, c.requests as u64);
         }
+    }
+
+    #[test]
+    fn overload_sweep_partitions_every_request_exactly() {
+        let report = run_ok(&tiny_cfg());
+        assert_eq!(report.overload.len(), 4);
+        for o in &report.overload {
+            // Every offered request lands in exactly one bucket.
+            assert_eq!(o.completed + o.shed + o.expired, o.requests as u64, "{o:?}");
+            assert!(o.goodput_rps <= o.offered_rps, "{o:?}");
+            assert!(o.backlog > 0 && o.deadline_us > 0, "{o:?}");
+            assert!(o.completed > 0, "some requests complete even past saturation: {o:?}");
+        }
+        // The points probe strictly increasing offered rates.
+        assert!(report.overload.windows(2).all(|w| w[0].arrival_rate < w[1].arrival_rate));
+        assert_eq!(report.overload[0].arrival_rate, report.arrival_rate);
+        assert_eq!(report.overload[3].arrival_rate, report.arrival_rate * 8.0);
     }
 
     #[test]

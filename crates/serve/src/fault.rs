@@ -1,0 +1,403 @@
+//! Seeded, deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] names which faults to inject and at what rate; a
+//! [`FaultInjector`] applies the plan inside the server. Every decision
+//! is a pure function of `(seed, fault kind, request id)` — an FNV-1a
+//! hash against the rate's denominator — so a test (or a rerun) can
+//! compute the *exact* set of request ids each fault will hit before
+//! the server ever starts. That is what makes the acceptance criterion
+//! "counters exactly match the injected plan" checkable: the harness
+//! derives the expected shed/failed/drop counts from the plan, runs the
+//! workload, and asserts equality rather than eyeballing rates.
+//!
+//! Each fault fires **at most once per (kind, request id)**: a client
+//! that retries a dropped request converges instead of being dropped
+//! forever, and the deterministic id sets stay exact under retries.
+//!
+//! The four fault kinds, and where the server applies them:
+//!
+//! * **drop** — the reader swallows the request after decode; the client
+//!   sees silence and must retry (exercises client timeouts + retry).
+//! * **delay** — the executor sleeps before running the batch member
+//!   (exercises deadline expiry and backlog growth).
+//! * **panic** — the executor panics mid-execution (exercises
+//!   `catch_unwind` isolation and quarantine).
+//! * **corrupt** — the response checksum is flipped (exercises client
+//!   verification).
+//!
+//! Plans parse from the CLI spec the README documents, e.g.
+//! `--faults panic:1/64,delay:1/16x500,drop:1/8,corrupt:0/1`.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A fault rate: `num` hits per `den` ids (decided by hash, not by a
+/// sliding counter, so the decision for an id never changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Hits per `den`.
+    pub num: u32,
+    /// The denominator (> 0).
+    pub den: u32,
+}
+
+impl Ratio {
+    fn parse(s: &str) -> Result<Self, String> {
+        let (num, den) = match s.split_once('/') {
+            Some((n, d)) => (n, d),
+            None => (s, "1"),
+        };
+        let num: u32 =
+            num.trim().parse().map_err(|_| format!("bad fault rate numerator `{num}`"))?;
+        let den: u32 =
+            den.trim().parse().map_err(|_| format!("bad fault rate denominator `{den}`"))?;
+        if den == 0 {
+            return Err("fault rate denominator must be > 0".into());
+        }
+        Ok(Ratio { num, den })
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+/// The injectable fault kinds. The discriminant salts the decision
+/// hash, so each kind selects an independent id set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Swallow the request at the reader (client sees no response).
+    Drop,
+    /// Sleep before executing the request.
+    Delay,
+    /// Panic inside the executor while running the request's batch.
+    Panic,
+    /// Flip the response checksum.
+    Corrupt,
+}
+
+impl FaultKind {
+    fn salt(self) -> u8 {
+        match self {
+            FaultKind::Drop => 1,
+            FaultKind::Delay => 2,
+            FaultKind::Panic => 3,
+            FaultKind::Corrupt => 4,
+        }
+    }
+}
+
+/// A parsed fault-injection plan: which faults fire, at what rates, and
+/// how long injected delays sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Requests silently dropped at the reader.
+    pub drop: Option<Ratio>,
+    /// Requests delayed before execution, and the sleep in microseconds.
+    pub delay: Option<(Ratio, u64)>,
+    /// Requests whose execution panics.
+    pub panic: Option<Ratio>,
+    /// Requests whose response checksum is corrupted.
+    pub corrupt: Option<Ratio>,
+}
+
+impl FaultPlan {
+    /// Parse a CLI spec: comma-separated `kind:rate` entries where
+    /// `rate` is `num/den` (or a bare integer, denominator 1) and the
+    /// `delay` entry carries a sleep suffix, `delay:RATExMICROS`.
+    ///
+    /// ```
+    /// use laab_serve::fault::FaultPlan;
+    /// let plan = FaultPlan::parse("panic:1/64,delay:1/16x500").unwrap();
+    /// assert_eq!(plan.panic.unwrap().den, 64);
+    /// assert_eq!(plan.delay.unwrap().1, 500);
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        if spec.trim().is_empty() {
+            return Err("empty fault spec".into());
+        }
+        for entry in spec.split(',') {
+            let (kind, rate) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry `{entry}` is not `kind:rate`"))?;
+            match kind.trim() {
+                "drop" => {
+                    if plan.drop.replace(Ratio::parse(rate)?).is_some() {
+                        return Err("duplicate `drop` fault entry".into());
+                    }
+                }
+                "delay" => {
+                    let (rate, micros) = rate.split_once('x').ok_or_else(|| {
+                        format!("delay entry `{entry}` needs `delay:RATExMICROS`")
+                    })?;
+                    let micros: u64 = micros
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad delay microseconds `{micros}`"))?;
+                    if plan.delay.replace((Ratio::parse(rate)?, micros)).is_some() {
+                        return Err("duplicate `delay` fault entry".into());
+                    }
+                }
+                "panic" => {
+                    if plan.panic.replace(Ratio::parse(rate)?).is_some() {
+                        return Err("duplicate `panic` fault entry".into());
+                    }
+                }
+                "corrupt" => {
+                    if plan.corrupt.replace(Ratio::parse(rate)?).is_some() {
+                        return Err("duplicate `corrupt` fault entry".into());
+                    }
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether `kind` fires for request `id` under `seed` — the pure
+    /// decision, independent of injector state. Tests use this to
+    /// precompute the exact id set a run will fault.
+    pub fn fires(&self, seed: u64, kind: FaultKind, id: u64) -> bool {
+        let ratio = match kind {
+            FaultKind::Drop => self.drop,
+            FaultKind::Delay => self.delay.map(|(r, _)| r),
+            FaultKind::Panic => self.panic,
+            FaultKind::Corrupt => self.corrupt,
+        };
+        let Some(r) = ratio else { return false };
+        if r.num == 0 {
+            return false;
+        }
+        if r.num >= r.den {
+            return true;
+        }
+        // FNV-1a over the kind salt and the id bytes, keyed by the
+        // seed, then an avalanche finalizer: `% den` looks only at the
+        // low bits (every realistic rate has a small denominator), and
+        // bare FNV never propagates high-bit differences downward —
+        // without the finalizer the kind salt and the seed's high bits
+        // would be inert for power-of-two denominators.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET ^ seed;
+        h ^= u64::from(kind.salt());
+        h = h.wrapping_mul(FNV_PRIME);
+        for b in id.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % u64::from(r.den)) < u64::from(r.num)
+    }
+
+    /// True when no fault has a nonzero rate.
+    pub fn is_empty(&self) -> bool {
+        let zero = |r: Option<Ratio>| r.is_none_or(|r| r.num == 0);
+        zero(self.drop)
+            && zero(self.delay.map(|(r, _)| r))
+            && zero(self.panic)
+            && zero(self.corrupt)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// The canonical spec string; `parse(plan.to_string())` round-trips.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut std::fmt::Formatter<'_>| {
+            let s = if first { "" } else { "," };
+            first = false;
+            write!(f, "{s}")
+        };
+        if let Some(r) = self.drop {
+            sep(f)?;
+            write!(f, "drop:{r}")?;
+        }
+        if let Some((r, us)) = self.delay {
+            sep(f)?;
+            write!(f, "delay:{r}x{us}")?;
+        }
+        if let Some(r) = self.panic {
+            sep(f)?;
+            write!(f, "panic:{r}")?;
+        }
+        if let Some(r) = self.corrupt {
+            sep(f)?;
+            write!(f, "corrupt:{r}")?;
+        }
+        if first {
+            write!(f, "drop:0/1")?; // an empty plan still prints a valid spec
+        }
+        Ok(())
+    }
+}
+
+/// Counters for faults actually injected (not merely configured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Requests dropped at the reader.
+    pub drops: u64,
+    /// Requests delayed before execution.
+    pub delays: u64,
+    /// Executions panicked.
+    pub panics: u64,
+    /// Response checksums corrupted.
+    pub corrupts: u64,
+}
+
+/// Applies a [`FaultPlan`] at runtime, enforcing fire-once-per-(kind,
+/// id) semantics and counting what actually fired.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    fired: Mutex<HashSet<(u8, u64)>>,
+    drops: AtomicU64,
+    delays: AtomicU64,
+    panics: AtomicU64,
+    corrupts: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan`, salting every decision with `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            seed,
+            fired: Mutex::new(HashSet::new()),
+            drops: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            corrupts: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this injector applies.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide-and-fire: true exactly once per (kind, id) that the plan
+    /// selects; always false on later presentations of the same pair.
+    fn fire(&self, kind: FaultKind, id: u64, counter: &AtomicU64) -> bool {
+        if !self.plan.fires(self.seed, kind, id) {
+            return false;
+        }
+        let fresh = self.fired.lock().expect("fault injector mutex").insert((kind.salt(), id));
+        if fresh {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Should the reader swallow request `id`? Fires at most once, so a
+    /// retried request gets through.
+    pub fn should_drop(&self, id: u64) -> bool {
+        self.fire(FaultKind::Drop, id, &self.drops)
+    }
+
+    /// The sleep to inject before executing request `id`, if any.
+    pub fn delay_for(&self, id: u64) -> Option<Duration> {
+        let (_, micros) = self.plan.delay?;
+        self.fire(FaultKind::Delay, id, &self.delays).then(|| Duration::from_micros(micros))
+    }
+
+    /// Should the executor panic while running request `id`'s batch?
+    pub fn should_panic(&self, id: u64) -> bool {
+        self.fire(FaultKind::Panic, id, &self.panics)
+    }
+
+    /// Should request `id`'s response checksum be corrupted?
+    pub fn should_corrupt(&self, id: u64) -> bool {
+        self.fire(FaultKind::Corrupt, id, &self.corrupts)
+    }
+
+    /// Snapshot of what actually fired so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            drops: self.drops.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            corrupts: self.corrupts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_spec_grammar() {
+        let plan = FaultPlan::parse("drop:1/8,delay:1/16x500,panic:1/64,corrupt:3").unwrap();
+        assert_eq!(plan.drop, Some(Ratio { num: 1, den: 8 }));
+        assert_eq!(plan.delay, Some((Ratio { num: 1, den: 16 }, 500)));
+        assert_eq!(plan.panic, Some(Ratio { num: 1, den: 64 }));
+        assert_eq!(plan.corrupt, Some(Ratio { num: 3, den: 1 }));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for spec in ["drop:1/8", "delay:1/16x500,panic:1/64", "drop:1/2,corrupt:1/3"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan, "spec {spec}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_structured_errors() {
+        for bad in
+            ["", "explode:1/2", "panic", "panic:1/0", "delay:1/4", "delay:1/4xfast", "panic:x/2"]
+        {
+            assert!(FaultPlan::parse(bad).is_err(), "spec `{bad}` should fail");
+        }
+        assert!(FaultPlan::parse("panic:1/2,panic:1/3").is_err(), "duplicates rejected");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_kind_independent() {
+        let plan = FaultPlan::parse("drop:1/4,panic:1/4").unwrap();
+        let drops: Vec<u64> = (0..256).filter(|&id| plan.fires(7, FaultKind::Drop, id)).collect();
+        let panics: Vec<u64> = (0..256).filter(|&id| plan.fires(7, FaultKind::Panic, id)).collect();
+        // Re-evaluating gives the same sets.
+        let drops2: Vec<u64> = (0..256).filter(|&id| plan.fires(7, FaultKind::Drop, id)).collect();
+        assert_eq!(drops, drops2);
+        // The kinds select different id sets (salted hashes), and a 1/4
+        // rate over 256 ids lands near 64 for both.
+        assert_ne!(drops, panics);
+        for count in [drops.len(), panics.len()] {
+            assert!((32..=96).contains(&count), "1/4 of 256 ids ≈ 64, got {count}");
+        }
+        // A different seed selects a different set.
+        let other: Vec<u64> = (0..256).filter(|&id| plan.fires(8, FaultKind::Drop, id)).collect();
+        assert_ne!(drops, other);
+    }
+
+    #[test]
+    fn zero_and_full_rates_are_exact() {
+        let plan = FaultPlan::parse("drop:0/8,panic:1/1").unwrap();
+        assert!((0..100).all(|id| !plan.fires(1, FaultKind::Drop, id)));
+        assert!((0..100).all(|id| plan.fires(1, FaultKind::Panic, id)));
+        assert!(!plan.is_empty(), "panic 1/1 is not empty");
+        assert!(FaultPlan::parse("drop:0/8").unwrap().is_empty());
+    }
+
+    #[test]
+    fn injector_fires_once_per_id_and_counts() {
+        let plan = FaultPlan::parse("drop:1/1,delay:1/1x250").unwrap();
+        let inj = FaultInjector::new(plan, 42);
+        assert!(inj.should_drop(9), "first presentation fires");
+        assert!(!inj.should_drop(9), "retry converges");
+        assert_eq!(inj.delay_for(9), Some(Duration::from_micros(250)));
+        assert_eq!(inj.delay_for(9), None);
+        assert!(!inj.should_panic(9), "panic not in the plan");
+        let counts = inj.counts();
+        assert_eq!((counts.drops, counts.delays, counts.panics, counts.corrupts), (1, 1, 0, 0));
+    }
+}

@@ -56,6 +56,7 @@
 pub mod admission;
 pub mod bench;
 mod cache;
+pub mod fault;
 pub mod loadgen;
 mod plan;
 pub mod proto;
@@ -63,11 +64,13 @@ pub mod server;
 mod signature;
 pub mod workload;
 
-pub use admission::{AdmissionQueue, AdmissionStats, FlushKind};
+pub use admission::{AdmissionQueue, AdmissionStats, FlushKind, SubmitOutcome};
 pub use bench::{
-    run, AdmissionRecord, BackendRecord, ServeConfig, ServeConfigBuilder, ServeError, ServeReport,
+    run, AdmissionRecord, BackendRecord, OverloadRecord, ServeConfig, ServeConfigBuilder,
+    ServeError, ServeReport,
 };
 pub use cache::{CacheStats, Lookup, PlanCache};
+pub use fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
 pub use laab_backend::BackendId;
 pub use loadgen::{Arrival, LoadgenConfig, LoadgenReport};
 pub use plan::Plan;

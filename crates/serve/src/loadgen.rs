@@ -26,7 +26,7 @@
 //! [`LoadgenConfig::verify`] for backends with stacked batched kernels).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -46,7 +46,24 @@ use crate::FlushKind;
 
 /// Schema tag embedded in every [`LoadgenReport`]. `laab-core`'s bench
 /// registry mirrors this constant; a test holds the pair equal.
-pub const LOADGEN_REPORT_SCHEMA: &str = "laab-loadgen-v1";
+///
+/// v2 adds per-run rejection classes (`busy`/`expired`/`failed`),
+/// retry counts, pressure-flush tallies, and the offered-vs-goodput
+/// rate pair, plus their report-level totals.
+pub const LOADGEN_REPORT_SCHEMA: &str = "laab-loadgen-v2";
+
+/// How long a client read blocks before the request is presumed lost
+/// (a dropped frame, a reaped connection) and retried or abandoned —
+/// generous next to any legitimate batch deadline + execution time.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_millis(400);
+
+/// Backoff floor when the server's `retry_after_us` hint is zero or
+/// missing (a timed-out request has no hint at all).
+const RETRY_FLOOR_US: u64 = 200;
+
+/// Backoff ceiling: capped exponential, so a long retry chain never
+/// sleeps more than this per attempt (before jitter).
+const RETRY_CAP_US: u64 = 20_000;
 
 /// An arrival process for one load-generation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,9 +154,18 @@ pub struct LoadgenConfig {
     pub backend: String,
     /// Arrival processes to sweep, one run each, in order.
     pub arrivals: Vec<Arrival>,
+    /// Per-request deadline stamped into every wire frame, microseconds
+    /// (0 = none). Requests that overstay it come back `Expired`.
+    pub deadline_us: u64,
+    /// Retry budget per request for `Busy` rejections and presumed-lost
+    /// (timed-out) sends: capped exponential backoff + seeded jitter,
+    /// honoring the server's `retry_after_us` hint. 0 disables retries.
+    pub max_retries: u32,
     /// Compute each request's expected checksum locally and count
     /// mismatches. Exact only for backends whose batched execution is
-    /// per-item (`seed`, `reference`).
+    /// per-item (`seed`, `reference`). Only completed (`Ok`) responses
+    /// are verified — `Busy`/`Expired`/`Failed` rejections are reported
+    /// in their own classes, never as mismatches.
     pub verify: bool,
     /// Send a [`Message::Shutdown`] after the last run, so the server
     /// exits and (for unix sockets) removes its socket file.
@@ -169,6 +195,8 @@ impl LoadgenConfig {
                 Arrival::OpenPoisson { rate: 2000.0 },
                 Arrival::Bursty { rate: 2000.0, burst: 8 },
             ],
+            deadline_us: 0,
+            max_retries: 3,
             verify: true,
             shutdown: true,
             smoke: true,
@@ -183,12 +211,22 @@ pub struct ArrivalRun {
     pub arrival: String,
     /// Aggregate arrival rate (0 for closed-loop).
     pub rate: f64,
-    /// Requests sent.
+    /// Requests sent over the wire, retries included.
     pub sent: u64,
     /// `Ok` responses received.
     pub completed: u64,
-    /// Error responses received.
+    /// Error responses received, plus requests abandoned as lost after
+    /// the retry budget (a dropped frame that never came back).
     pub errors: u64,
+    /// Requests that ended `Busy` after exhausting the retry budget.
+    pub busy: u64,
+    /// Requests answered `Expired` (their deadline passed server-side).
+    pub expired: u64,
+    /// Requests answered `Failed` (server-side execution panic or a
+    /// quarantined signature).
+    pub failed: u64,
+    /// Re-sends performed (`Busy` backoff + presumed-lost timeouts).
+    pub retries: u64,
     /// Client-observed round-trip p50, microseconds.
     pub rtt_p50_us: f64,
     /// Client-observed round-trip p99, microseconds.
@@ -207,12 +245,21 @@ pub struct ArrivalRun {
     pub deadline_flushes: u64,
     /// Responses whose batch flushed on drain.
     pub drain_flushes: u64,
-    /// Responses whose checksum differed from the local oracle.
+    /// Responses whose batch flushed on backlog pressure.
+    pub pressure_flushes: u64,
+    /// Completed responses whose checksum differed from the local
+    /// oracle (rejections are never counted here).
     pub checksum_mismatches: u64,
     /// Wall-clock of the run, milliseconds.
     pub elapsed_ms: f64,
     /// Completed responses per wall-clock second.
     pub throughput_rps: f64,
+    /// Wire sends (retries included) per wall-clock second — the load
+    /// actually offered to the server.
+    pub offered_rps: f64,
+    /// Completed *and verified-clean* responses per wall-clock second —
+    /// what a caller actually got out of the run.
+    pub goodput_rps: f64,
 }
 
 /// The client-side report `laab loadgen` emits (schema
@@ -242,6 +289,14 @@ pub struct LoadgenReport {
     /// Total checksum mismatches across all runs (0 = the socket path is
     /// bitwise identical to the in-process oracle).
     pub checksum_mismatches: u64,
+    /// Total terminal `Busy` rejections across all runs.
+    pub busy_total: u64,
+    /// Total `Expired` responses across all runs.
+    pub expired_total: u64,
+    /// Total `Failed` responses across all runs.
+    pub failed_total: u64,
+    /// Total re-sends across all runs.
+    pub retries_total: u64,
 }
 
 impl LoadgenReport {
@@ -261,10 +316,58 @@ struct Sample {
     id: u64,
 }
 
+#[derive(Default)]
 struct ConnResult {
     samples: Vec<Sample>,
     sent: u64,
     errors: u64,
+    busy: u64,
+    expired: u64,
+    failed: u64,
+    retries: u64,
+}
+
+/// How one request's attempt chain ended (the `Ok` case carries its
+/// sample; `Busy` here means the retry budget ran out).
+enum Terminal {
+    Done(Sample),
+    Error,
+    Busy,
+    Expired,
+    Failed,
+    /// No response within the timeout and no retries left — the
+    /// request is presumed lost (counted under `errors`).
+    Lost,
+}
+
+impl ConnResult {
+    fn settle(&mut self, terminal: Terminal) {
+        match terminal {
+            Terminal::Done(s) => self.samples.push(s),
+            Terminal::Error | Terminal::Lost => self.errors += 1,
+            Terminal::Busy => self.busy += 1,
+            Terminal::Expired => self.expired += 1,
+            Terminal::Failed => self.failed += 1,
+        }
+    }
+}
+
+/// Capped exponential backoff with seeded jitter, honoring the
+/// server's hint: `min(max(hint, floor) · 2^attempt, cap) + jitter`.
+fn backoff(retry_after_us: u64, attempt: u32, rng: &mut StdRng) -> Duration {
+    let base = retry_after_us.max(RETRY_FLOOR_US).saturating_mul(1 << attempt.min(6));
+    let capped = base.min(RETRY_CAP_US);
+    let jitter = rng.gen_range(0..(capped as usize / 4 + 1)) as u64;
+    Duration::from_micros(capped + jitter)
+}
+
+/// `true` when a frame read failed only because the socket's read
+/// timeout elapsed (unix reports `WouldBlock`, TCP `TimedOut`).
+fn is_read_timeout(e: &proto::FrameError) -> bool {
+    matches!(e, proto::FrameError::Io(io) if matches!(
+        io.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ))
 }
 
 /// Drive the server at `cfg.addr` through every configured arrival
@@ -291,10 +394,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     };
 
     let mut runs = Vec::with_capacity(cfg.arrivals.len());
-    let mut total_mismatches = 0u64;
+    let (mut total_mismatches, mut busy_total, mut expired_total) = (0u64, 0u64, 0u64);
+    let (mut failed_total, mut retries_total) = (0u64, 0u64);
     for arrival in &cfg.arrivals {
         let run = drive_once(&addr, cfg, &mix, *arrival, &expected, connections)?;
         total_mismatches += run.checksum_mismatches;
+        busy_total += run.busy;
+        expired_total += run.expired;
+        failed_total += run.failed;
+        retries_total += run.retries;
         runs.push(run);
     }
 
@@ -314,6 +422,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         smoke: cfg.smoke,
         runs,
         checksum_mismatches: total_mismatches,
+        busy_total,
+        expired_total,
+        failed_total,
+        retries_total,
     })
 }
 
@@ -353,12 +465,14 @@ fn drive_once(
             let (transport_err, backend) = (&transport_err, cfg.backend.as_str());
             let rate_share = arrival.rate() / connections as f64;
             let seed = cfg.seed ^ 0x10AD_0000 ^ (c as u64);
+            let (deadline_us, max_retries) = (cfg.deadline_us, cfg.max_retries);
             handles.push(scope.spawn(move || {
-                match drive_connection(addr, share, backend, arrival, rate_share, seed) {
+                let wire = WireParams { backend, deadline_us, max_retries };
+                match drive_connection(addr, share, &wire, arrival, rate_share, seed) {
                     Ok(r) => r,
                     Err(e) => {
                         transport_err.lock().expect("loadgen error slot").get_or_insert(e);
-                        ConnResult { samples: Vec::new(), sent: 0, errors: 0 }
+                        ConnResult::default()
                     }
                 }
             }));
@@ -373,11 +487,16 @@ fn drive_once(
     let mut rtt_us = Vec::new();
     let mut queue_us = Vec::new();
     let (mut sent, mut errors, mut occ_sum, mut mismatches) = (0u64, 0u64, 0u64, 0u64);
-    let (mut occ_fl, mut dl_fl, mut dr_fl) = (0u64, 0u64, 0u64);
+    let (mut occ_fl, mut dl_fl, mut dr_fl, mut pr_fl) = (0u64, 0u64, 0u64, 0u64);
+    let (mut busy, mut expired, mut failed, mut retries) = (0u64, 0u64, 0u64, 0u64);
     let mut completed = 0u64;
     for r in &results {
         sent += r.sent;
         errors += r.errors;
+        busy += r.busy;
+        expired += r.expired;
+        failed += r.failed;
+        retries += r.retries;
         for s in &r.samples {
             completed += 1;
             rtt_us.push(s.rtt_ns as f64 / 1_000.0);
@@ -387,6 +506,7 @@ fn drive_once(
                 FlushKind::Occupancy => occ_fl += 1,
                 FlushKind::Deadline => dl_fl += 1,
                 FlushKind::Drain => dr_fl += 1,
+                FlushKind::Pressure => pr_fl += 1,
             }
             if !expected.is_empty() && expected[s.id as usize] != s.checksum {
                 mismatches += 1;
@@ -404,12 +524,18 @@ fn drive_once(
     };
     let (rtt_p50, rtt_p99, rtt_mean) = summarize(rtt_us);
     let (queue_p50, queue_p99, _) = summarize(queue_us);
+    let secs = elapsed.as_secs_f64();
+    let per_sec = |count: u64| if secs > 0.0 { count as f64 / secs } else { 0.0 };
     Ok(ArrivalRun {
         arrival: arrival.display(),
         rate: arrival.rate(),
         sent,
         completed,
         errors,
+        busy,
+        expired,
+        failed,
+        retries,
         rtt_p50_us: rtt_p50,
         rtt_p99_us: rtt_p99,
         rtt_mean_us: rtt_mean,
@@ -419,82 +545,144 @@ fn drive_once(
         occupancy_flushes: occ_fl,
         deadline_flushes: dl_fl,
         drain_flushes: dr_fl,
+        pressure_flushes: pr_fl,
         checksum_mismatches: mismatches,
-        elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
-        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
-            completed as f64 / elapsed.as_secs_f64()
-        } else {
-            0.0
-        },
+        elapsed_ms: secs * 1_000.0,
+        throughput_rps: per_sec(completed),
+        offered_rps: per_sec(sent),
+        goodput_rps: per_sec(completed.saturating_sub(mismatches)),
     })
 }
 
-fn wire_request(id: u64, req: &Request, backend: &str) -> Message {
+/// Per-request wire parameters shared by every send on a connection.
+struct WireParams<'a> {
+    backend: &'a str,
+    deadline_us: u64,
+    max_retries: u32,
+}
+
+fn wire_request(id: u64, req: &Request, wire: &WireParams<'_>) -> Message {
     Message::Request(RequestMsg {
         id,
         family: req.family.id().to_string(),
         n: req.n as u64,
         dtype: req.dtype,
-        backend: backend.to_string(),
+        backend: wire.backend.to_string(),
         payload: req.payload,
+        deadline_us: wire.deadline_us,
     })
+}
+
+/// How one blocking read attempt ended (closed loop).
+enum ReadOut {
+    Got(Outcome),
+    Eof,
+    TimedOut,
 }
 
 /// One connection's share of a run. Closed-loop is a synchronous
 /// request/response loop; the open-loop shapes split into a pacing
 /// sender and a collecting reader so queueing at the server cannot
-/// back-pressure the arrival clock.
+/// back-pressure the arrival clock. Both shapes run under a read
+/// timeout and retry `Busy` rejections and presumed-lost requests with
+/// capped exponential backoff, up to the configured budget.
 fn drive_connection(
     addr: &Listen,
     share: Vec<(u64, Request)>,
-    backend: &str,
+    wire: &WireParams<'_>,
     arrival: Arrival,
     rate_share: f64,
     seed: u64,
 ) -> Result<ConnResult, ServeError> {
     let mut stream = connect(addr)?;
     let sock = |e: std::io::Error| ServeError::Socket(Arc::new(e));
+    stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT)).map_err(sock)?;
     if share.is_empty() {
-        return Ok(ConnResult { samples: Vec::new(), sent: 0, errors: 0 });
+        return Ok(ConnResult::default());
     }
 
     if matches!(arrival, Arrival::Closed) {
-        let mut samples = Vec::with_capacity(share.len());
-        let mut errors = 0u64;
-        let mut sent = 0u64;
+        let mut out = ConnResult::default();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0FF);
         for (id, req) in &share {
-            let t0 = Instant::now();
-            proto::write_message(&mut stream, &wire_request(*id, req, backend)).map_err(sock)?;
-            sent += 1;
-            match proto::read_message(&mut stream)? {
-                Some(Message::Response(resp)) => match resp.outcome {
-                    Outcome::Ok { queue_ns, occupancy, flush, checksum, .. } => {
-                        samples.push(Sample {
+            let mut attempt = 0u32;
+            let mut eof = false;
+            let terminal = loop {
+                let t0 = Instant::now();
+                proto::write_message(&mut stream, &wire_request(*id, req, wire)).map_err(sock)?;
+                out.sent += 1;
+                // Read to *this* id's response; a stale duplicate from
+                // an earlier timed-out attempt is skipped by id.
+                let read = loop {
+                    match proto::read_message(&mut stream) {
+                        Ok(Some(Message::Response(resp))) if resp.id == *id => {
+                            break ReadOut::Got(resp.outcome)
+                        }
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break ReadOut::Eof,
+                        Err(ref e) if is_read_timeout(e) => break ReadOut::TimedOut,
+                        Err(e) => return Err(e.into()),
+                    }
+                };
+                match read {
+                    ReadOut::Got(Outcome::Ok { queue_ns, occupancy, flush, checksum, .. }) => {
+                        break Terminal::Done(Sample {
                             rtt_ns: t0.elapsed().as_nanos() as u64,
                             queue_ns,
                             occupancy,
                             flush,
                             checksum,
-                            id: resp.id,
+                            id: *id,
                         });
                     }
-                    Outcome::Err { .. } => errors += 1,
-                },
-                _ => break,
+                    ReadOut::Got(Outcome::Err { .. }) => break Terminal::Error,
+                    ReadOut::Got(Outcome::Expired { .. }) => break Terminal::Expired,
+                    ReadOut::Got(Outcome::Failed { .. }) => break Terminal::Failed,
+                    ReadOut::Got(Outcome::Busy { retry_after_us }) => {
+                        if attempt >= wire.max_retries {
+                            break Terminal::Busy;
+                        }
+                        attempt += 1;
+                        out.retries += 1;
+                        std::thread::sleep(backoff(retry_after_us, attempt, &mut rng));
+                    }
+                    ReadOut::TimedOut => {
+                        if attempt >= wire.max_retries {
+                            break Terminal::Lost;
+                        }
+                        attempt += 1;
+                        out.retries += 1;
+                    }
+                    ReadOut::Eof => {
+                        eof = true;
+                        break Terminal::Lost;
+                    }
+                }
+            };
+            out.settle(terminal);
+            if eof {
+                break;
             }
         }
-        return Ok(ConnResult { samples, sent, errors });
+        return Ok(out);
     }
 
-    // Open-loop: the reader owns the original stream, the sender a
-    // clone. Send instants are shared through a map keyed by request id
-    // (responses may interleave across batches).
-    let mut wstream = stream.try_clone().map_err(sock)?;
+    // Open-loop: the reader owns the original stream; sends go through
+    // a mutex-shared clone so the round-0 pacing sender and the
+    // reader's retries interleave safely. Send instants live in a map
+    // keyed by request id (responses interleave across batches); an id
+    // missing from the map marks a stale duplicate response.
+    let by_id: HashMap<u64, Request> = share.iter().copied().collect();
+    let wstream = Mutex::new(stream.try_clone().map_err(sock)?);
     let pending: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
-    let want = share.len();
     let sent = AtomicU64::new(0);
-    let (samples, errors) = std::thread::scope(|scope| {
+    let sender_done = AtomicBool::new(false);
+    let mut out = ConnResult::default();
+    let mut transport: Option<ServeError> = None;
+
+    std::thread::scope(|scope| {
         let (pending_ref, sent_ref) = (&pending, &sent);
+        let (wstream_ref, done_ref) = (&wstream, &sender_done);
         let sender = scope.spawn(move || -> Result<(), ServeError> {
             let mut rng = StdRng::seed_from_u64(seed);
             let burst = match arrival {
@@ -504,56 +692,152 @@ fn drive_connection(
             // Bursts arrive on the exponential clock; spacing them at
             // rate/burst keeps the aggregate request rate at `rate`.
             let burst_rate = rate_share / burst as f64;
-            for chunk in share.chunks(burst) {
-                let u: f64 = rng.gen();
-                let gap = -(1.0 - u).ln() / burst_rate;
-                std::thread::sleep(Duration::from_secs_f64(gap.min(0.25)));
-                for (id, req) in chunk {
-                    pending_ref.lock().expect("pending map").insert(*id, Instant::now());
-                    proto::write_message(&mut wstream, &wire_request(*id, req, backend))
-                        .map_err(|e| ServeError::Socket(Arc::new(e)))?;
-                    sent_ref.fetch_add(1, Ordering::Relaxed);
+            let result = (|| {
+                for chunk in share.chunks(burst) {
+                    let u: f64 = rng.gen();
+                    let gap = -(1.0 - u).ln() / burst_rate;
+                    std::thread::sleep(Duration::from_secs_f64(gap.min(0.25)));
+                    for (id, req) in chunk {
+                        pending_ref.lock().expect("pending map").insert(*id, Instant::now());
+                        let mut w = wstream_ref.lock().expect("loadgen write stream");
+                        proto::write_message(&mut *w, &wire_request(*id, req, wire))
+                            .map_err(|e| ServeError::Socket(Arc::new(e)))?;
+                        sent_ref.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-            }
-            Ok(())
+                Ok(())
+            })();
+            done_ref.store(true, Ordering::SeqCst);
+            result
         });
-        let mut samples = Vec::with_capacity(want);
-        let mut errors = 0u64;
-        let mut got = 0usize;
-        let mut read_err: Option<ServeError> = None;
-        while got < want {
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0FF);
+        let mut attempts: HashMap<u64, u32> = HashMap::new();
+        'reader: loop {
+            if sender_done.load(Ordering::SeqCst) && pending.lock().expect("pending map").is_empty()
+            {
+                break;
+            }
             match proto::read_message(&mut stream) {
                 Ok(Some(Message::Response(resp))) => {
-                    got += 1;
-                    let sent_at = pending.lock().expect("pending map").remove(&resp.id);
+                    let rid = resp.id;
+                    let sent_at = pending.lock().expect("pending map").get(&rid).copied();
+                    let Some(sent_at) = sent_at else { continue };
+                    let remove = || {
+                        pending.lock().expect("pending map").remove(&rid);
+                    };
                     match resp.outcome {
                         Outcome::Ok { queue_ns, occupancy, flush, checksum, .. } => {
-                            let rtt_ns =
-                                sent_at.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(queue_ns);
-                            samples.push(Sample {
-                                rtt_ns,
+                            remove();
+                            out.settle(Terminal::Done(Sample {
+                                rtt_ns: sent_at.elapsed().as_nanos() as u64,
                                 queue_ns,
                                 occupancy,
                                 flush,
                                 checksum,
-                                id: resp.id,
-                            });
+                                id: rid,
+                            }));
                         }
-                        Outcome::Err { .. } => errors += 1,
+                        Outcome::Err { .. } => {
+                            remove();
+                            out.settle(Terminal::Error);
+                        }
+                        Outcome::Expired { .. } => {
+                            remove();
+                            out.settle(Terminal::Expired);
+                        }
+                        Outcome::Failed { .. } => {
+                            remove();
+                            out.settle(Terminal::Failed);
+                        }
+                        Outcome::Busy { retry_after_us } => {
+                            let attempt = attempts.entry(rid).or_insert(0);
+                            if *attempt >= wire.max_retries {
+                                remove();
+                                out.settle(Terminal::Busy);
+                            } else {
+                                *attempt += 1;
+                                out.retries += 1;
+                                std::thread::sleep(backoff(retry_after_us, *attempt, &mut rng));
+                                if let Err(e) = resend(&wstream, rid, &by_id, wire, &pending, &sent)
+                                {
+                                    transport.get_or_insert(e);
+                                    break 'reader;
+                                }
+                            }
+                        }
                     }
                 }
                 Ok(Some(_)) => continue,
-                Ok(None) => break,
+                Ok(None) => {
+                    // EOF: everything still pending is lost for good.
+                    for _ in pending.lock().expect("pending map").drain() {
+                        out.settle(Terminal::Lost);
+                    }
+                    break;
+                }
+                Err(ref e) if is_read_timeout(e) => {
+                    if !sender_done.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    // Quiet past the timeout with nothing in flight from
+                    // the sender: whatever is pending was dropped —
+                    // re-send what still has budget, abandon the rest.
+                    let ids: Vec<u64> = {
+                        let mut v: Vec<u64> =
+                            pending.lock().expect("pending map").keys().copied().collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    for id in ids {
+                        let attempt = attempts.entry(id).or_insert(0);
+                        if *attempt >= wire.max_retries {
+                            pending.lock().expect("pending map").remove(&id);
+                            out.settle(Terminal::Lost);
+                        } else {
+                            *attempt += 1;
+                            out.retries += 1;
+                            if let Err(e) = resend(&wstream, id, &by_id, wire, &pending, &sent) {
+                                transport.get_or_insert(e);
+                                break 'reader;
+                            }
+                        }
+                    }
+                }
                 Err(e) => {
-                    read_err = Some(e.into());
+                    transport.get_or_insert(e.into());
                     break;
                 }
             }
         }
-        let send_result = sender.join().expect("loadgen sender thread");
-        (send_result.and(read_err.map_or(Ok(()), Err)).map(|_| samples), errors)
+        if let Err(e) = sender.join().expect("loadgen sender thread") {
+            transport.get_or_insert(e);
+        }
     });
-    samples.map(|samples| ConnResult { samples, sent: sent.load(Ordering::Relaxed), errors })
+    if let Some(e) = transport {
+        return Err(e);
+    }
+    out.sent = sent.load(Ordering::Relaxed);
+    Ok(out)
+}
+
+/// Re-send one request (open-loop retry path): refresh its pending
+/// instant, then write through the shared stream.
+fn resend(
+    wstream: &Mutex<crate::server::Stream>,
+    id: u64,
+    by_id: &HashMap<u64, Request>,
+    wire: &WireParams<'_>,
+    pending: &Mutex<HashMap<u64, Instant>>,
+    sent: &AtomicU64,
+) -> Result<(), ServeError> {
+    let req = by_id[&id];
+    pending.lock().expect("pending map").insert(id, Instant::now());
+    let mut w = wstream.lock().expect("loadgen write stream");
+    proto::write_message(&mut *w, &wire_request(id, &req, wire))
+        .map_err(|e| ServeError::Socket(Arc::new(e)))?;
+    sent.fetch_add(1, Ordering::Relaxed);
+    Ok(())
 }
 
 /// Execute every request solo, in-process, and checksum the results —

@@ -44,10 +44,17 @@ use laab_dense::{Matrix, Scalar};
 
 use crate::admission::FlushKind;
 
-/// Protocol version byte carried by every frame. Bumped on any breaking
-/// wire change; a server never guesses at frames from a different
-/// version.
-pub const PROTO_VERSION: u8 = 1;
+/// Protocol version byte carried by every frame. Version 2 adds the
+/// per-request `deadline_us` field and the `Busy`/`Expired`/`Failed`
+/// response statuses. The decoder still accepts version-1 frames (a v1
+/// request simply carries no deadline), so old clients keep working; the
+/// encoder always emits the current version.
+pub const PROTO_VERSION: u8 = 2;
+
+/// The previous protocol version, still accepted on decode: requests
+/// lack `deadline_us` (treated as "no deadline") and responses only
+/// carry the ok/error statuses.
+pub const PROTO_VERSION_V1: u8 = 1;
 
 /// Upper bound on one frame's payload length. Requests and responses are
 /// tiny (well under 1 KiB); anything larger is a corrupt or hostile
@@ -79,7 +86,8 @@ pub enum FrameError {
         /// The claimed payload length.
         len: u32,
     },
-    /// The frame's version byte is not [`PROTO_VERSION`].
+    /// The frame's version byte is neither [`PROTO_VERSION`] nor
+    /// [`PROTO_VERSION_V1`].
     UnknownVersion(u8),
     /// The frame's message tag is not one this version defines.
     UnknownMessage(u8),
@@ -95,6 +103,14 @@ pub enum FrameError {
     TrailingBytes {
         /// Unconsumed bytes after the message body.
         extra: usize,
+    },
+    /// The frame decoded structurally but its shape fields are
+    /// inconsistent (zero operand size, empty family/backend name, a
+    /// served response claiming zero occupancy). Rejected here so
+    /// nonsense never reaches plan compilation.
+    BadPayload {
+        /// Which invariant the payload violated.
+        what: &'static str,
     },
 }
 
@@ -118,6 +134,9 @@ impl std::fmt::Display for FrameError {
             FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             FrameError::TrailingBytes { extra } => {
                 write!(f, "frame carries {extra} trailing bytes past the message body")
+            }
+            FrameError::BadPayload { what } => {
+                write!(f, "inconsistent payload: {what}")
             }
         }
     }
@@ -148,6 +167,7 @@ impl PartialEq for FrameError {
             (UnknownStatus(a), UnknownStatus(b)) => a == b,
             (BadUtf8, BadUtf8) => true,
             (TrailingBytes { extra: a }, TrailingBytes { extra: b }) => a == b,
+            (BadPayload { what: a }, BadPayload { what: b }) => a == b,
             _ => false,
         }
     }
@@ -169,6 +189,11 @@ pub struct RequestMsg {
     pub backend: String,
     /// Payload identity (selects the request's vector operand values).
     pub payload: u64,
+    /// Microseconds the client is willing to wait, measured from server
+    /// receipt; `0` means no deadline. A request whose deadline elapses
+    /// before execution gets [`Outcome::Expired`] instead of compute.
+    /// Version-1 frames carry no deadline field and decode as `0`.
+    pub deadline_us: u64,
 }
 
 /// The server's completion report for one request.
@@ -202,6 +227,27 @@ pub enum Outcome {
     /// dtype, out-of-range size); nothing executed.
     Err {
         /// Human-readable rejection reason.
+        message: String,
+    },
+    /// The server shed the request under load (per-connection in-flight
+    /// cap or admission backlog full). Nothing executed; the client may
+    /// retry after the hinted backoff.
+    Busy {
+        /// Suggested minimum microseconds before retrying.
+        retry_after_us: u64,
+    },
+    /// The request's deadline elapsed before execution started; the
+    /// server skipped the work rather than serve a stale answer.
+    Expired {
+        /// Microseconds the request had waited when it was dropped.
+        waited_us: u64,
+    },
+    /// Execution was attempted and died (a panic caught at the executor
+    /// boundary, or the signature is quarantined after repeated
+    /// failures). The pool survives; this request does not.
+    Failed {
+        /// Human-readable failure reason (panic payload or quarantine
+        /// notice).
         message: String,
     },
 }
@@ -249,6 +295,7 @@ fn flush_byte(k: FlushKind) -> u8 {
         FlushKind::Occupancy => 1,
         FlushKind::Deadline => 2,
         FlushKind::Drain => 3,
+        FlushKind::Pressure => 4,
     }
 }
 
@@ -257,6 +304,7 @@ fn flush_of(b: u8) -> Result<FlushKind, FrameError> {
         1 => Ok(FlushKind::Occupancy),
         2 => Ok(FlushKind::Deadline),
         3 => Ok(FlushKind::Drain),
+        4 => Ok(FlushKind::Pressure),
         other => Err(FrameError::UnknownFlush(other)),
     }
 }
@@ -273,6 +321,7 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
             body.push(dtype_byte(r.dtype));
             put_str(&mut body, &r.backend);
             body.extend_from_slice(&r.payload.to_le_bytes());
+            body.extend_from_slice(&r.deadline_us.to_le_bytes());
         }
         Message::Response(r) => {
             body.push(TAG_RESPONSE);
@@ -288,6 +337,18 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
                 }
                 Outcome::Err { message } => {
                     body.push(1);
+                    put_str(&mut body, message);
+                }
+                Outcome::Busy { retry_after_us } => {
+                    body.push(2);
+                    body.extend_from_slice(&retry_after_us.to_le_bytes());
+                }
+                Outcome::Expired { waited_us } => {
+                    body.push(3);
+                    body.extend_from_slice(&waited_us.to_le_bytes());
+                }
+                Outcome::Failed { message } => {
+                    body.push(4);
                     put_str(&mut body, message);
                 }
             }
@@ -347,29 +408,53 @@ impl<'a> Cursor<'a> {
 fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
     let mut c = Cursor { buf: payload, pos: 0 };
     let version = c.u8()?;
-    if version != PROTO_VERSION {
+    if version != PROTO_VERSION && version != PROTO_VERSION_V1 {
         return Err(FrameError::UnknownVersion(version));
     }
     let msg = match c.u8()? {
-        TAG_REQUEST => Message::Request(RequestMsg {
-            id: c.u64()?,
-            family: c.str()?,
-            n: c.u64()?,
-            dtype: dtype_of(c.u8()?)?,
-            backend: c.str()?,
-            payload: c.u64()?,
-        }),
+        TAG_REQUEST => {
+            let req = RequestMsg {
+                id: c.u64()?,
+                family: c.str()?,
+                n: c.u64()?,
+                dtype: dtype_of(c.u8()?)?,
+                backend: c.str()?,
+                payload: c.u64()?,
+                deadline_us: if version >= 2 { c.u64()? } else { 0 },
+            };
+            if req.n == 0 {
+                return Err(FrameError::BadPayload { what: "request operand size n = 0" });
+            }
+            if req.family.is_empty() {
+                return Err(FrameError::BadPayload { what: "request family name is empty" });
+            }
+            if req.backend.is_empty() {
+                return Err(FrameError::BadPayload { what: "request backend name is empty" });
+            }
+            Message::Request(req)
+        }
         TAG_RESPONSE => {
             let id = c.u64()?;
             let outcome = match c.u8()? {
-                0 => Outcome::Ok {
-                    queue_ns: c.u64()?,
-                    exec_ns: c.u64()?,
-                    occupancy: c.u32()?,
-                    flush: flush_of(c.u8()?)?,
-                    checksum: c.u64()?,
-                },
+                0 => {
+                    let ok = Outcome::Ok {
+                        queue_ns: c.u64()?,
+                        exec_ns: c.u64()?,
+                        occupancy: c.u32()?,
+                        flush: flush_of(c.u8()?)?,
+                        checksum: c.u64()?,
+                    };
+                    if matches!(ok, Outcome::Ok { occupancy: 0, .. }) {
+                        return Err(FrameError::BadPayload {
+                            what: "served response claims batch occupancy 0",
+                        });
+                    }
+                    ok
+                }
                 1 => Outcome::Err { message: c.str()? },
+                2 if version >= 2 => Outcome::Busy { retry_after_us: c.u64()? },
+                3 if version >= 2 => Outcome::Expired { waited_us: c.u64()? },
+                4 if version >= 2 => Outcome::Failed { message: c.str()? },
                 other => return Err(FrameError::UnknownStatus(other)),
             };
             Message::Response(ResponseMsg { id, outcome })
@@ -485,6 +570,7 @@ mod tests {
             dtype: Dtype::F64,
             backend: "engine".into(),
             payload: 7,
+            deadline_us: 1_500,
         })
     }
 
@@ -507,7 +593,28 @@ mod tests {
             id: 9,
             outcome: Outcome::Err { message: "unknown backend `cuda`".into() },
         });
-        for msg in [request(), response(), err, Message::Shutdown, Message::ShutdownAck] {
+        let busy = Message::Response(ResponseMsg {
+            id: 10,
+            outcome: Outcome::Busy { retry_after_us: 750 },
+        });
+        let expired = Message::Response(ResponseMsg {
+            id: 11,
+            outcome: Outcome::Expired { waited_us: 2_500 },
+        });
+        let failed = Message::Response(ResponseMsg {
+            id: 12,
+            outcome: Outcome::Failed { message: "injected fault: panic".into() },
+        });
+        for msg in [
+            request(),
+            response(),
+            err,
+            busy,
+            expired,
+            failed,
+            Message::Shutdown,
+            Message::ShutdownAck,
+        ] {
             let frame = encode_frame(&msg);
             let (back, used) = decode_frame(&frame).expect("round-trips");
             assert_eq!(back, msg);
@@ -516,6 +623,115 @@ mod tests {
             let mut r = &frame[..];
             assert_eq!(read_message(&mut r).expect("reads"), Some(msg));
         }
+    }
+
+    /// Hand-encode a version-1 frame (no `deadline_us`) for the given
+    /// request fields, exactly as the PR-6 encoder laid it out.
+    fn encode_v1_request(id: u64, family: &str, n: u64, backend: &str, payload: u64) -> Vec<u8> {
+        let mut body = vec![PROTO_VERSION_V1, 1u8]; // version, TAG_REQUEST
+        body.extend_from_slice(&id.to_le_bytes());
+        body.extend_from_slice(&(family.len() as u16).to_le_bytes());
+        body.extend_from_slice(family.as_bytes());
+        body.extend_from_slice(&n.to_le_bytes());
+        body.push(2); // Dtype::F64
+        body.extend_from_slice(&(backend.len() as u16).to_le_bytes());
+        body.extend_from_slice(backend.as_bytes());
+        body.extend_from_slice(&payload.to_le_bytes());
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    #[test]
+    fn version_one_requests_still_decode_with_no_deadline() {
+        let frame = encode_v1_request(77, "chain", 96, "engine", 5);
+        let (msg, used) = decode_frame(&frame).expect("v1 decodes");
+        assert_eq!(used, frame.len());
+        match msg {
+            Message::Request(r) => {
+                assert_eq!(r.id, 77);
+                assert_eq!(r.family, "chain");
+                assert_eq!(r.n, 96);
+                assert_eq!(r.backend, "engine");
+                assert_eq!(r.payload, 5);
+                assert_eq!(r.deadline_us, 0, "v1 frames carry no deadline");
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_one_frames_reject_v2_only_statuses() {
+        // A v1 response with status byte 2 (Busy in v2) is unknown under v1.
+        let mut body = vec![PROTO_VERSION_V1, 2u8]; // version, TAG_RESPONSE
+        body.extend_from_slice(&42u64.to_le_bytes());
+        body.push(2);
+        body.extend_from_slice(&750u64.to_le_bytes());
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        assert_eq!(decode_frame(&frame), Err(FrameError::UnknownStatus(2)));
+    }
+
+    #[test]
+    fn inconsistent_shape_fields_are_bad_payload() {
+        // n = 0 in an otherwise well-formed request.
+        let zero_n = Message::Request(RequestMsg {
+            id: 1,
+            family: "chain".into(),
+            n: 0,
+            dtype: Dtype::F64,
+            backend: "engine".into(),
+            payload: 0,
+            deadline_us: 0,
+        });
+        assert!(matches!(
+            decode_frame(&encode_frame(&zero_n)),
+            Err(FrameError::BadPayload { what }) if what.contains("n = 0")
+        ));
+        // Empty family and backend strings.
+        let empty_family = Message::Request(RequestMsg {
+            id: 1,
+            family: String::new(),
+            n: 8,
+            dtype: Dtype::F64,
+            backend: "engine".into(),
+            payload: 0,
+            deadline_us: 0,
+        });
+        assert!(matches!(
+            decode_frame(&encode_frame(&empty_family)),
+            Err(FrameError::BadPayload { what }) if what.contains("family")
+        ));
+        let empty_backend = Message::Request(RequestMsg {
+            id: 1,
+            family: "chain".into(),
+            n: 8,
+            dtype: Dtype::F64,
+            backend: String::new(),
+            payload: 0,
+            deadline_us: 0,
+        });
+        assert!(matches!(
+            decode_frame(&encode_frame(&empty_backend)),
+            Err(FrameError::BadPayload { what }) if what.contains("backend")
+        ));
+        // A served response claiming occupancy 0.
+        let zero_occ = Message::Response(ResponseMsg {
+            id: 1,
+            outcome: Outcome::Ok {
+                queue_ns: 1,
+                exec_ns: 1,
+                occupancy: 0,
+                flush: FlushKind::Drain,
+                checksum: 0,
+            },
+        });
+        assert!(matches!(
+            decode_frame(&encode_frame(&zero_occ)),
+            Err(FrameError::BadPayload { what }) if what.contains("occupancy")
+        ));
     }
 
     #[test]

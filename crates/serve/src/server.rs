@@ -32,21 +32,28 @@
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use laab_backend::{BackendScalar, Dtype, Registration};
 use laab_expr::eval::Env;
 use laab_framework::Framework;
 
-use crate::admission::{AdmissionQueue, AdmissionStats, FlushedBatch};
+use crate::admission::{AdmissionQueue, AdmissionStats, FlushedBatch, SubmitOutcome};
 use crate::bench::{resolve_backends, ServeConfig, ServeError};
 use crate::cache::PlanCache;
+use crate::fault::{FaultCounts, FaultInjector};
 use crate::plan::Plan;
-use crate::proto::{self, Message, Outcome, RequestMsg, ResponseMsg};
+use crate::proto::{self, FrameError, Message, Outcome, RequestMsg, ResponseMsg};
 use crate::workload::{Family, Request};
+
+/// The XOR mask an injected `corrupt` fault applies to a response
+/// checksum. Constant (not keyed) so tests can predict the corrupted
+/// value exactly.
+pub(crate) const CORRUPT_MASK: u64 = 0x5AAB_5AAB_5AAB_5AAB;
 
 /// A parsed listen/connect address: a unix socket path or a TCP
 /// host:port.
@@ -108,6 +115,16 @@ impl Stream {
         match self {
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Bound the time a blocking `read` may wait. `None` restores the
+    /// default (wait forever). Reads that hit the bound fail with
+    /// `WouldBlock` (unix) or `TimedOut` (TCP, some platforms).
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
         }
     }
 }
@@ -173,9 +190,30 @@ pub struct ServerStats {
     /// Requests answered with an error response (validation failures,
     /// submits after close).
     pub rejected: u64,
+    /// Requests answered with a `Busy` rejection: the per-connection
+    /// in-flight cap or the global admission backlog was full.
+    pub shed: u64,
+    /// Requests answered with an `Expired` response: their deadline
+    /// passed while they waited in the admission queue.
+    pub expired: u64,
+    /// Requests answered with a `Failed` response because execution
+    /// panicked (the executor caught the unwind and kept serving).
+    pub failed: u64,
+    /// Requests refused up front because their `(signature, backend)`
+    /// was quarantined after repeated execution failures.
+    pub quarantined: u64,
+    /// Connections reaped by the read timeout: the peer connected and
+    /// went silent, and the reader thread gave up waiting.
+    pub reaped: u64,
+    /// What the fault-injection layer did (all zero without `--faults`).
+    pub faults: FaultCounts,
     /// The admission queue's flush counters.
     pub admission: AdmissionStats,
 }
+
+/// The admission-queue key: exactly the fields that determine the
+/// plan-cache [`Signature`](crate::Signature) plus the target backend.
+type JobKey = (Family, usize, Dtype, &'static str);
 
 /// One validated request waiting in the admission queue.
 struct ServerJob {
@@ -184,6 +222,72 @@ struct ServerJob {
     request: Request,
     backend: &'static Registration,
     at: Instant,
+    /// Absolute expiry instant (`None` when the client sent no
+    /// deadline). Checked at dequeue and again pre-execution.
+    deadline: Option<Instant>,
+    /// The owning connection's in-flight gauge, decremented exactly
+    /// once when the job's terminal response is written.
+    inflight: Arc<AtomicI64>,
+}
+
+impl ServerJob {
+    /// Answer the job and release its in-flight slot. Every admitted
+    /// job must end here exactly once.
+    fn finish(&self, outcome: Outcome) {
+        respond(&self.writer, self.id, outcome);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The server-lifetime response-class counters, shared by readers and
+/// executors.
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    quarantined: AtomicU64,
+    reaped: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, which: &AtomicU64) {
+        which.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Failure bookkeeping per `(family, n, dtype, backend)`. Once a key
+/// accumulates `after` execution failures it is quarantined: further
+/// requests are refused with a `Failed` response before touching the
+/// executor pool. `after == 0` disables quarantining.
+struct Quarantine {
+    after: u32,
+    failures: Mutex<HashMap<JobKey, u32>>,
+}
+
+impl Quarantine {
+    fn new(after: u32) -> Quarantine {
+        Quarantine { after, failures: Mutex::new(HashMap::new()) }
+    }
+
+    fn is_quarantined(&self, key: &JobKey) -> bool {
+        self.after > 0
+            && self
+                .failures
+                .lock()
+                .expect("quarantine map")
+                .get(key)
+                .is_some_and(|&c| c >= self.after)
+    }
+
+    fn record_failure(&self, key: JobKey) {
+        if self.after == 0 {
+            return;
+        }
+        *self.failures.lock().expect("quarantine map").entry(key).or_insert(0) += 1;
+    }
 }
 
 /// Per-`(family, n)` operand pools, built lazily as signatures appear.
@@ -258,27 +362,42 @@ impl Server {
     /// connection failures only drop that connection).
     pub fn run(self) -> Result<ServerStats, ServeError> {
         let Server { local, listener, cfg, regs } = self;
-        let queue: AdmissionQueue<(Family, usize, Dtype, &'static str), ServerJob> =
-            AdmissionQueue::new(cfg.batch_window, cfg.deadline());
+        let queue: AdmissionQueue<JobKey, ServerJob> =
+            AdmissionQueue::bounded(cfg.batch_window, cfg.deadline(), cfg.backlog);
         let cache = PlanCache::with_shards(cfg.cache_capacity.max(1) * regs.len(), cfg.shards);
         let fw = Framework::flow();
         let pools: Mutex<HashMap<(Family, usize), Arc<PoolPair>>> = Mutex::new(HashMap::new());
         let shutdown = AtomicBool::new(false);
-        let served = AtomicU64::new(0);
-        let rejected = AtomicU64::new(0);
+        let counters = Counters::default();
+        let quarantine = Quarantine::new(cfg.quarantine_after);
+        let injector = cfg.faults.map(|plan| FaultInjector::new(plan, cfg.seed));
+        let ctx = ReaderCtx {
+            queue: &queue,
+            regs: &regs,
+            shutdown: &shutdown,
+            local: &local,
+            counters: &counters,
+            quarantine: &quarantine,
+            injector: injector.as_ref(),
+            max_inflight: cfg.max_inflight,
+            read_timeout: (cfg.read_timeout_ms > 0)
+                .then(|| Duration::from_millis(cfg.read_timeout_ms)),
+            retry_after_us: cfg.batch_deadline_us.max(100) * 2,
+        };
         let mut connections = 0u64;
         let mut accept_err: Option<ServeError> = None;
 
         std::thread::scope(|scope| {
             let mut executors = Vec::new();
             for _ in 0..cfg.resolved_clients() {
-                let (queue, cache, fw, pools, served) = (&queue, &cache, &fw, &pools, &served);
+                let (queue, cache, fw, pools) = (&queue, &cache, &fw, &pools);
+                let (counters, quarantine, injector) = (&counters, &quarantine, injector.as_ref());
                 let seed = cfg.seed;
                 executors.push(scope.spawn(move || {
                     while let Some(batch) = queue.next_batch() {
-                        let n = batch.items.len() as u64;
-                        execute_batch(&batch, cache, fw, pools, seed);
-                        served.fetch_add(n, Ordering::Relaxed);
+                        execute_batch(
+                            &batch, cache, fw, pools, seed, counters, quarantine, injector,
+                        );
                     }
                 }));
             }
@@ -299,10 +418,9 @@ impl Server {
                     break;
                 }
                 connections += 1;
-                let (queue, regs, shutdown, local, rejected) =
-                    (&queue, &regs, &shutdown, &local, &rejected);
+                let ctx = &ctx;
                 readers.push(scope.spawn(move || {
-                    reader_loop(stream, queue, regs, shutdown, local, rejected);
+                    reader_loop(stream, ctx);
                 }));
             }
 
@@ -325,53 +443,58 @@ impl Server {
         }
         Ok(ServerStats {
             connections,
-            served: served.load(Ordering::Relaxed),
-            rejected: rejected.load(Ordering::Relaxed),
+            served: counters.served.load(Ordering::Relaxed),
+            rejected: counters.rejected.load(Ordering::Relaxed),
+            shed: counters.shed.load(Ordering::Relaxed),
+            expired: counters.expired.load(Ordering::Relaxed),
+            failed: counters.failed.load(Ordering::Relaxed),
+            quarantined: counters.quarantined.load(Ordering::Relaxed),
+            reaped: counters.reaped.load(Ordering::Relaxed),
+            faults: injector.as_ref().map(FaultInjector::counts).unwrap_or_default(),
             admission: queue.stats(),
         })
     }
 }
 
-/// Answer one connection: decode frames, validate, submit; on
-/// [`Message::Shutdown`], ack, stop the acceptor, and drain to EOF. A
-/// malformed frame drops the connection (the stream position is
-/// unrecoverable) without touching the rest of the server.
-fn reader_loop(
-    stream: Stream,
-    queue: &AdmissionQueue<(Family, usize, Dtype, &'static str), ServerJob>,
-    regs: &[&'static Registration],
-    shutdown: &AtomicBool,
-    local: &Listen,
-    rejected: &AtomicU64,
-) {
+/// Everything a reader thread needs, bundled so the per-connection
+/// spawn stays one borrow.
+struct ReaderCtx<'a> {
+    queue: &'a AdmissionQueue<JobKey, ServerJob>,
+    regs: &'a [&'static Registration],
+    shutdown: &'a AtomicBool,
+    local: &'a Listen,
+    counters: &'a Counters,
+    quarantine: &'a Quarantine,
+    injector: Option<&'a FaultInjector>,
+    max_inflight: usize,
+    read_timeout: Option<Duration>,
+    retry_after_us: u64,
+}
+
+/// Answer one connection: decode frames, validate, apply admission
+/// control, submit; on [`Message::Shutdown`], ack, stop the acceptor,
+/// and drain to EOF. A malformed frame drops the connection (the
+/// stream position is unrecoverable) without touching the rest of the
+/// server; a read that exceeds the configured timeout *reaps* the
+/// connection — a silent peer no longer pins a thread forever.
+fn reader_loop(stream: Stream, ctx: &ReaderCtx<'_>) {
+    if stream.set_read_timeout(ctx.read_timeout).is_err() {
+        return;
+    }
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    let inflight = Arc::new(AtomicI64::new(0));
     let mut reader = stream;
     loop {
         match proto::read_message(&mut reader) {
-            Ok(Some(Message::Request(msg))) => match validate(&msg, regs) {
+            Ok(Some(Message::Request(msg))) => match validate(&msg, ctx.regs) {
                 Ok((request, backend)) => {
-                    let key = (request.family, request.n, request.dtype, backend.name());
-                    let job = ServerJob {
-                        writer: writer.clone(),
-                        id: msg.id,
-                        request,
-                        backend,
-                        at: Instant::now(),
-                    };
-                    if !queue.submit(key, job) {
-                        rejected.fetch_add(1, Ordering::Relaxed);
-                        respond(
-                            &writer,
-                            msg.id,
-                            Outcome::Err { message: "server is shutting down".to_string() },
-                        );
-                    }
+                    admit(&msg, request, backend, &writer, &inflight, ctx);
                 }
                 Err(message) => {
-                    rejected.fetch_add(1, Ordering::Relaxed);
+                    ctx.counters.bump(&ctx.counters.rejected);
                     respond(&writer, msg.id, Outcome::Err { message });
                 }
             },
@@ -380,9 +503,9 @@ fn reader_loop(
                     let mut w = writer.lock().expect("connection writer");
                     let _ = proto::write_message(&mut *w, &Message::ShutdownAck);
                 }
-                shutdown.store(true, Ordering::SeqCst);
+                ctx.shutdown.store(true, Ordering::SeqCst);
                 // Unblock the blocking accept loop with a self-connection.
-                let _ = connect(local);
+                let _ = connect(ctx.local);
                 // Keep reading: the client closes after the ack, and any
                 // in-flight responses still flow through the writer.
             }
@@ -392,7 +515,79 @@ fn reader_loop(
                 let _ = other;
                 break;
             }
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                ctx.counters.bump(&ctx.counters.reaped);
+                break;
+            }
             Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+/// Admission control for one validated request: quarantine pre-check,
+/// injected drop, per-connection in-flight cap, then the bounded queue.
+/// Every path answers the client except an injected drop (whose whole
+/// point is to exercise the client's retry timeout).
+fn admit(
+    msg: &RequestMsg,
+    request: Request,
+    backend: &'static Registration,
+    writer: &Arc<Mutex<Stream>>,
+    inflight: &Arc<AtomicI64>,
+    ctx: &ReaderCtx<'_>,
+) {
+    let key = (request.family, request.n, request.dtype, backend.name());
+    if ctx.quarantine.is_quarantined(&key) {
+        ctx.counters.bump(&ctx.counters.quarantined);
+        respond(
+            writer,
+            msg.id,
+            Outcome::Failed {
+                message: "signature quarantined after repeated execution failures".to_string(),
+            },
+        );
+        return;
+    }
+    if ctx.injector.is_some_and(|i| i.should_drop(msg.id)) {
+        return;
+    }
+    if ctx.max_inflight > 0 && inflight.load(Ordering::Relaxed) >= ctx.max_inflight as i64 {
+        ctx.counters.bump(&ctx.counters.shed);
+        respond(writer, msg.id, Outcome::Busy { retry_after_us: ctx.retry_after_us });
+        return;
+    }
+    let deadline =
+        (msg.deadline_us > 0).then(|| Instant::now() + Duration::from_micros(msg.deadline_us));
+    inflight.fetch_add(1, Ordering::Relaxed);
+    let job = ServerJob {
+        writer: writer.clone(),
+        id: msg.id,
+        request,
+        backend,
+        at: Instant::now(),
+        deadline,
+        inflight: inflight.clone(),
+    };
+    match ctx.queue.submit(key, job) {
+        SubmitOutcome::Queued => {}
+        SubmitOutcome::Shed => {
+            inflight.fetch_sub(1, Ordering::Relaxed);
+            ctx.counters.bump(&ctx.counters.shed);
+            respond(writer, msg.id, Outcome::Busy { retry_after_us: ctx.retry_after_us });
+        }
+        SubmitOutcome::Closed => {
+            inflight.fetch_sub(1, Ordering::Relaxed);
+            ctx.counters.bump(&ctx.counters.rejected);
+            respond(
+                writer,
+                msg.id,
+                Outcome::Err { message: "server is shutting down".to_string() },
+            );
         }
     }
 }
@@ -447,35 +642,117 @@ fn pool_for(
     pools.lock().expect("pool map").entry((family, n)).or_insert(built).clone()
 }
 
-/// Execute one admitted batch and answer every request in it.
+/// Execute one admitted batch and answer every request in it. The
+/// robustness gauntlet runs first: expired jobs are answered
+/// `Expired` without compute, injected delays stretch the batch (and
+/// may expire more jobs), a quarantined signature is refused
+/// wholesale, and the execution itself runs under `catch_unwind` so a
+/// panicking kernel answers `Failed` instead of killing the executor.
+#[allow(clippy::too_many_arguments)]
 fn execute_batch(
     batch: &FlushedBatch<ServerJob>,
     cache: &PlanCache,
     fw: &Framework,
     pools: &Mutex<HashMap<(Family, usize), Arc<PoolPair>>>,
     seed: u64,
+    counters: &Counters,
+    quarantine: &Quarantine,
+    injector: Option<&FaultInjector>,
 ) {
     let start = Instant::now();
-    let req0 = &batch.items[0].request;
-    let pool = pool_for(pools, req0.family, req0.n, seed);
-    match req0.dtype {
-        Dtype::F64 => execute_typed::<f64>(batch, &pool.f64, cache, fw, seed, start),
-        Dtype::F32 => execute_typed::<f32>(batch, &pool.f32, cache, fw, seed, start),
+    let mut live = expire(batch.items.iter().collect(), counters);
+    if let Some(inj) = injector {
+        if let Some(delay) = live.iter().filter_map(|j| inj.delay_for(j.id)).max() {
+            std::thread::sleep(delay);
+            live = expire(live, counters);
+        }
     }
+    let Some(job0) = live.first() else { return };
+    let req0 = &job0.request;
+    let key = (req0.family, req0.n, req0.dtype, job0.backend.name());
+    if quarantine.is_quarantined(&key) {
+        for job in &live {
+            counters.bump(&counters.quarantined);
+            job.finish(Outcome::Failed {
+                message: "signature quarantined after repeated execution failures".to_string(),
+            });
+        }
+        return;
+    }
+    // Decide panics up front: `should_panic` counts each firing id, and
+    // one firing poisons the whole coalesced batch (it shares one
+    // execution).
+    let mut boom = false;
+    if let Some(inj) = injector {
+        for job in &live {
+            if inj.should_panic(job.id) {
+                boom = true;
+            }
+        }
+    }
+    let pool = pool_for(pools, req0.family, req0.n, seed);
+    let computed = match req0.dtype {
+        Dtype::F64 => execute_typed::<f64>(&live, &pool.f64, cache, fw, seed, boom),
+        Dtype::F32 => execute_typed::<f32>(&live, &pool.f32, cache, fw, seed, boom),
+    };
+    match computed {
+        Ok((checksums, share)) => {
+            let occ = live.len() as u32;
+            for (j, job) in live.iter().enumerate() {
+                let mut checksum = checksums[j];
+                if injector.is_some_and(|i| i.should_corrupt(job.id)) {
+                    checksum ^= CORRUPT_MASK;
+                }
+                counters.bump(&counters.served);
+                job.finish(Outcome::Ok {
+                    queue_ns: start.duration_since(job.at).as_nanos() as u64,
+                    exec_ns: share,
+                    occupancy: occ,
+                    flush: batch.kind,
+                    checksum,
+                });
+            }
+        }
+        Err(message) => {
+            quarantine.record_failure(key);
+            for job in &live {
+                counters.bump(&counters.failed);
+                job.finish(Outcome::Failed { message: message.clone() });
+            }
+        }
+    }
+}
+
+/// Answer every past-deadline job with `Expired` and return the
+/// still-live remainder (arrival order preserved).
+fn expire<'a>(jobs: Vec<&'a ServerJob>, counters: &Counters) -> Vec<&'a ServerJob> {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        match job.deadline {
+            Some(dl) if now > dl => {
+                counters.bump(&counters.expired);
+                job.finish(Outcome::Expired { waited_us: job.at.elapsed().as_micros() as u64 });
+            }
+            _ => live.push(job),
+        }
+    }
+    live
 }
 
 /// The typed half of [`execute_batch`]: bind envs, one cache lookup,
 /// one batched execution (solo at occupancy 1 — bitwise identical to
-/// the in-process loop for any backend), respond per request.
+/// the in-process loop for any backend) under `catch_unwind`. Returns
+/// the per-request checksums and execution share, or the panic message
+/// — responses are written by the caller, outside the unwind boundary.
 fn execute_typed<T: BackendScalar>(
-    batch: &FlushedBatch<ServerJob>,
+    jobs: &[&ServerJob],
     pool_env: &Env<T>,
     cache: &PlanCache,
     fw: &Framework,
     seed: u64,
-    start: Instant,
-) {
-    let jobs = &batch.items;
+    boom: bool,
+) -> Result<(Vec<u64>, u64), String> {
     let occ = jobs.len();
     let req0 = &jobs[0].request;
     let reg = jobs[0].backend;
@@ -497,18 +774,38 @@ fn execute_typed<T: BackendScalar>(
             req0.family.varying_operands(),
         )
     });
-    let results: Vec<Vec<laab_dense::Matrix<T>>> =
-        if occ >= 2 { plan.execute_batched::<T>(&refs) } else { vec![plan.execute::<T>(refs[0])] };
-    let share = t_exec.elapsed().as_nanos() as u64 / occ as u64;
-    for (j, job) in jobs.iter().enumerate() {
-        let outcome = Outcome::Ok {
-            queue_ns: start.duration_since(job.at).as_nanos() as u64,
-            exec_ns: share,
-            occupancy: occ as u32,
-            flush: batch.kind,
-            checksum: proto::result_checksum(&results[j]),
-        };
-        respond(&job.writer, job.id, outcome);
+    // Nothing inside the closure holds a lock the rest of the server
+    // needs: the plan is an owned handle out of the cache, and the
+    // response writer mutexes are only taken by the caller afterwards —
+    // an unwind here cannot poison shared state.
+    let computed = catch_unwind(AssertUnwindSafe(|| {
+        if boom {
+            panic!("injected fault: panic");
+        }
+        if occ >= 2 {
+            plan.execute_batched::<T>(&refs)
+        } else {
+            vec![plan.execute::<T>(refs[0])]
+        }
+    }));
+    match computed {
+        Ok(results) => {
+            let share = t_exec.elapsed().as_nanos() as u64 / occ as u64;
+            Ok((results.iter().map(|r| proto::result_checksum(r)).collect(), share))
+        }
+        Err(payload) => Err(panic_message(&payload)),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("execution panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("execution panicked: {s}")
+    } else {
+        "execution panicked".to_string()
     }
 }
 
@@ -570,6 +867,7 @@ mod tests {
             dtype: Dtype::F64,
             backend: backend.to_string(),
             payload: 0,
+            deadline_us: 0,
         };
         assert!(validate(&msg("chain", 16, "seed"), &regs).is_ok());
         assert!(validate(&msg("no_such", 16, "seed"), &regs)

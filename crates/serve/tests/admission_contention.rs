@@ -1,0 +1,147 @@
+//! Admission-queue contention: barrier-synchronized producers hammer
+//! `submit` while consumers race `next_batch` and a deadline timer
+//! fires underneath them. The invariants under fire are the ones the
+//! serving loop depends on: **no item is lost, none is duplicated**,
+//! every batch is same-key, and the stats counters reconcile exactly
+//! with what the threads observed.
+
+use std::collections::HashSet;
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
+
+use laab_serve::{AdmissionQueue, FlushKind};
+
+/// Items are `(key, unique id)`; consumers record everything they pull.
+type Item = (u64, u64);
+
+struct Consumed {
+    ids: Vec<u64>,
+    batches: u64,
+    kinds: [u64; 4],
+}
+
+fn kind_slot(kind: FlushKind) -> usize {
+    match kind {
+        FlushKind::Occupancy => 0,
+        FlushKind::Deadline => 1,
+        FlushKind::Drain => 2,
+        FlushKind::Pressure => 3,
+    }
+}
+
+/// Run `producers` × `per_producer` submits through a queue against
+/// `consumers` concurrent `next_batch` loops, all released by one
+/// barrier; close once every producer returns. Returns what the
+/// consumers collectively pulled plus the per-producer shed count.
+fn hammer(
+    queue: &AdmissionQueue<u64, Item>,
+    producers: usize,
+    consumers: usize,
+    per_producer: usize,
+    keys: u64,
+) -> (Consumed, u64) {
+    let barrier = Barrier::new(producers + consumers);
+    let consumed = Mutex::new(Consumed { ids: Vec::new(), batches: 0, kinds: [0; 4] });
+    let mut shed = 0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let (queue, barrier) = (&queue, &barrier);
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let mut shed = 0u64;
+                for i in 0..per_producer {
+                    let id = (p * per_producer + i) as u64;
+                    if !queue.submit(id % keys, (id % keys, id)).is_queued() {
+                        shed += 1;
+                    }
+                    // Stagger occasionally so deadline flushes get a
+                    // chance to race occupancy flushes.
+                    if i % 97 == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                shed
+            }));
+        }
+        for _ in 0..consumers {
+            let (queue, barrier, consumed) = (&queue, &barrier, &consumed);
+            scope.spawn(move || {
+                barrier.wait();
+                while let Some(batch) = queue.next_batch() {
+                    assert!(!batch.items.is_empty(), "no empty batches");
+                    let key = batch.items[0].0;
+                    assert!(batch.items.iter().all(|(k, _)| *k == key), "a batch never mixes keys");
+                    let mut c = consumed.lock().unwrap();
+                    c.batches += 1;
+                    c.kinds[kind_slot(batch.kind)] += 1;
+                    c.ids.extend(batch.items.iter().map(|(_, id)| *id));
+                }
+            });
+        }
+        // Producers done → close; consumers drain the tail and exit on
+        // `None`.
+        shed = handles.into_iter().map(|h| h.join().expect("producer")).sum();
+        queue.close();
+    });
+    (consumed.into_inner().unwrap(), shed)
+}
+
+/// Unbounded queue: every submitted item comes out exactly once, and
+/// the stats ledger (admitted, per-kind flushes) matches the consumers'
+/// own tally.
+#[test]
+fn concurrent_submit_and_flush_neither_loses_nor_duplicates() {
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 3;
+    const PER_PRODUCER: usize = 600;
+    let queue: AdmissionQueue<u64, Item> = AdmissionQueue::new(4, Some(Duration::from_micros(100)));
+
+    let (consumed, shed) = hammer(&queue, PRODUCERS, CONSUMERS, PER_PRODUCER, 7);
+
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    assert_eq!(shed, 0, "unbounded queue never sheds");
+    assert_eq!(consumed.ids.len() as u64, total, "every item consumed");
+    let unique: HashSet<u64> = consumed.ids.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "no item duplicated");
+
+    let stats = queue.stats();
+    assert_eq!(stats.admitted, total);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.batches(), consumed.batches, "ledger matches the consumers' count");
+    assert_eq!(stats.occupancy_flushes, consumed.kinds[0]);
+    assert_eq!(stats.deadline_flushes, consumed.kinds[1]);
+    assert_eq!(stats.drain_flushes, consumed.kinds[2]);
+    assert_eq!(stats.pressure_flushes, consumed.kinds[3]);
+    assert!(stats.occupancy_flushes > 0, "full windows flushed");
+    assert_eq!(queue.queued(), 0, "drained to empty");
+}
+
+/// Bounded queue under deliberate overrun: sheds happen, but the
+/// conservation law still holds — admitted items all come out exactly
+/// once, and admitted + shed accounts for every attempt.
+#[test]
+fn bounded_backlog_sheds_without_losing_admitted_items() {
+    const PRODUCERS: usize = 6;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: usize = 500;
+    // A tiny capacity against a producer horde: shedding is guaranteed,
+    // and the half-capacity pressure regime is exercised constantly.
+    let queue: AdmissionQueue<u64, Item> =
+        AdmissionQueue::bounded(8, Some(Duration::from_micros(100)), 16);
+
+    let (consumed, shed) = hammer(&queue, PRODUCERS, CONSUMERS, PER_PRODUCER, 5);
+
+    let attempts = (PRODUCERS * PER_PRODUCER) as u64;
+    assert!(shed > 0, "a 16-slot backlog against 3000 submits must shed");
+
+    let stats = queue.stats();
+    assert_eq!(stats.shed, shed, "queue ledger matches the producers' refusal count");
+    assert_eq!(stats.admitted + stats.shed, attempts, "every attempt accounted for");
+    assert_eq!(consumed.ids.len() as u64, stats.admitted, "every admitted item consumed");
+    let unique: HashSet<u64> = consumed.ids.iter().copied().collect();
+    assert_eq!(unique.len(), consumed.ids.len(), "no duplication under shedding");
+    assert!(stats.pressure_flushes > 0, "half-capacity pressure flushes engaged");
+    assert_eq!(stats.batches(), consumed.batches);
+    assert_eq!(queue.queued(), 0);
+}

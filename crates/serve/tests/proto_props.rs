@@ -23,31 +23,46 @@ fn seeded_string(seed: u64, max_len: usize) -> String {
     (0..len).map(|_| (b'!' + (rng.gen::<u64>() % 90) as u8) as char).collect()
 }
 
+/// Like [`seeded_string`] but never empty — the decoder rejects empty
+/// family/backend names as `BadPayload` (a property of its own below).
+fn seeded_name(seed: u64, max_len: usize) -> String {
+    let mut s = seeded_string(seed, max_len - 1);
+    s.push('x');
+    s
+}
+
 fn seeded_request(seed: u64) -> Message {
     let mut rng = StdRng::seed_from_u64(seed);
     Message::Request(RequestMsg {
         id: rng.gen(),
-        family: seeded_string(seed ^ 1, 24),
-        n: rng.gen(),
+        family: seeded_name(seed ^ 1, 24),
+        n: rng.gen::<u64>().max(1),
         dtype: if rng.gen::<bool>() { Dtype::F64 } else { Dtype::F32 },
-        backend: seeded_string(seed ^ 2, 24),
+        backend: seeded_name(seed ^ 2, 24),
         payload: rng.gen(),
+        deadline_us: rng.gen(),
     })
 }
 
 fn seeded_response(seed: u64) -> Message {
     let mut rng = StdRng::seed_from_u64(seed);
-    let outcome = if rng.gen::<bool>() {
-        Outcome::Ok {
+    let outcome = match rng.gen_range(0..5) {
+        0 => Outcome::Ok {
             queue_ns: rng.gen(),
             exec_ns: rng.gen(),
-            occupancy: rng.gen::<u32>(),
-            flush: [FlushKind::Occupancy, FlushKind::Deadline, FlushKind::Drain]
-                [rng.gen_range(0..3)],
+            occupancy: rng.gen::<u32>().max(1),
+            flush: [
+                FlushKind::Occupancy,
+                FlushKind::Deadline,
+                FlushKind::Drain,
+                FlushKind::Pressure,
+            ][rng.gen_range(0..4)],
             checksum: rng.gen(),
-        }
-    } else {
-        Outcome::Err { message: seeded_string(seed ^ 3, 120) }
+        },
+        1 => Outcome::Err { message: seeded_string(seed ^ 3, 120) },
+        2 => Outcome::Busy { retry_after_us: rng.gen() },
+        3 => Outcome::Expired { waited_us: rng.gen() },
+        _ => Outcome::Failed { message: seeded_string(seed ^ 4, 120) },
     };
     Message::Response(ResponseMsg { id: rng.gen(), outcome })
 }
@@ -102,17 +117,78 @@ proptest! {
         prop_assert_eq!(read_message(&mut cursor), Err(FrameError::Oversized { len }));
     }
 
-    /// A frame stamped with any version byte other than ours is
-    /// `UnknownVersion` — future protocol revisions fail loudly instead
-    /// of being misparsed.
+    /// A frame stamped with any version byte outside the supported set
+    /// {1, 2} is `UnknownVersion` — future protocol revisions fail
+    /// loudly instead of being misparsed. (A v2 request re-stamped as
+    /// v1 is covered separately: its trailing deadline bytes are
+    /// rejected, never silently swallowed.)
     #[test]
     fn unknown_versions_are_rejected(seed in any::<u64>(), bump in 1u8..=255) {
         let mut bytes = encode_frame(&seeded_request(seed));
-        bytes[4] = bytes[4].wrapping_add(bump);
+        let stamped = bytes[4].wrapping_add(bump);
+        prop_assume!(stamped != 1 && stamped != 2);
+        bytes[4] = stamped;
         prop_assert_eq!(
             decode_frame(&bytes),
-            Err(FrameError::UnknownVersion(bytes[4]))
+            Err(FrameError::UnknownVersion(stamped))
         );
+    }
+
+    /// A v2 request frame re-stamped with the v1 version byte still
+    /// fails structurally (its appended `deadline_us` becomes trailing
+    /// bytes) — the decoder never mixes version dialects.
+    #[test]
+    fn v2_request_restamped_as_v1_has_trailing_bytes(seed in any::<u64>()) {
+        let mut bytes = encode_frame(&seeded_request(seed));
+        bytes[4] = 1;
+        prop_assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::TrailingBytes { extra: 8 })
+        );
+    }
+
+    /// Shape fields the length prefix cannot vouch for — a zero operand
+    /// size, an empty family or backend name, a served response claiming
+    /// occupancy zero — are `BadPayload`, caught at the frame boundary
+    /// instead of deep in plan compilation.
+    #[test]
+    fn inconsistent_shape_fields_are_bad_payload(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = RequestMsg {
+            id: rng.gen(),
+            family: seeded_name(seed ^ 1, 24),
+            n: rng.gen::<u64>().max(1),
+            dtype: Dtype::F64,
+            backend: seeded_name(seed ^ 2, 24),
+            payload: rng.gen(),
+            deadline_us: rng.gen(),
+        };
+        let cases = [
+            RequestMsg { n: 0, ..base.clone() },
+            RequestMsg { family: String::new(), ..base.clone() },
+            RequestMsg { backend: String::new(), ..base },
+        ];
+        for msg in cases {
+            let bytes = encode_frame(&Message::Request(msg));
+            prop_assert!(matches!(
+                decode_frame(&bytes),
+                Err(FrameError::BadPayload { .. })
+            ));
+        }
+        let resp = Message::Response(ResponseMsg {
+            id: rng.gen(),
+            outcome: Outcome::Ok {
+                queue_ns: rng.gen(),
+                exec_ns: rng.gen(),
+                occupancy: 0,
+                flush: FlushKind::Deadline,
+                checksum: rng.gen(),
+            },
+        });
+        prop_assert!(matches!(
+            decode_frame(&encode_frame(&resp)),
+            Err(FrameError::BadPayload { .. })
+        ));
     }
 
     /// Total on noise: random bytes with a sane length prefix decode to

@@ -87,6 +87,25 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
     --arrival-rate R offered load of the live/open-loop phases, req/s
                                                    [default: 2000]
     --no-batch       disable batching (same as --batch-window 0)
+    --max-inflight N per-connection in-flight cap: requests beyond it get
+                     a structured Busy{retry_after_us} rejection instead
+                     of queueing (0 = unlimited)   [default: 256]
+    --backlog N      global admission-backlog bound: submits past it are
+                     shed with Busy; past half of it the window degrades
+                     (pressure flush) to favor latency (0 = unbounded)
+                                                   [default: 2048]
+    --quarantine-after N
+                     quarantine a (signature, backend) after N execution
+                     panics; later requests for it are refused up front
+                     (0 = never quarantine)        [default: 3]
+    --read-timeout-ms MS
+                     reap a connection whose client goes silent for MS ms
+                     (0 = wait forever)            [default: 30000]
+    --faults SPEC    deterministic fault injection, for testing the
+                     failure paths: comma-separated kind:rate pairs from
+                     drop:<n/d>, delay:<n/d>x<us>, panic:<n/d>,
+                     corrupt:<n/d> — each request id fires a fault at
+                     most once, decided by the seed  [default: none]
     --listen ADDR    serve over a socket instead of benchmarking:
                      unix:<path> or tcp:<host:port>. Runs until a client
                      sends the in-band shutdown frame (see laab loadgen).
@@ -109,8 +128,18 @@ LOADGEN OPTIONS (laab loadgen — drive a --listen server from the outside):
     --arrivals LIST  comma-separated arrival processes to sweep:
                      closed | poisson:<rate> | bursty:<rate>x<burst>
                                  [default: closed,poisson:2000,bursty:2000x8]
+    --deadline-us D  stamp every request with a D-microsecond deadline;
+                     the server answers Expired instead of executing a
+                     request that overstays it (0 = none) [default: 0]
+    --max-retries R  retry budget per request for Busy rejections and
+                     presumed-lost sends, with capped exponential
+                     backoff + jitter honoring the server's
+                     retry_after_us hint (0 = no retries) [default: 3]
     --no-verify      skip the local bitwise oracle (needed for backends
-                     whose batched kernels are not per-item loops)
+                     whose batched kernels are not per-item loops).
+                     Verification covers completed responses only —
+                     Busy/Expired/Failed rejections are reported in
+                     their own classes, never as mismatches
     --no-shutdown    leave the server running afterwards
     --json           print the machine-readable report to stdout
     --out PATH       write the JSON report to PATH (BENCH_loadgen.json)
@@ -402,6 +431,22 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
                 builder = builder.arrival_rate(parse_num(args.next(), "--arrival-rate")?);
             }
             "--no-batch" => builder = builder.batch_window(0),
+            "--max-inflight" => {
+                builder = builder.max_inflight(parse_num(args.next(), "--max-inflight")?);
+            }
+            "--backlog" => builder = builder.backlog(parse_num(args.next(), "--backlog")?),
+            "--quarantine-after" => {
+                builder = builder.quarantine_after(parse_num(args.next(), "--quarantine-after")?);
+            }
+            "--read-timeout-ms" => {
+                builder = builder.read_timeout_ms(parse_num(args.next(), "--read-timeout-ms")?);
+            }
+            "--faults" => {
+                let spec = args.next().ok_or("--faults requires a fault spec")?;
+                let plan = laab::serve::FaultPlan::parse(&spec)
+                    .map_err(|e| format!("invalid --faults spec: {e}"))?;
+                builder = builder.faults(Some(plan));
+            }
             "--listen" => listen = Some(args.next().ok_or("--listen requires an address")?),
             "--json" => json_stdout = true,
             "--out" => out = Some(args.next().ok_or("--out requires a path")?),
@@ -436,6 +481,8 @@ fn parse_loadgen_args(args: impl Iterator<Item = String>) -> Result<Option<Loadg
             loadgen::Arrival::OpenPoisson { rate: 2000.0 },
             loadgen::Arrival::Bursty { rate: 2000.0, burst: 8 },
         ],
+        deadline_us: 0,
+        max_retries: 3,
         verify: true,
         shutdown: true,
         smoke: false,
@@ -462,6 +509,8 @@ fn parse_loadgen_args(args: impl Iterator<Item = String>) -> Result<Option<Loadg
                     .map(|s| loadgen::Arrival::parse(s).map_err(|e| e.to_string()))
                     .collect::<Result<_, _>>()?;
             }
+            "--deadline-us" => cfg.deadline_us = parse_num(args.next(), "--deadline-us")?,
+            "--max-retries" => cfg.max_retries = parse_num(args.next(), "--max-retries")?,
             "--no-verify" => cfg.verify = false,
             "--no-shutdown" => cfg.shutdown = false,
             "--json" => json_stdout = true,
@@ -498,7 +547,8 @@ fn run_loadgen(args: LoadgenArgs) -> ExitCode {
             emit(&format!(
                 "{:<18} {:>6}/{} ok  rtt p50 {:>8.1} us  p99 {:>8.1} us  \
                  queue p50 {:>7.1} us  occupancy {:.2}  \
-                 flushes occ/deadline/drain {}/{}/{}  {:.0} req/s",
+                 flushes occ/deadline/drain/pressure {}/{}/{}/{}  \
+                 goodput {:.0} of {:.0} offered req/s",
                 run.arrival,
                 run.completed,
                 run.sent,
@@ -509,12 +559,21 @@ fn run_loadgen(args: LoadgenArgs) -> ExitCode {
                 run.occupancy_flushes,
                 run.deadline_flushes,
                 run.drain_flushes,
-                run.throughput_rps,
+                run.pressure_flushes,
+                run.goodput_rps,
+                run.offered_rps,
+            ));
+        }
+        if report.busy_total + report.expired_total + report.failed_total + report.retries_total > 0
+        {
+            emit(&format!(
+                "rejections: {} busy, {} expired, {} failed; {} retries",
+                report.busy_total, report.expired_total, report.failed_total, report.retries_total,
             ));
         }
         if report.verified {
             emit(&format!(
-                "bitwise vs in-process oracle: {} mismatches",
+                "bitwise vs in-process oracle: {} mismatches (completed responses only)",
                 report.checksum_mismatches
             ));
         }
@@ -556,15 +615,29 @@ fn run_serve(args: ServeArgs) -> ExitCode {
         return match server.run() {
             Ok(stats) => {
                 eprintln!(
-                    "served {} requests over {} connections ({} rejected); \
-                     flushes occ/deadline/drain {}/{}/{}",
+                    "served {} requests over {} connections ({} rejected, {} shed, \
+                     {} expired, {} failed, {} quarantined, {} reaped); \
+                     flushes occ/deadline/drain/pressure {}/{}/{}/{}",
                     stats.served,
                     stats.connections,
                     stats.rejected,
+                    stats.shed,
+                    stats.expired,
+                    stats.failed,
+                    stats.quarantined,
+                    stats.reaped,
                     stats.admission.occupancy_flushes,
                     stats.admission.deadline_flushes,
                     stats.admission.drain_flushes,
+                    stats.admission.pressure_flushes,
                 );
+                let f = stats.faults;
+                if f.drops + f.delays + f.panics + f.corrupts > 0 {
+                    eprintln!(
+                        "injected faults: {} drops, {} delays, {} panics, {} corrupts",
+                        f.drops, f.delays, f.panics, f.corrupts,
+                    );
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -657,6 +730,21 @@ fn run_serve(args: ServeArgs) -> ExitCode {
             a.batches,
             report.sweep.len(),
         ));
+        if !report.overload.is_empty() {
+            let curve = report
+                .overload
+                .iter()
+                .map(|o| format!("{:.0}->{:.0}", o.offered_rps, o.goodput_rps))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let (shed, expired): (u64, u64) =
+                report.overload.iter().fold((0, 0), |(s, x), o| (s + o.shed, x + o.expired));
+            emit(&format!(
+                "overload (backlog {}, deadline {} us): offered->goodput req/s {curve}; \
+                 {shed} shed, {expired} expired",
+                report.overload[0].backlog, report.overload[0].deadline_us,
+            ));
+        }
     }
     if let Some(path) = &args.out {
         let json = report.to_json();
