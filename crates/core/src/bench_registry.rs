@@ -29,11 +29,13 @@ pub struct BenchSpec {
 /// Schema tag of `laab-serve`'s report. Mirrored here (rather than
 /// imported) because `laab-core` sits below `laab-serve` in the crate
 /// graph; `laab-serve`'s tests assert the two constants stay equal.
-/// `v5`: the overload-safe serving stack — the bounded-backlog
-/// admission record gains `shed`/`pressure_flushes`, and the report
-/// gains the `overload` sweep (goodput vs offered arrival rate with
-/// shed/expired counts under a bounded backlog and request deadlines).
-pub const SERVE_SCHEMA: &str = "laab-serve-bench-v5";
+/// `v6`: the optimizer A/B — the report records the configured `opt`
+/// level, per-level latency records (`opt_levels`), the per-family
+/// extracted-cost vs measured-latency comparison (`opt_families`),
+/// cross-level numeric probe counts (`opt_probes`/`opt_mismatches`),
+/// and the `saturation_budget_hits` e-graph fallback count. (`v5` added
+/// the overload sweep through a bounded backlog with request deadlines.)
+pub const SERVE_SCHEMA: &str = "laab-serve-bench-v6";
 
 /// Schema tag of `laab loadgen`'s client-side report. Mirrored for the
 /// same reason as [`SERVE_SCHEMA`]; `laab-serve`'s tests hold the pair
@@ -62,9 +64,10 @@ pub const BENCHES: [BenchSpec; 4] = [
         name: "serve",
         schema: SERVE_SCHEMA,
         artifact: "BENCH_serve.json",
-        command: "laab serve --smoke --backends engine,seed --out BENCH_serve.json",
+        command: "laab serve --smoke --opt egraph --backends engine,seed --out BENCH_serve.json",
         description:
-            "plan-cache serving throughput + backend A/B: per-backend req/s, p50/p99, hit rate",
+            "plan-cache serving throughput + backend/optimizer A/B: per-backend req/s, p50/p99, \
+             hit rate, egraph-vs-passes cost and latency",
     },
     BenchSpec {
         name: "loadgen",

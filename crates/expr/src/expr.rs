@@ -259,21 +259,12 @@ impl Expr {
             Expr::Var(name) => ctx.expect(name).props,
             Expr::Identity(_) => Props::IDENTITY.normalize(),
             Expr::Transpose(x) => x.props(ctx).transpose(),
-            Expr::Mul(a, b) => {
-                let p = a.props(ctx).mul(b.props(ctx));
-                // Structural rule the bit-lattice cannot see: X·Xᵀ is
-                // symmetric (the SYRK pattern of Experiment 3), and QᵀQ for
-                // orthogonal Q is the identity.
-                let p = if is_transpose_pair(a, b) { p.union(Props::SYMMETRIC) } else { p };
-                if is_transpose_pair(a, b)
-                    && a.props(ctx).contains(Props::ORTHOGONAL)
-                    && matches!(&**a, Expr::Transpose(_))
-                {
-                    // Aᵀ·A with A orthogonal ⇒ identity.
-                    return Props::IDENTITY.normalize();
-                }
-                p.normalize()
-            }
+            Expr::Mul(a, b) => structural_mul_props(
+                a.props(ctx),
+                b.props(ctx),
+                is_transpose_pair(a, b),
+                matches!(&**a, Expr::Transpose(_)),
+            ),
             Expr::Add(a, b) => a.props(ctx).add(b.props(ctx)),
             Expr::Sub(a, b) => a.props(ctx).add(b.props(ctx)).remove(Props::SPD),
             Expr::Scale(c, x) => x.props(ctx).scale(c.0),
@@ -290,6 +281,30 @@ impl Expr {
             _ => self.children().iter().any(|c| c.uses_var(name)),
         }
     }
+}
+
+/// The product property rules the bit-lattice cannot see, shared by
+/// [`Expr::props`] and the e-graph analysis in `laab-rewrite` (one
+/// implementation so the two analyses cannot drift): `X·Xᵀ` is symmetric
+/// (the SYRK pattern of Experiment 3), and `QᵀQ` for orthogonal `Q` is
+/// the identity.
+///
+/// `transpose_pair` marks that the factors are equal up to transposition
+/// (either orientation); `left_is_transpose` marks that the *left* factor
+/// is itself a transposition, so the pair reads `Aᵀ·A`.
+pub fn structural_mul_props(
+    lp: Props,
+    rp: Props,
+    transpose_pair: bool,
+    left_is_transpose: bool,
+) -> Props {
+    let p = lp.mul(rp);
+    let p = if transpose_pair { p.union(Props::SYMMETRIC) } else { p };
+    if transpose_pair && left_is_transpose && lp.contains(Props::ORTHOGONAL) {
+        // Aᵀ·A with A orthogonal ⇒ identity.
+        return Props::IDENTITY.normalize();
+    }
+    p.normalize()
 }
 
 /// `true` when `(a, b)` form the pattern `X·Xᵀ` or `Xᵀ·X` (structurally).

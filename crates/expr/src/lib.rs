@@ -30,7 +30,10 @@ pub mod parser;
 mod props;
 mod shape;
 
-pub use expr::{block_diag, elem, identity, is_transpose_pair, scale, var, vcat, Expr, Factor};
+pub use expr::{
+    block_diag, elem, identity, is_transpose_pair, scale, structural_mul_props, var, vcat, Expr,
+    Factor,
+};
 pub use parser::parse;
 pub use props::Props;
 pub use shape::{Context, Shape};

@@ -1,0 +1,236 @@
+//! The extraction cost model, fed by measured GEMM-engine throughput.
+//!
+//! Extraction picks the cheapest member of each e-class, so the cost
+//! model is where "awareness" becomes a decision: flop counts come from
+//! [`laab_expr::cost::mul_cost`] (property discounts for identity /
+//! diagonal / triangular / tridiagonal factors and the SYRK pattern — the
+//! property-guarded specializations live *here*, not as structural
+//! rules), and flops are converted to time-like units with the two
+//! throughput regimes `laab bench` actually measures: square GEMM runs at
+//! the compute-bound rate (`summary.engine_gflops` in `BENCH_gemm.json`),
+//! while GEMV-shaped products and elementwise sweeps run at the
+//! memory-bound rate (the batch-1 anchor of `summary.batch_gflops`).
+//! That ratio is what makes `Hᵀ(H·x)` (two GEMVs) beat `(HᵀH)·x` (one
+//! GEMM + one GEMV) by the measured margin rather than by raw flops.
+//!
+//! [`CostModel::from_gemm_bench_json`] reads the two anchors out of a
+//! `BENCH_gemm.json` document with a dependency-free scanner (this crate
+//! sits below `laab-core` in the crate graph, so it cannot import the
+//! report type); [`CostModel::default`] holds conservative built-in
+//! anchors so extraction is fully deterministic when no measurement file
+//! is present (tests rely on this).
+
+use crate::egraph::{EGraph, ENode};
+use laab_expr::cost::mul_cost;
+use laab_expr::{Context, Expr, Shape};
+
+/// Minimum vector-side dimension below which a product is priced at the
+/// memory-bound (GEMV) rate rather than the compute-bound (GEMM) rate.
+const GEMV_DIM: usize = 8;
+
+/// Throughput-calibrated extraction costs. Units are abstract "time
+/// ticks" — flops divided by the regime's relative throughput — so only
+/// the *ratio* of the two anchors matters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Compute-bound GFLOP/s: large square GEMM (`summary.engine_gflops`).
+    pub gemm_gflops: f64,
+    /// Memory-bound GFLOP/s: GEMV-shaped products and elementwise sweeps
+    /// (the batch-1 anchor of `summary.batch_gflops`).
+    pub gemv_gflops: f64,
+}
+
+impl Default for CostModel {
+    /// Built-in anchors (≈ the shape of every curve `laab bench` has
+    /// produced on this class of hardware: GEMM an order of magnitude
+    /// faster per flop than GEMV). Used whenever no `BENCH_gemm.json` is
+    /// available, and by every determinism test.
+    fn default() -> Self {
+        CostModel { gemm_gflops: 40.0, gemv_gflops: 4.0 }
+    }
+}
+
+impl CostModel {
+    /// Penalty multiplier applied to memory-bound flops (≥ 1).
+    fn gemv_penalty(&self) -> u64 {
+        if self.gemv_gflops <= 0.0 || !self.gemv_gflops.is_finite() {
+            return 1;
+        }
+        ((self.gemm_gflops / self.gemv_gflops).round() as u64).max(1)
+    }
+
+    /// Parse the two throughput anchors out of a `BENCH_gemm.json`
+    /// document (`laab-gemm-bench-v2+`). Returns `None` when either
+    /// anchor is missing or non-positive; the caller falls back to
+    /// [`CostModel::default`].
+    pub fn from_gemm_bench_json(text: &str) -> Option<CostModel> {
+        let gemm = scan_number(text, "\"engine_gflops\"")?;
+        // First element of `batch_gflops`: the batch-1 GEMV-shaped anchor.
+        let gemv = scan_first_array_number(text, "\"batch_gflops\"").unwrap_or(gemm / 10.0);
+        if gemm > 0.0 && gemv > 0.0 && gemm.is_finite() && gemv.is_finite() {
+            Some(CostModel { gemm_gflops: gemm, gemv_gflops: gemv })
+        } else {
+            None
+        }
+    }
+
+    /// Load anchors from a `BENCH_gemm.json` on disk, falling back to the
+    /// built-in defaults when the file is absent or unparseable.
+    pub fn load_or_default(path: &std::path::Path) -> CostModel {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| Self::from_gemm_bench_json(&text))
+            .unwrap_or_default()
+    }
+
+    /// Time-like cost of one product `m×k · k×n` with the factors'
+    /// properties (discounted flops from [`mul_cost`]) under the
+    /// shape-selected throughput regime. Always ≥ 1 so extraction's
+    /// bottom-up relaxation is strictly monotone.
+    pub fn product_cost(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        lp: laab_expr::Props,
+        rp: laab_expr::Props,
+        syrk: bool,
+    ) -> u64 {
+        let flops = mul_cost(m, k, n, lp, rp, syrk);
+        let memory_bound = m.min(n).min(k) < GEMV_DIM;
+        let cost = if memory_bound { flops.saturating_mul(self.gemv_penalty()) } else { flops };
+        cost.max(1)
+    }
+
+    /// Cost of an elementwise sweep over an `m×n` result (add, sub,
+    /// scale, concatenation copies) — always memory-bound.
+    fn sweep_cost(&self, shape: Shape) -> u64 {
+        ((shape.rows * shape.cols) as u64).saturating_mul(self.gemv_penalty()).max(1)
+    }
+
+    /// Cost of one e-node given its child classes' shapes and properties.
+    /// Excludes the children's own costs (the extractor sums those).
+    pub fn enode_cost(&self, eg: &EGraph, n: &ENode) -> u64 {
+        match n {
+            // Leaves and transposes are (near-)free: operands are bound,
+            // and the trace-time `fold_transpose` pass folds transposes
+            // into GEMM flags rather than materializing them.
+            ENode::Var(_) | ENode::Identity(_) | ENode::Transpose(_) => 1,
+            ENode::Mul(a, b) => {
+                let (sa, sb) = (eg.class(*a).shape, eg.class(*b).shape);
+                self.product_cost(
+                    sa.rows,
+                    sa.cols,
+                    sb.cols,
+                    eg.class(*a).props,
+                    eg.class(*b).props,
+                    eg.transpose_pair(*a, *b),
+                )
+            }
+            ENode::Add(a, _) | ENode::Sub(a, _) => self.sweep_cost(eg.class(*a).shape),
+            ENode::Scale(_, x) => self.sweep_cost(eg.class(*x).shape),
+            ENode::Elem(_, _, _) => 1,
+            ENode::Row(x, _) => (eg.class(*x).shape.cols as u64).max(1),
+            ENode::Col(x, _) => (eg.class(*x).shape.rows as u64).max(1),
+            ENode::VCat(a, b) | ENode::HCat(a, b) | ENode::BlockDiag(a, b) => self
+                .sweep_cost(eg.class(*a).shape)
+                .saturating_add(self.sweep_cost(eg.class(*b).shape)),
+        }
+    }
+
+    /// Cost of a plain expression tree under this model — the same
+    /// per-node pricing as [`CostModel::enode_cost`], summed over the
+    /// tree. Used to report the un-extracted baseline next to the
+    /// extracted cost.
+    pub fn expr_cost(&self, expr: &Expr, ctx: &Context) -> u64 {
+        let own = match expr {
+            Expr::Var(_) | Expr::Identity(_) | Expr::Transpose(_) => 1,
+            Expr::Mul(a, b) => {
+                let (sa, sb) = (a.shape(ctx), b.shape(ctx));
+                self.product_cost(
+                    sa.rows,
+                    sa.cols,
+                    sb.cols,
+                    a.props(ctx),
+                    b.props(ctx),
+                    laab_expr::is_transpose_pair(a, b),
+                )
+            }
+            Expr::Add(a, _) | Expr::Sub(a, _) => self.sweep_cost(a.shape(ctx)),
+            Expr::Scale(_, x) => self.sweep_cost(x.shape(ctx)),
+            Expr::Elem(_, _, _) => 1,
+            Expr::Row(x, _) => (x.shape(ctx).cols as u64).max(1),
+            Expr::Col(x, _) => (x.shape(ctx).rows as u64).max(1),
+            Expr::VCat(a, b) | Expr::HCat(a, b) | Expr::BlockDiag(a, b) => {
+                self.sweep_cost(a.shape(ctx)).saturating_add(self.sweep_cost(b.shape(ctx)))
+            }
+        };
+        expr.children().iter().fold(own, |acc, c| acc.saturating_add(self.expr_cost(c, ctx)))
+    }
+}
+
+/// Scan `"key": <number>` out of a JSON document without a JSON
+/// dependency. Good enough for the flat numeric fields of the
+/// well-formed reports this workspace itself emits.
+fn scan_number(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)?;
+    let rest = &text[at + key.len()..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Scan the first number of `"key": [a, b, …]`.
+fn scan_first_array_number(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)?;
+    let rest = &text[at + key.len()..];
+    let open = rest.find('[')?;
+    let rest = rest[open + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::var;
+
+    #[test]
+    fn parses_anchors_from_bench_json() {
+        let doc = r#"{"schema":"laab-gemm-bench-v3","summary":{
+            "engine_gflops": 48.25, "seed_gflops": 23.0,
+            "batch_sizes": [1, 8, 32], "batch_gflops": [2.61, 12.8, 26.1]}}"#;
+        let m = CostModel::from_gemm_bench_json(doc).expect("parses");
+        assert!((m.gemm_gflops - 48.25).abs() < 1e-12);
+        assert!((m.gemv_gflops - 2.61).abs() < 1e-12);
+        assert!(CostModel::from_gemm_bench_json("{}").is_none());
+    }
+
+    #[test]
+    fn gemv_regime_is_penalized_per_flop() {
+        let m = CostModel::default();
+        let ctx = Context::new().with("H", 64, 64).with("x", 64, 1);
+        // (HᵀH)x: GEMM + GEMV vs Hᵀ(Hx): two GEMVs.
+        let left = (var("H").t() * var("H")) * var("x");
+        let right = var("H").t() * (var("H") * var("x"));
+        assert!(
+            m.expr_cost(&right, &ctx) < m.expr_cost(&left, &ctx),
+            "two GEMVs must beat GEMM+GEMV"
+        );
+    }
+
+    #[test]
+    fn missing_file_falls_back_to_defaults() {
+        let m = CostModel::load_or_default(std::path::Path::new("/nonexistent/BENCH_gemm.json"));
+        assert_eq!(m, CostModel::default());
+    }
+}

@@ -1,0 +1,218 @@
+//! Cost-based extraction and the end-to-end e-graph optimization entry.
+//!
+//! After saturation every e-class holds all forms reachable from the rule
+//! set; extraction recovers the single cheapest expression. The algorithm
+//! is the standard bottom-up relaxation: each class's best cost is the
+//! minimum over its member e-nodes of (node cost + sum of child-class
+//! bests), iterated to a fixpoint. Because every node cost is ≥ 1, the
+//! chosen nodes always form a well-founded DAG even though the saturated
+//! graph is cyclic (bidirectional rules put `x` and rewrites *of* `x`
+//! into mutually-referential classes). Ties keep the earliest member —
+//! class node lists preserve insertion order with original-expression
+//! nodes first, so an equal-cost rewrite never displaces the input form
+//! (this is what makes extraction stable and the differential suite's
+//! bitwise claims meaningful).
+//!
+//! [`optimize_egraph`] is the pipeline callers use: intern → saturate →
+//! extract, with the budget-hit fallback the serving layer's
+//! `saturation_budget_hit` counter reports.
+
+use crate::cost::CostModel;
+use crate::egraph::{EClassId, EGraph, ENode};
+use crate::saturate::{egraph_rules, saturate, SaturateConfig, SaturateStats};
+use laab_expr::{Context, Expr};
+use std::collections::HashMap;
+
+/// The cheapest expression of a class, with its modeled cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// The extracted expression tree.
+    pub expr: Expr,
+    /// Its total cost under the extraction [`CostModel`].
+    pub cost: u64,
+}
+
+/// Extract the cheapest expression of `root`'s class under `model`.
+/// Deterministic: fixed iteration order, strict-improvement updates,
+/// first-member tie-breaking.
+pub fn extract_best(eg: &EGraph, root: EClassId, model: &CostModel) -> Extraction {
+    let ids = eg.class_ids();
+    // best[class root id] = (cost, index of the chosen member node)
+    let mut best: HashMap<u32, (u64, usize)> = HashMap::new();
+    loop {
+        let mut changed = false;
+        for &id in &ids {
+            for (idx, n) in eg.class(id).nodes.iter().enumerate() {
+                let mut cost = model.enode_cost(eg, n);
+                let mut ready = true;
+                for ch in n.children() {
+                    match best.get(&eg.find(ch).0) {
+                        Some(&(c, _)) => cost = cost.saturating_add(c),
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                if best.get(&id.0).is_none_or(|&(c, _)| cost < c) {
+                    best.insert(id.0, (cost, idx));
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let root = eg.find(root);
+    let cost = best.get(&root.0).expect("root class extractable").0;
+    Extraction { expr: build(eg, &best, root), cost }
+}
+
+/// Rebuild the chosen expression tree for `id`'s class.
+fn build(eg: &EGraph, best: &HashMap<u32, (u64, usize)>, id: EClassId) -> Expr {
+    let id = eg.find(id);
+    let (_, idx) = best[&id.0];
+    let node = &eg.class(id).nodes[idx];
+    let sub = |c: &EClassId| Box::new(build(eg, best, *c));
+    match node {
+        ENode::Var(name) => Expr::Var(name.clone()),
+        ENode::Identity(n) => Expr::Identity(*n),
+        ENode::Transpose(x) => Expr::Transpose(sub(x)),
+        ENode::Mul(a, b) => Expr::Mul(sub(a), sub(b)),
+        ENode::Add(a, b) => Expr::Add(sub(a), sub(b)),
+        ENode::Sub(a, b) => Expr::Sub(sub(a), sub(b)),
+        ENode::Scale(c, x) => Expr::Scale(*c, sub(x)),
+        ENode::Elem(x, i, j) => Expr::Elem(sub(x), *i, *j),
+        ENode::Row(x, i) => Expr::Row(sub(x), *i),
+        ENode::Col(x, j) => Expr::Col(sub(x), *j),
+        ENode::VCat(a, b) => Expr::VCat(sub(a), sub(b)),
+        ENode::HCat(a, b) => Expr::HCat(sub(a), sub(b)),
+        ENode::BlockDiag(a, b) => Expr::BlockDiag(sub(a), sub(b)),
+    }
+}
+
+/// Budgets plus the extraction cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EgraphConfig {
+    /// Saturation budgets.
+    pub saturate: SaturateConfig,
+    /// Throughput-calibrated extraction costs.
+    pub cost: CostModel,
+}
+
+/// Result of one end-to-end e-graph optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgraphResult {
+    /// The extracted (or, on budget hit, the original) expression.
+    pub best: Expr,
+    /// Modeled cost of [`EgraphResult::best`].
+    pub best_cost: u64,
+    /// Modeled cost of the input expression (same units).
+    pub original_cost: u64,
+    /// What saturation did.
+    pub stats: SaturateStats,
+    /// `true` when extraction chose a different tree than the input.
+    pub changed: bool,
+}
+
+/// Intern `expr`, saturate under `cfg`'s budgets, and extract the
+/// cheapest equivalent form. On a budget hit the input expression is
+/// returned unchanged (`changed == false`, `stats.budget_hit == true`)
+/// so the caller can count the fallback and keep serving through the
+/// pass pipeline alone.
+pub fn optimize_egraph(expr: &Expr, ctx: &Context, cfg: &EgraphConfig) -> EgraphResult {
+    let original_cost = cfg.cost.expr_cost(expr, ctx);
+    let mut eg = EGraph::new(ctx);
+    let root = eg.add_expr(expr);
+    let stats = saturate(&mut eg, &egraph_rules(), &cfg.saturate);
+    if stats.budget_hit {
+        return EgraphResult {
+            best: expr.clone(),
+            best_cost: original_cost,
+            original_cost,
+            stats,
+            changed: false,
+        };
+    }
+    let ext = extract_best(&eg, root, &cfg.cost);
+    let changed = ext.expr != *expr;
+    EgraphResult { best: ext.expr, best_cost: ext.cost, original_cost, stats, changed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laab_expr::{elem, var};
+
+    #[test]
+    fn chain_extracts_right_to_left() {
+        let ctx = Context::new().with("H", 32, 32).with("x", 32, 1);
+        let e = (var("H").t() * var("H")) * var("x");
+        let r = optimize_egraph(&e, &ctx, &EgraphConfig::default());
+        assert!(r.changed, "reassociation discovered");
+        assert!(r.best_cost < r.original_cost);
+        let want = var("H").t() * (var("H") * var("x"));
+        assert_eq!(r.best, want, "two GEMVs beat GEMM+GEMV");
+    }
+
+    #[test]
+    fn distributive_family_factors() {
+        let ctx = Context::new().with("A", 24, 24).with("B", 24, 24).with("C", 24, 24);
+        let e = var("A") * var("B") + var("A") * var("C");
+        let r = optimize_egraph(&e, &ctx, &EgraphConfig::default());
+        assert!(r.changed);
+        assert_eq!(r.best, var("A") * (var("B") + var("C")), "one GEMM instead of two");
+        assert!(r.best_cost < r.original_cost);
+    }
+
+    #[test]
+    fn slice_pushes_down_to_a_dot() {
+        let ctx = Context::new().with("A", 32, 32).with("B", 32, 32);
+        let e = elem(var("A") * var("B"), 0, 0);
+        let r = optimize_egraph(&e, &ctx, &EgraphConfig::default());
+        assert!(r.changed);
+        assert_eq!(r.best, var("A").row(0) * var("B").col(0), "full GEMM replaced by a dot");
+    }
+
+    #[test]
+    fn stable_when_nothing_cheaper_exists() {
+        // Hᵀ(y − Hx) is already optimal under the model: extraction must
+        // return it unchanged (ties keep the original member).
+        let ctx = Context::new().with("H", 16, 16).with("x", 16, 1).with("y", 16, 1);
+        let e = var("H").t() * (var("y") - var("H") * var("x"));
+        let r = optimize_egraph(&e, &ctx, &EgraphConfig::default());
+        assert_eq!(r.best, e, "no spurious rewriting");
+        assert!(!r.changed);
+        assert_eq!(r.best_cost, r.original_cost);
+    }
+
+    #[test]
+    fn budget_hit_returns_input_unchanged() {
+        let ctx = Context::new().with("A", 4, 4);
+        let mut e = var("A");
+        for _ in 0..24 {
+            e = e.clone() * var("A") + var("A");
+        }
+        let cfg = EgraphConfig {
+            saturate: SaturateConfig { max_iters: 16, max_nodes: 150 },
+            ..Default::default()
+        };
+        let r = optimize_egraph(&e, &ctx, &cfg);
+        assert!(r.stats.budget_hit);
+        assert!(!r.changed);
+        assert_eq!(r.best, e);
+    }
+
+    #[test]
+    fn orthogonal_gram_materializes_identity() {
+        let ctx = Context::new().with_props("Q", 8, 8, laab_expr::Props::ORTHOGONAL);
+        let e = var("Q").t() * var("Q");
+        let r = optimize_egraph(&e, &ctx, &EgraphConfig::default());
+        assert!(r.changed);
+        assert_eq!(r.best, laab_expr::identity(8));
+    }
+}

@@ -23,14 +23,35 @@
 //! (TRMM/SYRK/tridiagonal/diagonal kernels), completing the "what the
 //! frameworks could do" execution path that the benchmark tables compare
 //! against.
+//!
+//! ## The e-graph layer
+//!
+//! The best-first engine explores one expression at a time and therefore
+//! misses rewrites that require a temporary cost increase. The
+//! equality-saturation layer ([`egraph`], [`mod@saturate`], [`extract`],
+//! [`cost`]) keeps every equivalent form at once: expressions are
+//! interned into an arena-backed e-graph (union-find + congruence
+//! closure, no external deps), saturated under iteration/node budgets
+//! with the full bidirectional rule set, and the cheapest form is
+//! extracted with a cost model calibrated by measured `BENCH_gemm.json`
+//! GFLOP/s curves. [`optimize_egraph`] is the entry point `laab serve
+//! --opt egraph` compiles through.
 
 #![deny(missing_docs)]
 
 mod aware_eval;
+pub mod cost;
+pub mod egraph;
 mod engine;
+pub mod extract;
 pub mod rules;
+pub mod saturate;
 mod solve;
 
 pub use aware_eval::aware_eval;
+pub use cost::CostModel;
+pub use egraph::{EClass, EClassId, EGraph, ENode, Rhs};
 pub use engine::{enumerate_variants, optimize_expr, CostKind, OptResult, RewriteEngine};
+pub use extract::{extract_best, optimize_egraph, EgraphConfig, EgraphResult, Extraction};
+pub use saturate::{egraph_rules, saturate, EgraphRule, SaturateConfig, SaturateStats};
 pub use solve::{solve_aware, SolveError, SolvePath};

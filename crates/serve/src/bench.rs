@@ -54,19 +54,21 @@ use laab_stats::Samples;
 
 use crate::admission::AdmissionQueue;
 use crate::cache::{Lookup, PlanCache};
-use crate::plan::Plan;
+use crate::plan::{EgraphReport, Plan};
 use crate::proto::FrameError;
+use crate::signature::OptLevel;
 use crate::workload::{synthetic_mix, Family, Request};
 
 /// Schema tag of the `BENCH_serve.json` report, bumped on breaking
-/// changes. `v5`: the overload-and-fault tolerance layer — admission
-/// records gain `shed`/`pressure_flushes`, and the report appends the
-/// `overload` sweep: goodput vs. offered load through a **bounded**
-/// backlog with per-request deadlines, at rate multipliers of
-/// `arrival_rate`, with shed/expired/completed counts per point.
-/// (`v4` added the live deadline-or-occupancy `admission` record and
-/// the window × arrival-rate `sweep` grid.)
-pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v5";
+/// changes. `v6`: the optimizer A/B — the report records the configured
+/// `opt` level, per-level latency records (`opt_levels`), the per-family
+/// extracted-cost vs. measured-latency comparison (`opt_families`), the
+/// post-drain cross-level numeric probes (`opt_probes` /
+/// `opt_mismatches`), and the `saturation_budget_hits` fallback count.
+/// (`v5` added the overload sweep through a bounded backlog; `v4` the
+/// live deadline-or-occupancy `admission` record and the window ×
+/// arrival-rate `sweep` grid.)
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v6";
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,12 +86,13 @@ pub struct ServeConfig {
     pub seed: u64,
     /// `true` for the CI smoke protocol (recorded in the report).
     pub smoke: bool,
-    /// Plan-cache capacity **per backend**: the shared cache is bounded
-    /// to `cache_capacity × backends`, so total capacity scales with the
-    /// A/B width. The cache itself stays hash-sharded (not partitioned
-    /// per backend), so isolation is proportional sizing, not a hard
-    /// guarantee — size generously relative to the distinct-signature
-    /// count when eviction-free per-backend counters matter.
+    /// Plan-cache capacity **per lane** (one lane = one backend ×
+    /// optimizer level): the shared cache is bounded to `cache_capacity ×
+    /// backends × levels`, so total capacity scales with the full A/B
+    /// width. The cache itself stays hash-sharded (not partitioned per
+    /// lane), so isolation is proportional sizing, not a hard guarantee —
+    /// size generously relative to the distinct-signature count when
+    /// eviction-free per-backend counters matter.
     pub cache_capacity: usize,
     /// Plan-cache shard count.
     pub shards: usize,
@@ -140,6 +143,14 @@ pub struct ServeConfig {
     /// Deterministic fault injection for the network server; `None`
     /// injects nothing.
     pub faults: Option<crate::fault::FaultPlan>,
+    /// The optimizer level to serve. [`OptLevel::Passes`] (the default)
+    /// compiles through the trace-time pass pipeline alone — the pre-v6
+    /// behavior, bit for bit. [`OptLevel::Egraph`] **A/Bs both levels
+    /// interleaved** (like the backend axis): every batch compiles and
+    /// executes once per level, the cache keys entries per level, and
+    /// the report adds per-level and per-family comparisons plus
+    /// cross-level numeric probes.
+    pub opt: OptLevel,
 }
 
 impl Default for ServeConfig {
@@ -163,6 +174,7 @@ impl Default for ServeConfig {
             quarantine_after: 3,
             read_timeout_ms: 30_000,
             faults: None,
+            opt: OptLevel::Passes,
         }
     }
 }
@@ -208,6 +220,18 @@ impl ServeConfig {
     /// Whether the admission window actually coalesces (`batch_window ≥ 2`).
     pub fn batching_enabled(&self) -> bool {
         self.batch_window >= 2
+    }
+
+    /// The optimizer levels the run drives, in lane order. `--opt
+    /// passes` serves one level; `--opt egraph` A/Bs the pass pipeline
+    /// against equality saturation under identical interleaved traffic
+    /// (the pass pipeline stays in as the baseline leg, exactly like the
+    /// first-listed backend anchors the backend ratio).
+    pub fn opt_levels(&self) -> Vec<OptLevel> {
+        match self.opt {
+            OptLevel::Passes => vec![OptLevel::Passes],
+            OptLevel::Egraph => vec![OptLevel::Passes, OptLevel::Egraph],
+        }
     }
 
     /// The deadline as a [`Duration`], `None` when disabled or when the
@@ -355,6 +379,13 @@ impl ServeConfigBuilder {
     /// Deterministic fault-injection plan for the network server.
     pub fn faults(mut self, v: Option<crate::fault::FaultPlan>) -> Self {
         self.cfg.faults = v;
+        self
+    }
+
+    /// The optimizer level to serve ([`OptLevel::Egraph`] A/Bs both
+    /// levels interleaved; see [`ServeConfig::opt`]).
+    pub fn opt(mut self, v: OptLevel) -> Self {
+        self.cfg.opt = v;
         self
     }
 
@@ -802,6 +833,53 @@ pub struct OverloadRecord {
     pub goodput_rps: f64,
 }
 
+/// One optimizer level's view of the interleaved A/B — the `--opt` row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptLevelRecord {
+    /// Level identifier ([`OptLevel::id`]): `"passes"` or `"egraph"`.
+    pub level: String,
+    /// Serving executions through this level (stream length × backends;
+    /// every level sees identical traffic).
+    pub executions: usize,
+    /// Median serving latency through this level, milliseconds.
+    pub p50_ms: f64,
+    /// Mean serving latency through this level, milliseconds.
+    pub mean_ms: f64,
+    /// Compiled plans whose e-graph extraction chose a different tree
+    /// than the input expression (always `0` for the passes level).
+    pub changed_plans: usize,
+    /// Compiles that hit a saturation budget and fell back to the input
+    /// expression (always `0` for the passes level).
+    pub saturation_budget_hits: u64,
+}
+
+/// Per-family extracted-cost vs. measured-latency comparison across the
+/// two optimizer levels — the report the e-graph A/B exists to produce:
+/// does the cost model's predicted win show up as a measured one?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptFamilyRecord {
+    /// Family identifier ([`Family::id`]).
+    pub family: String,
+    /// Whether extraction chose a different tree than the family's input
+    /// expression (at the base operand size).
+    pub changed: bool,
+    /// Whether saturation hit a budget on this family (the plan then
+    /// served the input expression through the pass pipeline alone).
+    pub budget_hit: bool,
+    /// Modeled cost of the extracted expression (cost-model ticks; see
+    /// `laab_rewrite::CostModel`).
+    pub extracted_cost: u64,
+    /// Modeled cost of the input expression, same units.
+    pub original_cost: u64,
+    /// Mean measured serving latency through the passes level, ms.
+    pub passes_mean_ms: f64,
+    /// Mean measured serving latency through the egraph level, ms.
+    pub egraph_mean_ms: f64,
+    /// `passes_mean_ms / egraph_mean_ms` — the measured counterpart of
+    /// `original_cost / extracted_cost` (`0.0` when unmeasured).
+    pub egraph_speedup: f64,
+}
+
 /// The full machine-readable report (`BENCH_serve.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -880,6 +958,25 @@ pub struct ServeReport {
     pub backends: Vec<BackendRecord>,
     /// Per-family aggregates, in experiment order.
     pub families: Vec<FamilyRecord>,
+    /// The configured optimizer level (`"passes"` or `"egraph"`; the
+    /// latter means both levels ran interleaved).
+    pub opt: String,
+    /// Per-level A/B records, in lane order (a single entry for
+    /// passes-only runs).
+    pub opt_levels: Vec<OptLevelRecord>,
+    /// Per-family extracted-cost vs. measured-latency comparison (empty
+    /// for passes-only runs).
+    pub opt_families: Vec<OptFamilyRecord>,
+    /// Post-drain cross-level numeric probes executed: one per distinct
+    /// `(family, size, dtype)` × backend (0 for passes-only runs).
+    pub opt_probes: usize,
+    /// Probes where the two levels' outputs disagreed beyond the
+    /// documented tolerance (relative distance > 1e-9 for f64, > 1e-3
+    /// for f32). Soundness gate: CI asserts this is zero.
+    pub opt_mismatches: u64,
+    /// E-graph compiles that hit a saturation budget and fell back to
+    /// the pass pipeline.
+    pub saturation_budget_hits: u64,
 }
 
 impl ServeReport {
@@ -994,52 +1091,62 @@ fn admit(mix: &[Request], window: usize) -> Vec<Batch> {
 }
 
 /// The per-execution / per-batch measurement slots shared by the clients.
+/// A *lane* is one `(backend, optimizer level)` pair — the unit the A/B
+/// interleaves; with `--opt passes` lanes coincide with backends.
 struct Slots {
-    /// Serving-leg latency per `(request, backend)` (ns).
+    /// Serving-leg latency per `(request, lane)` (ns).
     serving: Vec<AtomicU64>,
-    /// Solo-leg latency per `(request, backend)` (ns).
+    /// Solo-leg latency per `(request, lane)` (ns).
     solo: Vec<AtomicU64>,
-    /// Batched-leg per-request share per `(request, backend)` (ns; 0
+    /// Batched-leg per-request share per `(request, lane)` (ns; 0
     /// when the request's batch did not coalesce).
     batched: Vec<AtomicU64>,
-    /// Lookup outcome per `(batch, backend)`.
+    /// Lookup outcome per `(batch, lane)`.
     outcome: Vec<AtomicU8>,
     /// Batch kind per batch ([`BATCH_SOLO`]/[`BATCH_STACKED`]/
-    /// [`BATCH_FALLBACK`]; identical across backends).
+    /// [`BATCH_FALLBACK`]; identical across lanes — recorded from lane 0,
+    /// the first backend's passes-level plan).
     kind: Vec<AtomicU8>,
     /// Per-family stackability as observed from the compiled plans
     /// (index = position in [`Family::ALL`]; 0 unknown, 1 stackable,
     /// 2 fallback).
     fam_stackable: Vec<AtomicU8>,
+    /// What equality saturation did per `(family, n)` — recorded at
+    /// e-graph-level compiles (deterministic per key: every compile of
+    /// the same family and size extracts the same tree).
+    egraph: Mutex<HashMap<(Family, usize), EgraphReport>>,
+    /// E-graph compiles that hit a saturation budget and fell back.
+    budget_hits: AtomicU64,
 }
 
-/// Drive one batch through every backend, interleaved. The solo and
-/// batched legs alternate order across `(batch, backend)` so neither leg
-/// systematically benefits from the other's cache warming.
+/// Drive one batch through every `(backend, level)` lane, interleaved.
+/// The solo and batched legs alternate order across `(batch, lane)` so
+/// neither leg systematically benefits from the other's cache warming.
 #[allow(clippy::too_many_arguments)]
 fn drive_batch<T: BackendScalar>(
     bi: usize,
     batch: &Batch,
     mix: &[Request],
     envs: &[&Env<T>],
-    regs: &[&'static Registration],
+    lanes: &[(&'static Registration, OptLevel)],
     cache: &PlanCache,
     fw: &Framework,
     slots: &Slots,
 ) {
-    let nb = regs.len();
+    let nb = lanes.len();
     let occ = batch.idx.len();
     let req0 = &mix[batch.idx[0]];
-    for (ki, reg) in regs.iter().enumerate() {
+    for (ki, &(reg, level)) in lanes.iter().enumerate() {
         let t_lookup = Instant::now();
-        let sig = req0.signature(reg.id());
+        let sig = req0.signature_opt(reg.id(), level);
         let (plan, lookup) = cache.get_or_compile(sig, || {
-            Plan::compile_with_varying(
+            Plan::compile_opt(
                 fw,
                 &req0.family.expr(req0.n),
                 &req0.family.ctx(req0.n),
                 reg,
                 req0.family.varying_operands(),
+                level,
             )
         });
         let lookup_ns = t_lookup.elapsed().as_nanos() as u64;
@@ -1047,6 +1154,14 @@ fn drive_batch<T: BackendScalar>(
             if lookup == Lookup::Hit { OUTCOME_HIT } else { OUTCOME_COMPILED },
             Ordering::Relaxed,
         );
+        if lookup != Lookup::Hit {
+            if let Some(rep) = plan.egraph_report() {
+                if rep.budget_hit {
+                    slots.budget_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                slots.egraph.lock().expect("egraph reports").insert((req0.family, req0.n), rep);
+            }
+        }
         if ki == 0 {
             let kind = if occ < 2 {
                 BATCH_SOLO
@@ -1101,6 +1216,47 @@ fn drive_batch<T: BackendScalar>(
             slots.serving[r * nb + ki].store(lookup_ns + solo_each[0], Ordering::Relaxed);
         }
     }
+}
+
+/// Execute one request's plan at both optimizer levels through `reg` and
+/// compare the outputs — the post-drain soundness probe. The cache is
+/// warm, so both lookups are hits (compile is a fallback for streams
+/// shorter than the key set). The request's payload vectors are drawn on
+/// top of the pool bindings exactly as the drain did, so the comparison
+/// covers the served data. Returns `true` on disagreement beyond `tol`
+/// (relative distance).
+fn probe_levels<T: BackendScalar>(
+    req: &Request,
+    pool_env: &Env<T>,
+    reg: &'static Registration,
+    cache: &PlanCache,
+    fw: &Framework,
+    seed: u64,
+    tol: f64,
+) -> bool {
+    let owned;
+    let env: &Env<T> = if req.family.payload_operands().is_empty() {
+        pool_env
+    } else {
+        owned = req.env_from_pool(pool_env, seed);
+        &owned
+    };
+    let run = |opt: OptLevel| {
+        let (plan, _) = cache.get_or_compile(req.signature_opt(reg.id(), opt), || {
+            Plan::compile_opt(
+                fw,
+                &req.family.expr(req.n),
+                &req.family.ctx(req.n),
+                reg,
+                req.family.varying_operands(),
+                opt,
+            )
+        });
+        plan.execute::<T>(env)
+    };
+    let passes = run(OptLevel::Passes);
+    let egraph = run(OptLevel::Egraph);
+    passes.len() != egraph.len() || passes.iter().zip(&egraph).any(|(a, b)| !a.approx_eq(b, tol))
 }
 
 /// One live-phase job: a stream index plus its submit time (the
@@ -1377,7 +1533,14 @@ fn overload_phase(
 /// present in the stream — all rejected here, before any dispatch.
 pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     let regs = resolve_backends(&cfg.backends)?;
-    let nb = regs.len();
+    let levels = cfg.opt_levels();
+    let nl = levels.len();
+    // A lane is one (backend, level) pair: the unit the drain interleaves
+    // and the stride of every per-execution slot array. Backend-major so
+    // one backend's lanes stay adjacent.
+    let lanes: Vec<(&'static Registration, OptLevel)> =
+        regs.iter().flat_map(|&reg| levels.iter().map(move |&l| (reg, l))).collect();
+    let nlanes = lanes.len();
     let clients = cfg.resolved_clients();
     let mix = synthetic_mix(cfg.requests, cfg.n, cfg.seed, cfg.churn_every, cfg.dtype);
 
@@ -1403,23 +1566,25 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             f64: req.family.env::<f64>(req.n, cfg.seed),
             f32: req.family.env::<f32>(req.n, cfg.seed),
         });
-        for reg in &regs {
-            distinct.insert(req.signature(reg.id()).hash());
+        for &(reg, level) in &lanes {
+            distinct.insert(req.signature_opt(reg.id(), level).hash());
         }
     }
 
     let batches = admit(&mix, cfg.batch_window);
     let nbatches = batches.len();
-    let cache = PlanCache::with_shards(cfg.cache_capacity * nb, cfg.shards);
+    let cache = PlanCache::with_shards(cfg.cache_capacity * nlanes, cfg.shards);
     let fw = Framework::flow();
-    let executions = mix.len() * nb;
+    let executions = mix.len() * nlanes;
     let slots = Slots {
         serving: (0..executions).map(|_| AtomicU64::new(0)).collect(),
         solo: (0..executions).map(|_| AtomicU64::new(0)).collect(),
         batched: (0..executions).map(|_| AtomicU64::new(0)).collect(),
-        outcome: (0..nbatches * nb).map(|_| AtomicU8::new(0)).collect(),
+        outcome: (0..nbatches * nlanes).map(|_| AtomicU8::new(0)).collect(),
         kind: (0..nbatches).map(|_| AtomicU8::new(0)).collect(),
         fam_stackable: Family::ALL.iter().map(|_| AtomicU8::new(0)).collect(),
+        egraph: Mutex::new(HashMap::new()),
+        budget_hits: AtomicU64::new(0),
     };
 
     let t0 = Instant::now();
@@ -1442,7 +1607,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                 } else {
                     batch.idx.iter().map(|_| &pool.f64).collect()
                 };
-                drive_batch(bi, batch, &mix, &refs, &regs, &cache, &fw, &slots);
+                drive_batch(bi, batch, &mix, &refs, &lanes, &cache, &fw, &slots);
             }
             Dtype::F32 => {
                 let owned: Vec<Env<f32>> = if has_payload {
@@ -1455,16 +1620,43 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                 } else {
                     batch.idx.iter().map(|_| &pool.f32).collect()
                 };
-                drive_batch(bi, batch, &mix, &refs, &regs, &cache, &fw, &slots);
+                drive_batch(bi, batch, &mix, &refs, &lanes, &cache, &fw, &slots);
             }
         }
     });
     let wall_secs = t0.elapsed().as_secs_f64();
 
     // Snapshot the deterministic backlog counters *before* the live
-    // phases touch the (shared, now warm) cache, so the reported cache
-    // record stays a pure function of the stream.
+    // phases (and the probes below) touch the (shared, now warm) cache,
+    // so the reported cache record stays a pure function of the stream.
     let cache_stats = cache.stats();
+
+    // ---- cross-level numeric probes: the soundness gate ----
+    // One probe per distinct (family, size, dtype) × backend, executed
+    // against the warm cache: the passes plan and the egraph plan run on
+    // identical bindings and must agree within the documented tolerance
+    // (relative distance ≤ 1e-9 for f64 / 1e-3 for f32 — wide enough for
+    // accumulation-order changes like reassociation and factoring, tight
+    // enough that any wrong rewrite trips it).
+    let mut opt_probes = 0usize;
+    let mut opt_mismatches = 0u64;
+    if nl > 1 {
+        let mut probed = HashSet::new();
+        for req in &mix {
+            if !probed.insert((req.family, req.n, req.dtype)) {
+                continue;
+            }
+            let pool = &pools[&(req.family, req.n)];
+            for &reg in &regs {
+                let mismatch = match req.dtype {
+                    Dtype::F64 => probe_levels(req, &pool.f64, reg, &cache, &fw, cfg.seed, 1e-9),
+                    Dtype::F32 => probe_levels(req, &pool.f32, reg, &cache, &fw, cfg.seed, 1e-3),
+                };
+                opt_probes += 1;
+                opt_mismatches += u64::from(mismatch);
+            }
+        }
+    }
 
     // ---- live phases: queue delay under open-loop Poisson arrivals ----
     // Driven through the first-listed backend only — what is measured
@@ -1537,9 +1729,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             batch_of[r] = bi;
         }
     }
-    // Outcome and occupancy of execution slot `e` (= request·nb + backend).
-    let exec_outcome = |e: usize| out[batch_of[e / nb] * nb + e % nb];
-    let exec_occ = |e: usize| batches[batch_of[e / nb]].idx.len();
+    // Outcome and occupancy of execution slot `e` (= request·nlanes + lane).
+    let exec_outcome = |e: usize| out[batch_of[e / nlanes] * nlanes + e % nlanes];
+    let exec_occ = |e: usize| batches[batch_of[e / nlanes]].idx.len();
 
     // 0.0, not NaN, for an empty split: the serde_json shim writes NaN as
     // `null`, which would make the emitted document violate its own f64
@@ -1574,12 +1766,18 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     let (cold_trace_mean_ms, cache_hit_mean_ms) = split_means(&all_idx);
 
     // Per-backend A/B records, first-listed backend as the ratio anchor.
-    let mut backends = Vec::with_capacity(nb);
+    // A backend's view aggregates all its lanes (both optimizer levels
+    // when `--opt egraph` is on), so lookups are `batches × levels`.
+    let mut backends = Vec::with_capacity(regs.len());
     let mut first_mean = 0.0;
     for (ki, reg) in regs.iter().enumerate() {
-        let idx: Vec<usize> = (0..mix.len()).map(|i| i * nb + ki).collect();
+        let idx: Vec<usize> =
+            (0..mix.len()).flat_map(|i| (0..nl).map(move |li| i * nlanes + ki * nl + li)).collect();
         let b_lat: Vec<f64> = idx.iter().map(|&e| serving[e]).collect();
-        let hits = (0..nbatches).filter(|&bi| out[bi * nb + ki] == OUTCOME_HIT).count();
+        let hits = (0..nbatches)
+            .flat_map(|bi| (0..nl).map(move |li| bi * nlanes + ki * nl + li))
+            .filter(|&s| out[s] == OUTCOME_HIT)
+            .count();
         let busy_secs: f64 = b_lat.iter().sum::<f64>() / 1e3;
         let mean_ms = mean_of(&b_lat);
         if ki == 0 {
@@ -1590,10 +1788,10 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         backends.push(BackendRecord {
             backend: reg.name().to_string(),
             requests: mix.len(),
-            lookups: nbatches,
+            lookups: nbatches * nl,
             hits,
-            misses: nbatches - hits,
-            hit_rate: hits as f64 / nbatches as f64,
+            misses: nbatches * nl - hits,
+            hit_rate: hits as f64 / (nbatches * nl) as f64,
             requests_per_sec: if busy_secs > 0.0 {
                 mix.len() as f64 * clients as f64 / busy_secs
             } else {
@@ -1615,7 +1813,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         slots.fam_stackable.iter().map(|a| a.load(Ordering::Relaxed)).collect();
     let mut families = Vec::new();
     for (fi, family) in Family::ALL.iter().enumerate() {
-        let idx: Vec<usize> = (0..executions).filter(|&e| mix[e / nb].family == *family).collect();
+        let idx: Vec<usize> =
+            (0..executions).filter(|&e| mix[e / nlanes].family == *family).collect();
         if idx.is_empty() {
             continue;
         }
@@ -1633,6 +1832,64 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             batched_mean_ms: f_batched,
             batched_speedup: f_speedup,
         });
+    }
+
+    // Per-level A/B records and the per-family extracted-cost vs.
+    // measured-latency comparison. Slot `e`'s lane is `e % nlanes`, its
+    // level index within the lane is `lane % nl`.
+    let eg_map = slots.egraph.lock().expect("egraph reports").clone();
+    let budget_hits_total = slots.budget_hits.load(Ordering::Relaxed);
+    let level_slots =
+        |li: usize| -> Vec<usize> { (0..executions).filter(|&e| e % nlanes % nl == li).collect() };
+    let mut opt_levels = Vec::with_capacity(nl);
+    for (li, level) in levels.iter().enumerate() {
+        let lat: Vec<f64> = level_slots(li).iter().map(|&e| serving[e]).collect();
+        let is_egraph = *level == OptLevel::Egraph;
+        opt_levels.push(OptLevelRecord {
+            level: level.id().to_string(),
+            executions: lat.len(),
+            p50_ms: Samples::new(lat.clone()).median(),
+            mean_ms: mean_of(&lat),
+            changed_plans: if is_egraph {
+                eg_map.values().filter(|r| r.changed).count()
+            } else {
+                0
+            },
+            saturation_budget_hits: if is_egraph { budget_hits_total } else { 0 },
+        });
+    }
+    let mut opt_families = Vec::new();
+    if nl > 1 {
+        for family in Family::ALL.iter() {
+            let fam_level_lat = |li: usize| -> Vec<f64> {
+                (0..executions)
+                    .filter(|&e| mix[e / nlanes].family == *family && e % nlanes % nl == li)
+                    .map(|e| serving[e])
+                    .collect()
+            };
+            let p = fam_level_lat(0);
+            if p.is_empty() {
+                continue;
+            }
+            let g = fam_level_lat(1);
+            // The base-size entry anchors the cost columns; any size of
+            // the family is an acceptable stand-in (extraction is
+            // structural, so `changed` agrees across sizes).
+            let rep = eg_map
+                .get(&(*family, cfg.n))
+                .or_else(|| eg_map.iter().find(|((f, _), _)| f == family).map(|(_, r)| r));
+            let (pm, gm) = (mean_of(&p), mean_of(&g));
+            opt_families.push(OptFamilyRecord {
+                family: family.id().to_string(),
+                changed: rep.is_some_and(|r| r.changed),
+                budget_hit: rep.is_some_and(|r| r.budget_hit),
+                extracted_cost: rep.map_or(0, |r| r.extracted_cost),
+                original_cost: rep.map_or(0, |r| r.original_cost),
+                passes_mean_ms: pm,
+                egraph_mean_ms: gm,
+                egraph_speedup: if gm > 0.0 { pm / gm } else { 0.0 },
+            });
+        }
     }
 
     // The admission window's own record.
@@ -1713,6 +1970,12 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         },
         backends,
         families,
+        opt: cfg.opt.id().to_string(),
+        opt_levels,
+        opt_families,
+        opt_probes,
+        opt_mismatches,
+        saturation_budget_hits: budget_hits_total,
     })
 }
 
@@ -2065,6 +2328,94 @@ mod tests {
         assert!(report.batching.batched_speedup.is_finite());
         let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn passes_only_run_reports_single_level() {
+        // The default config must stay the pre-v6 serving loop bit for
+        // bit: one lane per backend, no probes, no egraph records.
+        let report = run_ok(&tiny_cfg());
+        assert_eq!(report.opt, "passes");
+        assert_eq!(report.opt_levels.len(), 1);
+        assert_eq!(report.opt_levels[0].level, "passes");
+        assert_eq!(report.opt_levels[0].executions, report.executions);
+        assert_eq!(report.opt_levels[0].changed_plans, 0);
+        assert_eq!(report.opt_levels[0].saturation_budget_hits, 0);
+        assert!(report.opt_families.is_empty());
+        assert_eq!((report.opt_probes, report.opt_mismatches), (0, 0));
+        assert_eq!(report.saturation_budget_hits, 0);
+    }
+
+    #[test]
+    fn opt_ab_interleaves_levels_and_discovers_rewrites() {
+        // n = 24 puts the chain family past the cost model's crossover
+        // (n³ SYRK > 2 penalized GEMVs above n ≈ 20), so reassociation is
+        // a modeled win; below it the model correctly keeps the input
+        // form (SYRK + one GEMV beats two memory-bound GEMVs).
+        let cfg = ServeConfig { opt: OptLevel::Egraph, n: 24, ..tiny_cfg() };
+        let report = run_ok(&cfg);
+        assert_eq!(report.opt, "egraph");
+        // Two lanes: every request executes once per level.
+        assert_eq!(report.executions, report.requests * 2);
+        assert_eq!(report.opt_levels.len(), 2);
+        assert_eq!(report.opt_levels[0].level, "passes");
+        assert_eq!(report.opt_levels[1].level, "egraph");
+        assert_eq!(report.opt_levels[0].executions, report.requests);
+        assert_eq!(report.opt_levels[1].executions, report.requests);
+        assert_eq!(report.opt_levels[0].changed_plans, 0);
+
+        // The acceptance claim: the e-graph discovers rewrites the pass
+        // pipeline misses on the E1–E5 stream. Chain is the guaranteed
+        // one — (HᵀH)x extracts to Hᵀ(Hx) under the GEMV-regime model.
+        assert!(report.opt_levels[1].changed_plans >= 1);
+        let chain =
+            report.opt_families.iter().find(|f| f.family == "chain").expect("chain family served");
+        assert!(chain.changed, "reassociation must be discovered: {chain:?}");
+        assert!(!chain.budget_hit);
+        assert!(
+            chain.extracted_cost < chain.original_cost,
+            "modeled win: {} < {}",
+            chain.extracted_cost,
+            chain.original_cost
+        );
+        assert!(chain.passes_mean_ms > 0.0 && chain.egraph_mean_ms > 0.0);
+        // Factoring (AB + AC → A(B+C)) and slice pushdown are size-
+        // independent wins; they must be discovered too.
+        let dist = report.opt_families.iter().find(|f| f.family == "distributive").unwrap();
+        assert!(dist.changed && dist.extracted_cost < dist.original_cost, "{dist:?}");
+        let slice = report.opt_families.iter().find(|f| f.family == "slice").unwrap();
+        assert!(slice.changed && slice.extracted_cost < slice.original_cost, "{slice:?}");
+        // Unchanged families report equal costs (ties keep the input).
+        for f in report.opt_families.iter().filter(|f| !f.changed && !f.budget_hit) {
+            assert_eq!(f.extracted_cost, f.original_cost, "{}", f.family);
+        }
+
+        // The soundness gate: every probe agreed within tolerance.
+        assert!(report.opt_probes > 0);
+        assert_eq!(report.opt_mismatches, 0, "cross-level mismatch");
+        assert_eq!(report.saturation_budget_hits, 0, "serving exprs are tiny");
+
+        // Per-level cache entries never alias: one compile per distinct
+        // (signature incl. level), and the A/B multiplicity is not
+        // misreported as signature drift beyond the churned stream's own
+        // retraces (the (callsite, backend, opt) key fix).
+        assert_eq!(report.cache.misses, report.distinct_signatures as u64);
+        let be = &report.backends[0];
+        assert_eq!(be.lookups, report.batching.batches * 2);
+        assert_eq!(be.hits + be.misses, be.lookups);
+
+        // v6 round-trips with the new records intact.
+        let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
+        assert_eq!(back, report);
+        assert_eq!(back.opt_families.len(), report.opt_families.len());
+    }
+
+    #[test]
+    fn builder_sets_opt_level() {
+        let cfg = ServeConfig::smoke_builder().opt(OptLevel::Egraph).build().expect("builds");
+        assert_eq!(cfg.opt, OptLevel::Egraph);
+        assert_eq!(cfg.opt_levels(), vec![OptLevel::Passes, OptLevel::Egraph]);
+        assert_eq!(ServeConfig::default().opt_levels(), vec![OptLevel::Passes]);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::time::Instant;
 use laab_backend::BackendId;
 
 use crate::plan::Plan;
-use crate::signature::Signature;
+use crate::signature::{OptLevel, Signature};
 
 /// How a [`PlanCache::get_or_compile`] call was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,14 +149,15 @@ pub struct PlanCache {
     /// 64-bit collision misclassifies one counter tick, nothing more.
     /// Bounded by the distinct signatures the process ever sees.
     evicted_sigs: Mutex<HashSet<u64>>,
-    /// `(callsite, backend)` → hash of the most recently compiled
-    /// signature, for the retrace distinction. The callsite is tracked
-    /// *per backend*: dispatching one callsite to a second backend is
-    /// that backend's first trace, not signature drift — an A/B run must
-    /// not inflate the retrace counter. Never acquired while a shard
-    /// lock is wanted by the same thread in the other order (shard →
-    /// seen only).
-    seen_funcs: Mutex<HashMap<(String, BackendId), u64>>,
+    /// `(callsite, backend, opt level)` → hash of the most recently
+    /// compiled signature, for the retrace distinction. The callsite is
+    /// tracked *per backend and per optimizer level*: dispatching one
+    /// callsite to a second backend — or compiling it through the second
+    /// `--opt` pipeline of an A/B run — is that key's first trace, not
+    /// signature drift, and must not inflate the retrace counter. Never
+    /// acquired while a shard lock is wanted by the same thread in the
+    /// other order (shard → seen only).
+    seen_funcs: Mutex<HashMap<(String, BackendId, OptLevel), u64>>,
 }
 
 impl PlanCache {
@@ -223,7 +224,7 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let retrace = {
             let mut seen = self.seen_funcs.lock().unwrap_or_else(|e| e.into_inner());
-            match seen.insert((sig.func().to_string(), sig.backend()), sig.hash()) {
+            match seen.insert((sig.func().to_string(), sig.backend(), sig.opt()), sig.hash()) {
                 Some(prev) => prev != sig.hash(),
                 None => false,
             }
@@ -426,6 +427,41 @@ mod tests {
         let (_, l) = cache.get_or_compile(s, || panic!("seed plan is cached"));
         assert_eq!(l, Lookup::Hit);
         assert_eq!(cache.stats().retraces, 0);
+    }
+
+    #[test]
+    fn opt_levels_get_independent_entries_and_no_retrace_ping_pong() {
+        // The --opt A/B shape: one callsite, one backend, both optimizer
+        // levels interleaved. The retrace key includes the opt level, so
+        // the alternation is two independent first traces — not
+        // signature drift — and subsequent alternating lookups are hits.
+        let cache = PlanCache::new(8);
+        let expr = var("A") * var("B");
+        let ctx = Context::new().with("A", 4, 4).with("B", 4, 4);
+        let p =
+            Signature::with_opt("f", &expr, &ctx, Dtype::F64, BackendId::ENGINE, OptLevel::Passes);
+        let g =
+            Signature::with_opt("f", &expr, &ctx, Dtype::F64, BackendId::ENGINE, OptLevel::Egraph);
+        let (_, l) = cache.get_or_compile(p.clone(), || tiny_plan(4));
+        assert_eq!(l, Lookup::Compiled { retrace: false });
+        let (_, l) = cache.get_or_compile(g.clone(), || tiny_plan(4));
+        assert_eq!(l, Lookup::Compiled { retrace: false }, "second opt level is a first trace");
+        assert!(cache.contains(&p) && cache.contains(&g));
+        assert_eq!(cache.len(), 2);
+        for _ in 0..3 {
+            let (_, l) = cache.get_or_compile(p.clone(), || panic!("passes plan is cached"));
+            assert_eq!(l, Lookup::Hit);
+            let (_, l) = cache.get_or_compile(g.clone(), || panic!("egraph plan is cached"));
+            assert_eq!(l, Lookup::Hit);
+        }
+        assert_eq!(cache.stats().retraces, 0, "A/B multiplicity is not signature drift");
+        // A genuine body change at one level still counts.
+        let re = var("A").t() * var("B");
+        let p2 =
+            Signature::with_opt("f", &re, &ctx, Dtype::F64, BackendId::ENGINE, OptLevel::Passes);
+        let (_, l) = cache.get_or_compile(p2, || tiny_plan(4));
+        assert_eq!(l, Lookup::Compiled { retrace: true });
+        assert_eq!(cache.stats().retraces, 1);
     }
 
     #[test]

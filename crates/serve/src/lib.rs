@@ -49,6 +49,14 @@
 //! paper's cross-strategy comparison axis, reproduced at the serving
 //! layer.
 //!
+//! Signatures also carry the [`OptLevel`] the plan compiles through:
+//! `--opt egraph` A/Bs the trace-time pass pipeline against
+//! `laab-rewrite`'s equality-saturation optimizer interleaved (each
+//! request compiles once per level, never aliased in the cache) and the
+//! report adds per-family extracted-cost vs. measured-latency records,
+//! cross-level numeric probes (`opt_mismatches`), and the saturation
+//! budget-hit fallback count.
+//!
 //! Surfaced on the CLI as `laab serve`.
 
 #![deny(missing_docs)]
@@ -66,14 +74,14 @@ pub mod workload;
 
 pub use admission::{AdmissionQueue, AdmissionStats, FlushKind, SubmitOutcome};
 pub use bench::{
-    run, AdmissionRecord, BackendRecord, OverloadRecord, ServeConfig, ServeConfigBuilder,
-    ServeError, ServeReport,
+    run, AdmissionRecord, BackendRecord, OptFamilyRecord, OptLevelRecord, OverloadRecord,
+    ServeConfig, ServeConfigBuilder, ServeError, ServeReport,
 };
 pub use cache::{CacheStats, Lookup, PlanCache};
 pub use fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
 pub use laab_backend::BackendId;
 pub use loadgen::{Arrival, LoadgenConfig, LoadgenReport};
-pub use plan::Plan;
+pub use plan::{EgraphReport, Plan};
 pub use proto::{FrameError, Message, RequestMsg, ResponseMsg};
 pub use server::{Listen, Server, ServerStats};
-pub use signature::{Dtype, Signature};
+pub use signature::{Dtype, OptLevel, Signature};

@@ -1,5 +1,6 @@
 //! The compiled plan: optimized graph + schedule, bound to a backend.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use laab_backend::{BackendId, BackendScalar, Registration};
@@ -10,6 +11,37 @@ use laab_framework::Framework;
 use laab_graph::{
     execute_batched_on, execute_scheduled_on, BatchAnalysis, Graph, PassStats, Schedule,
 };
+use laab_rewrite::{optimize_egraph, CostModel, EgraphConfig};
+
+use crate::signature::OptLevel;
+
+/// What equality saturation did while compiling one plan — recorded only
+/// on [`OptLevel::Egraph`] plans (a Passes plan never enters the e-graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgraphReport {
+    /// Modeled cost of the extracted expression.
+    pub extracted_cost: u64,
+    /// Modeled cost of the input expression, same units.
+    pub original_cost: u64,
+    /// Whether extraction chose a different tree than the input.
+    pub changed: bool,
+    /// Whether saturation tripped a budget and the plan fell back to the
+    /// input expression (counted by the serving report as
+    /// `saturation_budget_hits`).
+    pub budget_hit: bool,
+    /// Saturation rounds run.
+    pub iterations: usize,
+    /// E-nodes live when saturation stopped.
+    pub enodes: usize,
+}
+
+/// The extraction cost model, calibrated once per process from the
+/// measured `BENCH_gemm.json` curves when present (see
+/// [`CostModel::load_or_default`]); the built-in anchors otherwise.
+fn serve_cost_model() -> &'static CostModel {
+    static MODEL: OnceLock<CostModel> = OnceLock::new();
+    MODEL.get_or_init(|| CostModel::load_or_default(std::path::Path::new("BENCH_gemm.json")))
+}
 
 /// A compiled, reusable execution plan — the `ConcreteFunction` of the
 /// `tf.function` analogy.
@@ -32,6 +64,7 @@ pub struct Plan {
     build_secs: f64,
     stats: PassStats,
     backend: &'static Registration,
+    egraph: Option<EgraphReport>,
 }
 
 impl Plan {
@@ -61,12 +94,57 @@ impl Plan {
         backend: &'static Registration,
         varying: &[&str],
     ) -> Plan {
+        Self::compile_opt(fw, expr, ctx, backend, varying, OptLevel::Passes)
+    }
+
+    /// [`Plan::compile_with_varying`] through an explicit optimizer level.
+    ///
+    /// At [`OptLevel::Egraph`] the expression first goes through equality
+    /// saturation + cost-based extraction ([`laab_rewrite::optimize_egraph`])
+    /// so the framework traces the *normalized* form — `BatchAnalysis`
+    /// therefore analyzes the extracted expression, and a rewrite that
+    /// turns a GEMM chain into GEMV form changes what stacks. A saturation
+    /// budget hit falls back to the input expression (the plan still
+    /// compiles; [`Plan::egraph_report`] records the hit). The graph
+    /// passes then run as usual on either form.
+    pub fn compile_opt(
+        fw: &Framework,
+        expr: &Expr,
+        ctx: &Context,
+        backend: &'static Registration,
+        varying: &[&str],
+        opt: OptLevel,
+    ) -> Plan {
         let t0 = Instant::now();
-        let function = fw.function_from_expr(expr, ctx);
+        let (expr, egraph) = match opt {
+            OptLevel::Passes => (expr.clone(), None),
+            OptLevel::Egraph => {
+                let cfg = EgraphConfig { cost: *serve_cost_model(), ..Default::default() };
+                let r = optimize_egraph(expr, ctx, &cfg);
+                let report = EgraphReport {
+                    extracted_cost: r.best_cost,
+                    original_cost: r.original_cost,
+                    changed: r.changed,
+                    budget_hit: r.stats.budget_hit,
+                    iterations: r.stats.iterations,
+                    enodes: r.stats.enodes,
+                };
+                (r.best, Some(report))
+            }
+        };
+        let function = fw.function_from_expr(&expr, ctx);
         let (graph, _trace_time, stats) = function.into_plan_parts();
         let schedule = Schedule::new(&graph);
         let batch = BatchAnalysis::analyze(&graph, |name| varying.contains(&name));
-        Plan { build_secs: t0.elapsed().as_secs_f64(), graph, schedule, batch, stats, backend }
+        Plan {
+            build_secs: t0.elapsed().as_secs_f64(),
+            graph,
+            schedule,
+            batch,
+            stats,
+            backend,
+            egraph,
+        }
     }
 
     /// Execute the plan against fresh operand bindings, dispatching every
@@ -145,6 +223,12 @@ impl Plan {
     /// What the optimizer pipeline did during compilation.
     pub fn pass_stats(&self) -> PassStats {
         self.stats
+    }
+
+    /// What equality saturation did, for plans compiled at
+    /// [`OptLevel::Egraph`]; `None` on Passes-level plans.
+    pub fn egraph_report(&self) -> Option<EgraphReport> {
+        self.egraph
     }
 
     /// Peak intermediate workspace one in-flight execution needs, in
@@ -259,6 +343,69 @@ mod tests {
         for (env, b) in envs.iter().zip(&fallback) {
             assert_eq!(b, &plain.execute(env));
         }
+    }
+
+    #[test]
+    fn egraph_opt_normalizes_before_batch_analysis() {
+        // The Chain family as the serving loop submits it: (HᵀH)x, with x
+        // request-varying. The pass pipeline keeps the association, so the
+        // leading HᵀH GEMM survives; the e-graph level extracts Hᵀ(Hx)
+        // *before* tracing, so BatchAnalysis sees two stackable GEMVs.
+        let n = 32;
+        let fw = Framework::flow();
+        let expr = (var("H").t() * var("H")) * var("x");
+        let ctx = Context::new().with("H", n, n).with("x", n, 1);
+        let passes = Plan::compile_opt(
+            &fw,
+            &expr,
+            &ctx,
+            registry::default_backend(),
+            &["x"],
+            OptLevel::Passes,
+        );
+        let egraph = Plan::compile_opt(
+            &fw,
+            &expr,
+            &ctx,
+            registry::default_backend(),
+            &["x"],
+            OptLevel::Egraph,
+        );
+        assert!(passes.egraph_report().is_none());
+        let report = egraph.egraph_report().expect("egraph plans carry a report");
+        assert!(report.changed, "reassociation discovered");
+        assert!(!report.budget_hit);
+        assert!(report.extracted_cost < report.original_cost);
+
+        // Same math, different plan: both stack, and results agree tightly
+        // (the rewrite reorders floating-point accumulation).
+        assert!(passes.stackable() && egraph.stackable());
+        let mut g = OperandGen::new(23);
+        let env = Env::<f64>::new().with("H", g.matrix(n, n)).with("x", g.matrix(n, 1));
+        let a = passes.execute(&env);
+        let b = egraph.execute(&env);
+        assert!(a[0].approx_eq(&b[0], 1e-11), "opt levels must agree numerically");
+    }
+
+    #[test]
+    fn egraph_opt_is_identity_when_nothing_cheaper_exists() {
+        // SolveResidual's Hᵀ(y − Hx) is already optimal: the egraph plan
+        // must execute bitwise-identically to the passes plan.
+        let n = 16;
+        let fw = Framework::flow();
+        let expr = var("H").t() * (var("y") - var("H") * var("x"));
+        let ctx = Context::new().with("H", n, n).with("x", n, 1).with("y", n, 1);
+        let passes = Plan::compile(&fw, &expr, &ctx, registry::default_backend());
+        let egraph =
+            Plan::compile_opt(&fw, &expr, &ctx, registry::default_backend(), &[], OptLevel::Egraph);
+        let report = egraph.egraph_report().unwrap();
+        assert!(!report.changed, "ties keep the input form");
+        let mut g = OperandGen::new(77);
+        let env = Env::<f64>::new()
+            .with("H", g.matrix(n, n))
+            .with("x", g.matrix(n, 1))
+            .with("y", g.matrix(n, 1));
+        assert_eq!(passes.execute(&env), egraph.execute(&env), "unchanged extraction is bitwise");
     }
 
     #[test]

@@ -14,6 +14,49 @@ use laab_expr::{Context, Expr};
 
 pub use laab_backend::Dtype;
 
+/// The optimizer pipeline a plan is compiled through — part of the
+/// signature (and the retrace key), because `--opt` A/B runs compile the
+/// same request twice and the two plans must never alias.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// The trace-time graph passes alone (fold-transpose, CSE,
+    /// scale-fusion, DCE) — the default, and the pre-e-graph behavior.
+    #[default]
+    Passes,
+    /// Equality saturation first: the expression is interned into
+    /// `laab-rewrite`'s e-graph, saturated with the bidirectional rule
+    /// set, and the cheapest form under the measured-GFLOP/s cost model
+    /// is extracted *before* tracing (so `BatchAnalysis` sees the
+    /// normalized form); the graph passes then run as usual. On a
+    /// saturation budget hit the plan falls back to the input expression
+    /// and the serving report counts it.
+    Egraph,
+}
+
+impl OptLevel {
+    /// Every level, in CLI order.
+    pub const ALL: [OptLevel; 2] = [OptLevel::Passes, OptLevel::Egraph];
+
+    /// Stable lowercase identifier (CLI value, report field, hash input).
+    pub fn id(self) -> &'static str {
+        match self {
+            OptLevel::Passes => "passes",
+            OptLevel::Egraph => "egraph",
+        }
+    }
+
+    /// Parse a CLI identifier.
+    pub fn from_id(s: &str) -> Option<OptLevel> {
+        OptLevel::ALL.into_iter().find(|l| l.id() == s)
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// One declared operand inside a signature: name, shape, property bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct OperandSig {
@@ -40,6 +83,7 @@ pub struct Signature {
     operands: Vec<OperandSig>,
     dtype: Dtype,
     backend: BackendId,
+    opt: OptLevel,
     hash: u64,
 }
 
@@ -58,7 +102,7 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 impl Signature {
     /// Build the signature of calling `func` with `expr` over the operands
     /// declared in `ctx`, at element precision `dtype`, targeting
-    /// `backend`.
+    /// `backend`, compiled at the default [`OptLevel::Passes`].
     ///
     /// Every operand declared in `ctx` participates (callers build one
     /// minimal context per request family), so an unused-but-declared
@@ -66,6 +110,20 @@ impl Signature {
     /// differently-shaped tensor to a `tf.function` parameter the traced
     /// body happens to ignore.
     pub fn new(func: &str, expr: &Expr, ctx: &Context, dtype: Dtype, backend: BackendId) -> Self {
+        Self::with_opt(func, expr, ctx, dtype, backend, OptLevel::Passes)
+    }
+
+    /// [`Signature::new`] with an explicit optimizer level. The level is
+    /// hashed and compared like every other component: an `--opt` A/B run
+    /// compiles one request per level and the entries never alias.
+    pub fn with_opt(
+        func: &str,
+        expr: &Expr,
+        ctx: &Context,
+        dtype: Dtype,
+        backend: BackendId,
+        opt: OptLevel,
+    ) -> Self {
         let canon = expr.to_string();
         let mut operands = Vec::with_capacity(ctx.len());
         for name in ctx.names() {
@@ -91,7 +149,9 @@ impl Signature {
         h = fnv1a(h, &[0xff, if dtype == Dtype::F32 { 0x01 } else { 0x02 }]);
         h = fnv1a(h, &[0xff]);
         h = fnv1a(h, backend.name().as_bytes());
-        Self { func: func.to_string(), canon, operands, dtype, backend, hash: h }
+        h = fnv1a(h, &[0xff]);
+        h = fnv1a(h, opt.id().as_bytes());
+        Self { func: func.to_string(), canon, operands, dtype, backend, opt, hash: h }
     }
 
     /// The stable 64-bit hash (cache shard + bucket key; equality still
@@ -120,6 +180,11 @@ impl Signature {
     pub fn backend(&self) -> BackendId {
         self.backend
     }
+
+    /// The optimizer pipeline the plan is compiled through.
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
 }
 
 impl std::fmt::Display for Signature {
@@ -134,7 +199,7 @@ impl std::fmt::Display for Signature {
                 write!(f, "*")?;
             }
         }
-        write!(f, "] {} @{}", self.dtype.name(), self.backend)
+        write!(f, "] {} @{} opt={}", self.dtype.name(), self.backend, self.opt)
     }
 }
 
@@ -176,6 +241,23 @@ mod tests {
         // Different property flags on an operand.
         let pctx = Context::new().with_props("A", 8, 8, Props::SYMMETRIC).with("B", 8, 8);
         assert_ne!(base, Signature::new("f", &e, &pctx, Dtype::F64, BackendId::ENGINE));
+        // Different optimizer level: the --opt A/B axis — one plan per
+        // level, never aliased.
+        let eg =
+            Signature::with_opt("f", &e, &ctx(8), Dtype::F64, BackendId::ENGINE, OptLevel::Egraph);
+        assert_ne!(base, eg);
+        assert_ne!(base.hash(), eg.hash());
+        assert_eq!(base.opt(), OptLevel::Passes);
+        assert_eq!(eg.opt(), OptLevel::Egraph);
+    }
+
+    #[test]
+    fn opt_level_ids_round_trip() {
+        for l in OptLevel::ALL {
+            assert_eq!(OptLevel::from_id(l.id()), Some(l));
+        }
+        assert_eq!(OptLevel::from_id("nope"), None);
+        assert_eq!(OptLevel::default(), OptLevel::Passes);
     }
 
     #[test]
@@ -201,6 +283,7 @@ mod tests {
         assert!(text.contains("4x4"), "{text}");
         assert!(text.contains("f32"), "{text}");
         assert!(text.contains("@seed"), "{text}");
+        assert!(text.contains("opt=passes"), "{text}");
         assert_eq!(s.backend(), BackendId::SEED);
     }
 

@@ -14,7 +14,7 @@ use laab_expr::eval::Env;
 use laab_expr::{elem, var, Context, Expr};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use crate::signature::{Dtype, Signature};
+use crate::signature::{Dtype, OptLevel, Signature};
 
 /// One request family: a callsite with a fixed expression structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,12 +180,20 @@ impl Request {
     /// signatures — that is what keeps A/B cache entries independent.
     /// The payload does not participate: same shapes, same plan.
     pub fn signature(&self, backend: BackendId) -> Signature {
-        Signature::new(
+        self.signature_opt(backend, OptLevel::Passes)
+    }
+
+    /// [`Request::signature`] at an explicit optimizer level — the
+    /// `--opt` A/B axis: one logical request compiled at two levels is
+    /// two cache entries, exactly like the backend axis.
+    pub fn signature_opt(&self, backend: BackendId, opt: OptLevel) -> Signature {
+        Signature::with_opt(
             self.family.id(),
             &self.family.expr(self.n),
             &self.family.ctx(self.n),
             self.dtype,
             backend,
+            opt,
         )
     }
 

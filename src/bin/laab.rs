@@ -75,6 +75,14 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
                      (built-ins: engine, seed, reference; first = baseline)
     --dtype D        pin request precision: f32 | f64 | mixed
                                                    [default: mixed]
+    --opt LEVEL      optimizer pipeline: passes | egraph
+                     `passes` compiles through the trace-time graph
+                     passes alone; `egraph` A/Bs them against equality
+                     saturation + cost-based extraction under the same
+                     interleaved traffic, reports per-family extracted
+                     cost vs measured latency, and numerically probes the
+                     two pipelines against each other
+                                                   [default: passes]
     --batch-window N admission window: coalesce up to N pending
                      same-signature requests into one batched (multi-RHS)
                      execution                     [default: 8]
@@ -421,6 +429,12 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
             "--seed" => builder = builder.seed(parse_num(args.next(), "--seed")?),
             "--backends" => builder = builder.backends(parse_list(args.next(), "--backends")?),
             "--dtype" => builder = builder.dtype(parse_dtype(args.next())?),
+            "--opt" => {
+                let value = args.next().ok_or("--opt requires a level (passes | egraph)")?;
+                let level = laab::serve::OptLevel::from_id(&value)
+                    .ok_or_else(|| format!("unknown --opt level `{value}` (passes | egraph)"))?;
+                builder = builder.opt(level);
+            }
             "--batch-window" => {
                 builder = builder.batch_window(parse_num(args.next(), "--batch-window")?);
             }
@@ -647,11 +661,12 @@ fn run_serve(args: ServeArgs) -> ExitCode {
         };
     }
     eprintln!(
-        "serving {} synthetic requests ({} protocol, base n = {}, backends: {}, {})...",
+        "serving {} synthetic requests ({} protocol, base n = {}, backends: {}, opt: {}, {})...",
         args.cfg.requests,
         if args.cfg.smoke { "smoke" } else { "full" },
         args.cfg.n,
         args.cfg.backends.join(","),
+        if args.cfg.opt == serve::OptLevel::Egraph { "egraph A/B" } else { "passes" },
         if args.cfg.batching_enabled() {
             format!("batch window {}", args.cfg.batch_window)
         } else {
@@ -671,6 +686,32 @@ fn run_serve(args: ServeArgs) -> ExitCode {
         emit(&report.summary_table().to_string());
         if report.backends.len() > 1 {
             emit(&report.backend_table().to_string());
+        }
+        if report.opt_levels.len() > 1 {
+            let levels = report
+                .opt_levels
+                .iter()
+                .map(|l| format!("{} p50 {:.3} ms / mean {:.3} ms", l.level, l.p50_ms, l.mean_ms))
+                .collect::<Vec<_>>()
+                .join("; ");
+            emit(&format!(
+                "optimizer A/B: {levels}; {} probes, {} mismatches, {} budget hits",
+                report.opt_probes, report.opt_mismatches, report.saturation_budget_hits,
+            ));
+            for f in &report.opt_families {
+                if f.changed {
+                    emit(&format!(
+                        "  {}: egraph found a cheaper plan (cost {} -> {}), \
+                         measured {:.3} ms vs {:.3} ms ({:.2}x)",
+                        f.family,
+                        f.original_cost,
+                        f.extracted_cost,
+                        f.passes_mean_ms,
+                        f.egraph_mean_ms,
+                        f.egraph_speedup,
+                    ));
+                }
+            }
         }
         emit(&format!(
             "{:.0} executions/s over {} clients; p50 {:.3} ms, p99 {:.3} ms\n\
