@@ -2,7 +2,8 @@
 
 use laab_dense::{Matrix, Scalar, Tridiagonal};
 use laab_kernels::{
-    geadd, geadd_assign, gescale_assign, matmul_dispatch, matmul_multi_rhs, tridiag_matmul, Trans,
+    geadd, geadd_assign, gescale_assign, matmul_dispatch, matmul_multi_rhs_parts, tridiag_matmul,
+    Trans,
 };
 
 use crate::{Backend, BackendId};
@@ -48,7 +49,10 @@ impl<T: Scalar> Backend<T> for EngineBackend {
         if bs.len() < 2 || !uniform || a_bytes <= L1_BYTES {
             return bs.iter().map(|b| self.matmul(alpha, a, ta, b, Trans::No)).collect();
         }
-        matmul_multi_rhs(alpha, a, ta, bs).split_cols(bs.len())
+        // Zero-copy outputs: the multi-RHS sweep writes each part's
+        // columns straight into its own matrix — no stacked C, no
+        // `split_cols` second pass.
+        matmul_multi_rhs_parts(alpha, a, ta, bs)
     }
 
     fn geadd(&self, alpha: T, a: &Matrix<T>, beta: T, b: &Matrix<T>) -> Matrix<T> {

@@ -1,6 +1,6 @@
 //! Cross-backend equivalence: for random plans drawn from the serving
 //! workload's E1–E5 (+ solver-residual) families, the `reference`,
-//! `seed`, and `engine` backends agree on every output.
+//! `seed`, `engine`, and `deferred` backends agree on every output.
 //!
 //! ## The numerical contract, documented
 //!
@@ -22,6 +22,20 @@
 //! * whole plans whose products are all vector-shaped (the solver
 //!   residual: GEMV/DOT shapes only), where `seed` and `engine` share
 //!   the exact same un-frozen kernels — asserted below.
+//!
+//! ## The deferred tape's bounds
+//!
+//! The `deferred` backend queues ops on a tape and fuses at flush, on top
+//! of the engine kernels. With fusion **off** (and with it on, whenever
+//! the pass only regroups launches) every value is **bitwise** the
+//! engine's: the identical kernels run in the identical order, only the
+//! launch accounting changes. Two fusion rules genuinely alter kernels:
+//! scale-folding moves a scalar into the GEMM `alpha` (one different
+//! rounding per output element), and same-LHS coalescing runs the
+//! engine's column-stacked multi-RHS path (the same FMA-chain drift its
+//! request batching carries). Both are ULP-level; the bounds asserted
+//! here — `1e-11` (f64) / `1e-3` (f32) relative — match what the serve
+//! harness's equivalence probes use.
 
 use laab_backend::{registry, BackendScalar};
 use laab_dense::Matrix;
@@ -62,6 +76,27 @@ fn rel_dist<T: laab_dense::Scalar>(a: &[Matrix<T>], b: &[Matrix<T>]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x.rel_dist(y)).fold(0.0, f64::max)
 }
 
+/// Execute one family's plan through the engine directly and through the
+/// deferred tape (zero modeled launch cost — these are value tests) with
+/// fusion on and off. Returns `[engine, fused, unfused]` output sets.
+fn engine_vs_tape<T: BackendScalar>(family: Family, n: usize, seed: u64) -> [Vec<Matrix<T>>; 3] {
+    let fw = Framework::flow();
+    let function = fw.function_from_expr(&family.expr(n), &family.ctx(n));
+    let (graph, _trace, _stats) = function.into_plan_parts();
+    let schedule = Schedule::new(&graph);
+    let env = family.env::<T>(n, seed);
+    let backend = registry::find("engine")
+        .expect("engine is always registered")
+        .resolve::<T>()
+        .expect("engine supports both dtypes");
+    let engine = execute_scheduled_on(&graph, &schedule, &env, backend);
+    let tape = |fuse: bool| {
+        let tuning = laab_deferred::Tuning { dispatch_ns: 0, fuse, ..Default::default() };
+        laab_deferred::with_tuning(tuning, || laab_deferred::execute_plan(&graph, &schedule, &env))
+    };
+    [engine, tape(true), tape(false)]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -75,7 +110,11 @@ proptest! {
         n in 4usize..32,
     ) {
         let family = Family::ALL[fam];
-        let names = ["reference", "seed", "engine"];
+        // `deferred` joins through its per-node surface here (every op
+        // its own dispatch group — engine kernels, engine values); the
+        // tape surface gets its own property below.
+        laab_deferred::ensure_registered();
+        let names = ["reference", "seed", "engine", "deferred"];
 
         let f64_outs = run_backends::<f64>(family, n, seed, &names);
         for (i, name) in names.iter().enumerate() {
@@ -111,6 +150,38 @@ proptest! {
         prop_assert_eq!(&outs[0], &outs[1]);
         let outs32 = run_backends::<f32>(Family::SolveResidual, n, seed, &["seed", "engine"]);
         prop_assert_eq!(&outs32[0], &outs32[1]);
+    }
+
+    /// The deferred tape vs the engine, all six families × both dtypes:
+    /// with fusion off the tape is a pure reordering of launches, so it
+    /// must be **bitwise** the engine; with fusion on, the two
+    /// value-changing rewrites (alpha folding, same-LHS coalescing) stay
+    /// within the documented ULP bound the serve probes assert.
+    #[test]
+    fn deferred_tape_matches_engine_within_documented_bounds(
+        seed in any::<u64>(),
+        fam in 0usize..Family::ALL.len(),
+        n in 4usize..32,
+    ) {
+        let family = Family::ALL[fam];
+
+        let [engine, fused, unfused] = engine_vs_tape::<f64>(family, n, seed);
+        prop_assert_eq!(&unfused, &engine, "f64 unfused tape must be bitwise engine");
+        let d = rel_dist(&fused, &engine);
+        prop_assert!(
+            d <= 1e-11,
+            "fused tape drifted {d:e} vs engine (f64, family {}, n {n})",
+            family.id()
+        );
+
+        let [engine32, fused32, unfused32] = engine_vs_tape::<f32>(family, n, seed);
+        prop_assert_eq!(&unfused32, &engine32, "f32 unfused tape must be bitwise engine");
+        let d32 = rel_dist(&fused32, &engine32);
+        prop_assert!(
+            d32 <= 1e-3,
+            "fused tape drifted {d32:e} vs engine (f32, family {}, n {n})",
+            family.id()
+        );
     }
 
     /// Batched paths: for every family and every backend, coalescing a

@@ -29,20 +29,24 @@ pub struct BenchSpec {
 /// Schema tag of `laab-serve`'s report. Mirrored here (rather than
 /// imported) because `laab-core` sits below `laab-serve` in the crate
 /// graph; `laab-serve`'s tests assert the two constants stay equal.
-/// `v6`: the optimizer A/B — the report records the configured `opt`
-/// level, per-level latency records (`opt_levels`), the per-family
-/// extracted-cost vs measured-latency comparison (`opt_families`),
-/// cross-level numeric probe counts (`opt_probes`/`opt_mismatches`),
-/// and the `saturation_budget_hits` e-graph fallback count. (`v5` added
-/// the overload sweep through a bounded backlog with request deadlines.)
-pub const SERVE_SCHEMA: &str = "laab-serve-bench-v6";
+/// `v7`: the `deferred` record — tape lengths, flush reasons, fused vs
+/// unfused op counts, the modeled dispatch-vs-compute split per family,
+/// the fusion-on/off A/B, and engine-vs-tape equivalence probe counts.
+/// (`v6` added the optimizer A/B: `opt_levels`, `opt_families`,
+/// cross-level probe counts, and the `saturation_budget_hits` e-graph
+/// fallback count; `v5` the overload sweep through a bounded backlog
+/// with request deadlines.)
+pub const SERVE_SCHEMA: &str = "laab-serve-bench-v7";
 
 /// Schema tag of `laab loadgen`'s client-side report. Mirrored for the
 /// same reason as [`SERVE_SCHEMA`]; `laab-serve`'s tests hold the pair
-/// equal. `v2`: per-run rejection classes (`busy`/`expired`/`failed`),
-/// retry counts, pressure flushes, and offered-vs-goodput rates on top
-/// of v1's RTT percentiles, queue delay, and bitwise mismatch count.
-pub const LOADGEN_SCHEMA: &str = "laab-loadgen-v2";
+/// equal. `v3`: trace replay — the arrival process can be
+/// `replay:<file>` (recorded inter-arrival gaps), and the report names
+/// the source trace and its gap percentiles. (`v2` added per-run
+/// rejection classes (`busy`/`expired`/`failed`), retry counts,
+/// pressure flushes, and offered-vs-goodput rates on top of v1's RTT
+/// percentiles, queue delay, and bitwise mismatch count.)
+pub const LOADGEN_SCHEMA: &str = "laab-loadgen-v3";
 
 /// Every benchmark report format, in CLI order.
 pub const BENCHES: [BenchSpec; 4] = [

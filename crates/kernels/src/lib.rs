@@ -54,7 +54,9 @@ mod view;
 mod workspace;
 
 pub use dispatch::matmul_dispatch;
-pub use gemm::{gemm, gemm_multi_rhs, matmul, matmul_multi_rhs};
+pub use gemm::{
+    gemm, gemm_multi_rhs, gemm_multi_rhs_into, matmul, matmul_multi_rhs, matmul_multi_rhs_parts,
+};
 pub use level1::{axpy, dot, nrm2, scal};
 pub use level2::{gemv, gemv_alloc, ger};
 pub use parallel::{num_threads, parallel_for, parallel_row_chunks, set_num_threads};

@@ -66,6 +66,12 @@ impl<'a, T: Scalar> MutView<'a, T> {
         &mut self.data[i * self.rs + j]
     }
 
+    /// Reborrow: a shorter-lived view of the same panel, letting callers
+    /// pass the view by value without giving it up.
+    pub fn reborrow(&mut self) -> MutView<'_, T> {
+        MutView { data: &mut *self.data, rows: self.rows, cols: self.cols, rs: self.rs }
+    }
+
     /// Mutable sub-view of rows `[r0, r1)` and columns `[c0, c1)`.
     pub fn sub(&mut self, r0: usize, r1: usize, c0: usize, c1: usize) -> MutView<'_, T> {
         debug_assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);

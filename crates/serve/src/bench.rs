@@ -60,15 +60,17 @@ use crate::signature::OptLevel;
 use crate::workload::{synthetic_mix, Family, Request};
 
 /// Schema tag of the `BENCH_serve.json` report, bumped on breaking
-/// changes. `v6`: the optimizer A/B — the report records the configured
-/// `opt` level, per-level latency records (`opt_levels`), the per-family
-/// extracted-cost vs. measured-latency comparison (`opt_families`), the
-/// post-drain cross-level numeric probes (`opt_probes` /
-/// `opt_mismatches`), and the `saturation_budget_hits` fallback count.
-/// (`v5` added the overload sweep through a bounded backlog; `v4` the
-/// live deadline-or-occupancy `admission` record and the window ×
-/// arrival-rate `sweep` grid.)
-pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v6";
+/// changes. `v7`: the `deferred` record — when the lazy tape backend is
+/// among `--backends`, the report carries its tape/flush/fusion counters
+/// (tape lengths, flush reasons, fused vs. unfused op counts), the
+/// modeled dispatch-vs-compute nanosecond split per family, the
+/// interleaved fusion-on/fusion-off A/B, and post-drain engine-vs-tape
+/// equivalence probes. (`v6` added the optimizer A/B: `opt_levels`,
+/// `opt_families`, cross-level probes, and the
+/// `saturation_budget_hits` fallback count; `v5` the overload sweep
+/// through a bounded backlog; `v4` the live deadline-or-occupancy
+/// `admission` record and the window × arrival-rate `sweep` grid.)
+pub const SERVE_REPORT_SCHEMA: &str = "laab-serve-bench-v7";
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +153,15 @@ pub struct ServeConfig {
     /// the report adds per-level and per-family comparisons plus
     /// cross-level numeric probes.
     pub opt: OptLevel,
+    /// Modeled accelerator dispatch latency of the `deferred` backend,
+    /// microseconds **per flush group** (not per op — amortizing this
+    /// constant over fused groups is the whole point of the tape).
+    /// Ignored unless `deferred` is among the backends.
+    pub dispatch_us: u64,
+    /// Whether the `deferred` backend's flush pass fuses queued ops
+    /// (`false` = one dispatch group per op — the unfused baseline the
+    /// report's fusion A/B measures against).
+    pub fusion: bool,
 }
 
 impl Default for ServeConfig {
@@ -175,6 +186,8 @@ impl Default for ServeConfig {
             read_timeout_ms: 30_000,
             faults: None,
             opt: OptLevel::Passes,
+            dispatch_us: 5,
+            fusion: true,
         }
     }
 }
@@ -231,6 +244,16 @@ impl ServeConfig {
         match self.opt {
             OptLevel::Passes => vec![OptLevel::Passes],
             OptLevel::Egraph => vec![OptLevel::Passes, OptLevel::Egraph],
+        }
+    }
+
+    /// The deferred backend's tape tuning for this run: the configured
+    /// dispatch charge and fusion switch over the default tape capacity.
+    pub fn deferred_tuning(&self) -> laab_deferred::Tuning {
+        laab_deferred::Tuning {
+            dispatch_ns: self.dispatch_us.saturating_mul(1_000),
+            fuse: self.fusion,
+            ..laab_deferred::Tuning::default()
         }
     }
 
@@ -389,6 +412,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Modeled dispatch latency of the `deferred` backend, µs per flush
+    /// group.
+    pub fn dispatch_us(mut self, v: u64) -> Self {
+        self.cfg.dispatch_us = v;
+        self
+    }
+
+    /// Enable or disable flush-time fusion on the `deferred` backend.
+    pub fn fusion(mut self, v: bool) -> Self {
+        self.cfg.fusion = v;
+        self
+    }
+
     /// Validate and produce the config.
     ///
     /// # Errors
@@ -525,7 +561,7 @@ impl std::fmt::Display for ServeError {
             ServeError::BadArrival(spec) => write!(
                 f,
                 "unintelligible arrival process `{spec}` \
-                 (use closed, poisson:<rate>, or bursty:<rate>x<burst>)"
+                 (use closed, poisson:<rate>, bursty:<rate>x<burst>, or replay:<file>)"
             ),
             ServeError::Bind { addr, source } => write!(f, "failed to bind {addr}: {source}"),
             ServeError::Connect { addr, source } => {
@@ -594,6 +630,11 @@ impl PartialEq for ServeError {
 /// Resolve the configured backend names against the registry, rejecting
 /// unknowns and duplicates with a CLI-grade error.
 pub(crate) fn resolve_backends(names: &[String]) -> Result<Vec<&'static Registration>, ServeError> {
+    // The deferred backend lives above laab-backend in the crate graph,
+    // so the registry only knows it once its crate has been touched;
+    // make `--backends deferred` (and the error message's "available"
+    // list) work without the caller knowing that.
+    laab_deferred::ensure_registered();
     if names.is_empty() {
         return Err(ServeError::NoBackends);
     }
@@ -880,6 +921,88 @@ pub struct OptFamilyRecord {
     pub egraph_speedup: f64,
 }
 
+/// One family's share of the deferred backend's accounting: where its
+/// tape ops went (groups, fused vs. unfused) and what the modeled
+/// dispatch charge cost next to the measured kernel time — the
+/// per-family dispatch-vs-compute split the cost model exists to expose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeferredFamilyRecord {
+    /// Family identifier ([`Family::id`]).
+    pub family: String,
+    /// Ops this family's plans queued on tapes.
+    pub tape_ops: u64,
+    /// Flush groups dispatched (each charged one dispatch latency).
+    pub groups: u64,
+    /// Ops executed inside multi-op (fused) groups.
+    pub fused_ops: u64,
+    /// Ops dispatched alone.
+    pub unfused_ops: u64,
+    /// Modeled dispatch nanoseconds charged (`groups × dispatch_us ×
+    /// 1000`, exactly — the charge is a configured constant).
+    pub dispatch_ns: u64,
+    /// Measured kernel nanoseconds inside flush groups.
+    pub compute_ns: u64,
+    /// `dispatch_ns / (dispatch_ns + compute_ns)` — the fraction of this
+    /// family's deferred time that was launch overhead, not math.
+    pub dispatch_share: f64,
+    /// Mean per-request latency of the fusion-on A/B leg, ms.
+    pub fused_mean_ms: f64,
+    /// Mean per-request latency of the fusion-off leg (one dispatch
+    /// group per op) over the same requests, interleaved.
+    pub unfused_mean_ms: f64,
+    /// `unfused_mean_ms / fused_mean_ms` — what flush-time fusion buys
+    /// this family under the configured dispatch cost (`0.0` when
+    /// unmeasured).
+    pub fused_speedup: f64,
+}
+
+/// The deferred backend's view of the run: tape/flush/fusion counters
+/// summed over every serving leg, the modeled dispatch-vs-compute split,
+/// the interleaved fusion A/B, and the post-drain engine-equivalence
+/// probes. Present in every report; all-zero with `enabled: false` when
+/// `deferred` was not among the backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeferredRecord {
+    /// Whether the deferred backend was among `--backends`.
+    pub enabled: bool,
+    /// The configured per-group dispatch charge, µs.
+    pub dispatch_us: u64,
+    /// Whether flush-time fusion was on for the serving legs.
+    pub fusion: bool,
+    /// Tape capacity (queued ops that force a capacity flush).
+    pub tape_capacity: usize,
+    /// Total ops queued on tapes across all serving legs.
+    pub tape_ops: u64,
+    /// Longest tape observed at any flush.
+    pub max_tape_len: u64,
+    /// Flushes forced by a full tape.
+    pub flush_capacity: u64,
+    /// Flushes forced by an output materialization.
+    pub flush_materialize: u64,
+    /// Flushes forced by a host-side op reading a pending value.
+    pub flush_barrier: u64,
+    /// Dispatch groups launched (the unit the dispatch charge bills).
+    pub groups: u64,
+    /// Ops executed inside multi-op (fused) groups.
+    pub fused_ops: u64,
+    /// Ops dispatched alone.
+    pub unfused_ops: u64,
+    /// Total modeled dispatch nanoseconds (`groups × dispatch_us ×
+    /// 1000`, exactly — CI asserts this identity).
+    pub dispatch_ns: u64,
+    /// Total measured kernel nanoseconds inside flush groups.
+    pub compute_ns: u64,
+    /// Post-drain engine-vs-deferred equivalence probes executed (one
+    /// per distinct `(family, size, dtype)`).
+    pub probes: usize,
+    /// Probes disagreeing beyond the documented tolerance (relative
+    /// distance > 1e-9 f64 / > 1e-3 f32). Soundness gate: CI asserts 0.
+    pub mismatches: u64,
+    /// Per-family splits, in [`Family::ALL`] order (families the stream
+    /// never exercised are omitted).
+    pub families: Vec<DeferredFamilyRecord>,
+}
+
 /// The full machine-readable report (`BENCH_serve.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -977,6 +1100,9 @@ pub struct ServeReport {
     /// E-graph compiles that hit a saturation budget and fell back to
     /// the pass pipeline.
     pub saturation_budget_hits: u64,
+    /// The deferred backend's tape/flush/fusion accounting and fusion
+    /// A/B (`enabled: false`, all-zero, when `deferred` was not served).
+    pub deferred: DeferredRecord,
 }
 
 impl ServeReport {
@@ -1117,6 +1243,23 @@ struct Slots {
     egraph: Mutex<HashMap<(Family, usize), EgraphReport>>,
     /// E-graph compiles that hit a saturation budget and fell back.
     budget_hits: AtomicU64,
+    /// Per-family deferred-backend accounting, indexed by position in
+    /// [`Family::ALL`] (untouched when `deferred` is not a lane).
+    deferred: Mutex<Vec<DeferredAccum>>,
+}
+
+/// One family's accumulated deferred-backend numbers: the tape counters
+/// drained from the serving legs plus the interleaved fusion A/B sums.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeferredAccum {
+    /// Tape/flush/fusion/dispatch counters from the serving legs.
+    stats: laab_deferred::RunStats,
+    /// Total wall nanoseconds of the fusion-on A/B legs.
+    fused_ns: u64,
+    /// Total wall nanoseconds of the fusion-off legs, same requests.
+    unfused_ns: u64,
+    /// Requests the A/B legs drove (denominator for both means).
+    ab_requests: u64,
 }
 
 /// Drive one batch through every `(backend, level)` lane, interleaved.
@@ -1132,6 +1275,7 @@ fn drive_batch<T: BackendScalar>(
     cache: &PlanCache,
     fw: &Framework,
     slots: &Slots,
+    dtuning: laab_deferred::Tuning,
 ) {
     let nb = lanes.len();
     let occ = batch.idx.len();
@@ -1194,26 +1338,73 @@ fn drive_batch<T: BackendScalar>(
             t.elapsed().as_nanos() as u64
         };
 
-        if occ >= 2 {
-            // Interleave the two legs, alternating which goes first.
-            let (solo_each, batched_total) = if (bi + ki).is_multiple_of(2) {
-                let s = run_solo();
-                (s, run_batched())
+        let legs = || {
+            if occ >= 2 {
+                // Interleave the two legs, alternating which goes first.
+                let (solo_each, batched_total) = if (bi + ki).is_multiple_of(2) {
+                    let s = run_solo();
+                    (s, run_batched())
+                } else {
+                    let b = run_batched();
+                    (run_solo(), b)
+                };
+                let share = (lookup_ns + batched_total) / occ as u64;
+                for (j, &r) in batch.idx.iter().enumerate() {
+                    slots.solo[r * nb + ki].store(solo_each[j], Ordering::Relaxed);
+                    slots.batched[r * nb + ki].store(batched_total / occ as u64, Ordering::Relaxed);
+                    slots.serving[r * nb + ki].store(share, Ordering::Relaxed);
+                }
             } else {
-                let b = run_batched();
-                (run_solo(), b)
-            };
-            let share = (lookup_ns + batched_total) / occ as u64;
-            for (j, &r) in batch.idx.iter().enumerate() {
-                slots.solo[r * nb + ki].store(solo_each[j], Ordering::Relaxed);
-                slots.batched[r * nb + ki].store(batched_total / occ as u64, Ordering::Relaxed);
-                slots.serving[r * nb + ki].store(share, Ordering::Relaxed);
+                let solo_each = run_solo();
+                let r = batch.idx[0];
+                slots.solo[r * nb + ki].store(solo_each[0], Ordering::Relaxed);
+                slots.serving[r * nb + ki].store(lookup_ns + solo_each[0], Ordering::Relaxed);
             }
+        };
+        if reg.name() == laab_deferred::BACKEND_NAME {
+            // Deferred lane: run the serving legs under the configured
+            // tape tuning and drain the thread-local counters they
+            // accumulate, then drive an extra interleaved fusion-on vs.
+            // fusion-off pair (per-request tapes both ways — the only
+            // variable is whether the flush pass fuses). The A/B legs'
+            // own counters are discarded: the reported tape stats
+            // describe the serving legs alone.
+            let _ = laab_deferred::take_run_stats();
+            laab_deferred::with_tuning(dtuning, legs);
+            let stats = laab_deferred::take_run_stats();
+            // The A/B replays the batch in its serving shape: coalesced
+            // windows go through `execute_batched`, so fusion-off pays
+            // one launch per right-hand side where fusion-on pays one
+            // per window — the cross-request fusion win, measured on the
+            // chain/solve windows where it exists.
+            let ab = |fuse: bool| -> u64 {
+                let t = Instant::now();
+                laab_deferred::with_tuning(laab_deferred::Tuning { fuse, ..dtuning }, || {
+                    if occ >= 2 {
+                        std::hint::black_box(plan.execute_batched::<T>(envs));
+                    } else {
+                        std::hint::black_box(plan.execute::<T>(envs[0]));
+                    }
+                });
+                t.elapsed().as_nanos() as u64
+            };
+            let (fused_ns, unfused_ns) = if (bi + ki).is_multiple_of(2) {
+                let f = ab(true);
+                (f, ab(false))
+            } else {
+                let u = ab(false);
+                (ab(true), u)
+            };
+            let _ = laab_deferred::take_run_stats();
+            let fam_idx = Family::ALL.iter().position(|f| *f == req0.family).unwrap();
+            let mut acc = slots.deferred.lock().expect("deferred accounting");
+            let a = &mut acc[fam_idx];
+            a.stats.merge(&stats);
+            a.fused_ns += fused_ns;
+            a.unfused_ns += unfused_ns;
+            a.ab_requests += occ as u64;
         } else {
-            let solo_each = run_solo();
-            let r = batch.idx[0];
-            slots.solo[r * nb + ki].store(solo_each[0], Ordering::Relaxed);
-            slots.serving[r * nb + ki].store(lookup_ns + solo_each[0], Ordering::Relaxed);
+            legs();
         }
     }
 }
@@ -1257,6 +1448,52 @@ fn probe_levels<T: BackendScalar>(
     let passes = run(OptLevel::Passes);
     let egraph = run(OptLevel::Egraph);
     passes.len() != egraph.len() || passes.iter().zip(&egraph).any(|(a, b)| !a.approx_eq(b, tol))
+}
+
+/// Execute one request's plan through `engine` and through the deferred
+/// tape on identical bindings and compare — the deferred soundness
+/// probe. Fusion's value-changing rewrites (alpha folding, same-LHS
+/// coalescing) are ULP-level, so the tolerance matches the optimizer
+/// probes; everything else the tape does is pure reordering and stays
+/// bitwise. Returns `true` on disagreement beyond `tol`.
+#[allow(clippy::too_many_arguments)]
+fn probe_deferred<T: BackendScalar>(
+    req: &Request,
+    pool_env: &Env<T>,
+    deferred: &'static Registration,
+    engine: &'static Registration,
+    cache: &PlanCache,
+    fw: &Framework,
+    seed: u64,
+    dtuning: laab_deferred::Tuning,
+    tol: f64,
+) -> bool {
+    let owned;
+    let env: &Env<T> = if req.family.payload_operands().is_empty() {
+        pool_env
+    } else {
+        owned = req.env_from_pool(pool_env, seed);
+        &owned
+    };
+    let run = |reg: &'static Registration| {
+        let (plan, _) = cache.get_or_compile(req.signature(reg.id()), || {
+            Plan::compile_with_varying(
+                fw,
+                &req.family.expr(req.n),
+                &req.family.ctx(req.n),
+                reg,
+                req.family.varying_operands(),
+            )
+        });
+        plan.execute::<T>(env)
+    };
+    let want = run(engine);
+    let got =
+        laab_deferred::with_tuning(laab_deferred::Tuning { dispatch_ns: 0, ..dtuning }, || {
+            run(deferred)
+        });
+    let _ = laab_deferred::take_run_stats();
+    want.len() != got.len() || want.iter().zip(&got).any(|(a, b)| !a.approx_eq(b, tol))
 }
 
 /// One live-phase job: a stream index plus its submit time (the
@@ -1585,7 +1822,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         fam_stackable: Family::ALL.iter().map(|_| AtomicU8::new(0)).collect(),
         egraph: Mutex::new(HashMap::new()),
         budget_hits: AtomicU64::new(0),
+        deferred: Mutex::new(vec![DeferredAccum::default(); Family::ALL.len()]),
     };
+    let dtuning = cfg.deferred_tuning();
 
     let t0 = Instant::now();
     parallel_for(clients, nbatches, |bi| {
@@ -1607,7 +1846,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                 } else {
                     batch.idx.iter().map(|_| &pool.f64).collect()
                 };
-                drive_batch(bi, batch, &mix, &refs, &lanes, &cache, &fw, &slots);
+                drive_batch(bi, batch, &mix, &refs, &lanes, &cache, &fw, &slots, dtuning);
             }
             Dtype::F32 => {
                 let owned: Vec<Env<f32>> = if has_payload {
@@ -1620,7 +1859,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                 } else {
                     batch.idx.iter().map(|_| &pool.f32).collect()
                 };
-                drive_batch(bi, batch, &mix, &refs, &lanes, &cache, &fw, &slots);
+                drive_batch(bi, batch, &mix, &refs, &lanes, &cache, &fw, &slots, dtuning);
             }
         }
     });
@@ -1655,6 +1894,35 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                 opt_probes += 1;
                 opt_mismatches += u64::from(mismatch);
             }
+        }
+    }
+
+    // ---- deferred equivalence probes: the tape soundness gate ----
+    // One probe per distinct (family, size, dtype): the engine plan and
+    // the deferred tape run on identical bindings and must agree within
+    // the optimizer-probe tolerance (the tape's value-changing fusions
+    // are ULP-level; everything else is pure reordering).
+    let deferred_reg = regs.iter().copied().find(|r| r.name() == laab_deferred::BACKEND_NAME);
+    let mut deferred_probes = 0usize;
+    let mut deferred_mismatches = 0u64;
+    if let Some(dreg) = deferred_reg {
+        let engine = registry::find("engine").expect("engine is a built-in");
+        let mut probed = HashSet::new();
+        for req in &mix {
+            if !probed.insert((req.family, req.n, req.dtype)) {
+                continue;
+            }
+            let pool = &pools[&(req.family, req.n)];
+            let mismatch = match req.dtype {
+                Dtype::F64 => probe_deferred(
+                    req, &pool.f64, dreg, engine, &cache, &fw, cfg.seed, dtuning, 1e-9,
+                ),
+                Dtype::F32 => probe_deferred(
+                    req, &pool.f32, dreg, engine, &cache, &fw, cfg.seed, dtuning, 1e-3,
+                ),
+            };
+            deferred_probes += 1;
+            deferred_mismatches += u64::from(mismatch);
         }
     }
 
@@ -1928,6 +2196,64 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         solo_requests_per_sec: rps(coalesced_execs, coalesced_busy_solo),
     };
 
+    // The deferred backend's record: per-family accumulators summed into
+    // run totals, plus the fusion A/B means. Families the stream never
+    // exercised (or that a deferred lane never served) are omitted.
+    let dacc = slots.deferred.lock().expect("deferred accounting");
+    let mut dtotal = laab_deferred::RunStats::default();
+    for a in dacc.iter() {
+        dtotal.merge(&a.stats);
+    }
+    let mut deferred_families = Vec::new();
+    for (fi, family) in Family::ALL.iter().enumerate() {
+        let a = &dacc[fi];
+        if a.stats.tape_ops == 0 && a.ab_requests == 0 {
+            continue;
+        }
+        let total_ns = a.stats.dispatch_ns + a.stats.compute_ns;
+        let fused_mean_ms =
+            if a.ab_requests > 0 { a.fused_ns as f64 / a.ab_requests as f64 / 1e6 } else { 0.0 };
+        let unfused_mean_ms =
+            if a.ab_requests > 0 { a.unfused_ns as f64 / a.ab_requests as f64 / 1e6 } else { 0.0 };
+        deferred_families.push(DeferredFamilyRecord {
+            family: family.id().to_string(),
+            tape_ops: a.stats.tape_ops,
+            groups: a.stats.groups,
+            fused_ops: a.stats.fused_ops,
+            unfused_ops: a.stats.unfused_ops,
+            dispatch_ns: a.stats.dispatch_ns,
+            compute_ns: a.stats.compute_ns,
+            dispatch_share: if total_ns > 0 {
+                a.stats.dispatch_ns as f64 / total_ns as f64
+            } else {
+                0.0
+            },
+            fused_mean_ms,
+            unfused_mean_ms,
+            fused_speedup: if fused_mean_ms > 0.0 { unfused_mean_ms / fused_mean_ms } else { 0.0 },
+        });
+    }
+    let deferred = DeferredRecord {
+        enabled: deferred_reg.is_some(),
+        dispatch_us: cfg.dispatch_us,
+        fusion: cfg.fusion,
+        tape_capacity: dtuning.capacity,
+        tape_ops: dtotal.tape_ops,
+        max_tape_len: dtotal.max_tape_len,
+        flush_capacity: dtotal.flush_capacity,
+        flush_materialize: dtotal.flush_materialize,
+        flush_barrier: dtotal.flush_barrier,
+        groups: dtotal.groups,
+        fused_ops: dtotal.fused_ops,
+        unfused_ops: dtotal.unfused_ops,
+        dispatch_ns: dtotal.dispatch_ns,
+        compute_ns: dtotal.compute_ns,
+        probes: deferred_probes,
+        mismatches: deferred_mismatches,
+        families: deferred_families,
+    };
+    drop(dacc);
+
     let stats = cache_stats;
     Ok(ServeReport {
         schema: SERVE_REPORT_SCHEMA.to_string(),
@@ -1976,6 +2302,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         opt_probes,
         opt_mismatches,
         saturation_budget_hits: budget_hits_total,
+        deferred,
     })
 }
 
@@ -2416,6 +2743,99 @@ mod tests {
         assert_eq!(cfg.opt, OptLevel::Egraph);
         assert_eq!(cfg.opt_levels(), vec![OptLevel::Passes, OptLevel::Egraph]);
         assert_eq!(ServeConfig::default().opt_levels(), vec![OptLevel::Passes]);
+    }
+
+    #[test]
+    fn deferred_ab_fuses_and_accounts_dispatch() {
+        // One client (no cross-thread spin contention polluting the
+        // wall-clock A/B) and a launch cost high enough that the modeled
+        // dispatch delta dominates scheduler noise — the regime the
+        // deferred model exists to expose.
+        let cfg = ServeConfig {
+            backends: vec!["engine".into(), "deferred".into()],
+            clients: 1,
+            dispatch_us: 200,
+            ..tiny_cfg()
+        };
+        let report = run_ok(&cfg);
+        assert_eq!(report.executions, report.requests * 2);
+        assert_eq!(report.backends.len(), 2);
+        let d = &report.deferred;
+        assert!(d.enabled);
+        assert_eq!(d.dispatch_us, 200);
+        assert!(d.fusion);
+
+        // Every serving leg ran on the tape, so the op counters partition:
+        // each recorded op either launched inside a fused group or alone.
+        assert!(d.tape_ops > 0, "serving legs must record ops");
+        assert_eq!(d.fused_ops + d.unfused_ops, d.tape_ops);
+        assert!(d.max_tape_len >= 1 && d.max_tape_len <= d.tape_capacity as u64);
+        assert!(d.flush_materialize > 0, "every plan materializes outputs");
+        assert!(d.groups > 0);
+        assert!(d.fused_ops >= 2, "GEMM+epilogue chains must fuse");
+
+        // The dispatch-cost model is deterministic: one charge per
+        // launched group, exactly dispatch_us each. This is the identity
+        // CI asserts on the smoke artifact.
+        assert_eq!(d.dispatch_ns, d.groups * d.dispatch_us * 1_000);
+        assert!(d.compute_ns > 0);
+
+        // Equivalence gate: every probed (family, n, dtype) agreed with
+        // the engine within tolerance.
+        assert!(d.probes > 0);
+        assert_eq!(d.mismatches, 0, "tape diverged from engine");
+
+        // Per-family splits: solve_residual (Hᵀ(y−Hx): GEMV, AXPY-shaped
+        // sub, GEMV) and chain carry fusable epilogues; every family that
+        // served reports a consistent dispatch share and a measured
+        // fusion-on/off A/B.
+        assert_eq!(d.families.len(), Family::ALL.len());
+        let fam_ops: u64 = d.families.iter().map(|f| f.tape_ops).sum();
+        assert_eq!(fam_ops, d.tape_ops);
+        for f in &d.families {
+            assert_eq!(f.fused_ops + f.unfused_ops, f.tape_ops, "{}", f.family);
+            assert!(f.dispatch_share >= 0.0 && f.dispatch_share <= 1.0, "{}", f.family);
+            assert!(f.fused_mean_ms > 0.0 && f.unfused_mean_ms > 0.0, "{}", f.family);
+            assert!(f.fused_speedup > 0.0, "{}", f.family);
+        }
+        let solve = d.families.iter().find(|f| f.family == "solve_residual").unwrap();
+        assert!(solve.fused_ops >= 2, "residual chain must fuse: {solve:?}");
+        // The acceptance A/B: coalescing a stacked window into one
+        // launch must beat per-RHS launches on the chain family. The
+        // delta is the modeled dispatch spin ((occupancy − 1) ×
+        // dispatch_us per window), not machine speed, so it holds on
+        // noisy runners too.
+        let chain = d.families.iter().find(|f| f.family == "chain").unwrap();
+        assert!(chain.fused_speedup > 1.0, "fusion must win on chain windows: {chain:?}");
+
+        // v7 round-trips with the deferred record intact.
+        let back = ServeReport::from_json(&report.to_json()).expect("round-trips");
+        assert_eq!(back, report);
+        assert_eq!(back.deferred, report.deferred);
+    }
+
+    #[test]
+    fn deferred_record_stays_inert_without_the_lane() {
+        let report = run_ok(&ServeConfig { requests: 24, ..tiny_cfg() });
+        let d = &report.deferred;
+        assert!(!d.enabled);
+        assert_eq!(d.tape_ops, 0);
+        assert_eq!((d.probes, d.mismatches), (0, 0));
+        assert!(d.families.is_empty());
+    }
+
+    #[test]
+    fn builder_sets_deferred_tuning() {
+        let cfg =
+            ServeConfig::smoke_builder().dispatch_us(11).fusion(false).build().expect("builds");
+        assert_eq!(cfg.dispatch_us, 11);
+        assert!(!cfg.fusion);
+        let t = cfg.deferred_tuning();
+        assert_eq!(t.dispatch_ns, 11_000);
+        assert!(!t.fuse);
+        let d = ServeConfig::default();
+        assert_eq!(d.dispatch_us, 5);
+        assert!(d.fusion);
     }
 
     #[test]

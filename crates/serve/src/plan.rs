@@ -163,6 +163,12 @@ impl Plan {
                 T::DTYPE
             )
         });
+        // The deferred backend is a whole-plan executor, not a per-node
+        // kernel set: route through its tape so ops queue and fuse at
+        // flush instead of dispatching node by node.
+        if self.backend.name() == laab_deferred::BACKEND_NAME {
+            return laab_deferred::execute_plan(&self.graph, &self.schedule, env);
+        }
         execute_scheduled_on(&self.graph, &self.schedule, env, backend)
     }
 
@@ -184,6 +190,19 @@ impl Plan {
                 T::DTYPE
             )
         });
+        if self.backend.name() == laab_deferred::BACKEND_NAME && !self.batch.stackable() {
+            // Non-stackable batches fall back per request; for the
+            // deferred backend that means per-request tapes (with their
+            // within-request fusion) rather than per-node dispatches.
+            // Stackable batches stay on `execute_batched_on`: the
+            // coalesced multi-RHS product reaches the deferred backend's
+            // `matmul_batched`, which charges one launch for the whole
+            // window — the cross-request granularity of the same fusion.
+            return envs
+                .iter()
+                .map(|env| laab_deferred::execute_plan(&self.graph, &self.schedule, env))
+                .collect();
+        }
         execute_batched_on(&self.graph, &self.schedule, &self.batch, envs, backend)
     }
 

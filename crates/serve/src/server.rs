@@ -303,6 +303,7 @@ pub struct Server {
     listener: ListenerKind,
     cfg: ServeConfig,
     regs: Vec<&'static Registration>,
+    record_arrivals: Option<PathBuf>,
 }
 
 impl Server {
@@ -342,7 +343,17 @@ impl Server {
                 (ListenerKind::Tcp(l), local)
             }
         };
-        Ok(Server { local, listener, cfg: cfg.clone(), regs })
+        Ok(Server { local, listener, cfg: cfg.clone(), regs, record_arrivals: None })
+    }
+
+    /// Record the arrival instant of every validated request and write
+    /// the inter-arrival gaps (microseconds, one per line, `#` header)
+    /// to `path` at shutdown — the trace format `laab loadgen
+    /// --arrivals replay:<path>` plays back. Best-effort: an unwritable
+    /// path loses the trace, never the run.
+    pub fn record_arrivals(mut self, path: impl Into<PathBuf>) -> Server {
+        self.record_arrivals = Some(path.into());
+        self
     }
 
     /// The bound address in canonical `unix:`/`tcp:` form (for TCP, with
@@ -361,7 +372,8 @@ impl Server {
     /// [`ServeError::Accept`] if the listener itself fails (individual
     /// connection failures only drop that connection).
     pub fn run(self) -> Result<ServerStats, ServeError> {
-        let Server { local, listener, cfg, regs } = self;
+        let Server { local, listener, cfg, regs, record_arrivals } = self;
+        let arrivals = record_arrivals.as_ref().map(|_| Mutex::new(Vec::new()));
         let queue: AdmissionQueue<JobKey, ServerJob> =
             AdmissionQueue::bounded(cfg.batch_window, cfg.deadline(), cfg.backlog);
         let cache = PlanCache::with_shards(cfg.cache_capacity.max(1) * regs.len(), cfg.shards);
@@ -383,6 +395,7 @@ impl Server {
             read_timeout: (cfg.read_timeout_ms > 0)
                 .then(|| Duration::from_millis(cfg.read_timeout_ms)),
             retry_after_us: cfg.batch_deadline_us.max(100) * 2,
+            arrivals: arrivals.as_ref(),
         };
         let mut connections = 0u64;
         let mut accept_err: Option<ServeError> = None;
@@ -438,6 +451,9 @@ impl Server {
         if let Listen::Unix(path) = &local {
             let _ = std::fs::remove_file(path);
         }
+        if let (Some(path), Some(log)) = (&record_arrivals, arrivals) {
+            write_arrival_trace(path, &log.into_inner().expect("arrival trace"));
+        }
         if let Some(e) = accept_err {
             return Err(e);
         }
@@ -469,6 +485,22 @@ struct ReaderCtx<'a> {
     max_inflight: usize,
     read_timeout: Option<Duration>,
     retry_after_us: u64,
+    /// Arrival-instant log, present only under `--record-arrivals`.
+    arrivals: Option<&'a Mutex<Vec<Instant>>>,
+}
+
+/// Serialize observed arrivals as inter-arrival gaps in microseconds,
+/// one per line under a comment header — exactly what
+/// [`Arrival::parse`](crate::Arrival)'s `replay:<file>` form loads.
+/// Best-effort by design: the trace is advisory output, not run state.
+fn write_arrival_trace(path: &std::path::Path, arrivals: &[Instant]) {
+    use std::fmt::Write as _;
+    let mut text = String::from("# laab arrival trace: inter-arrival gaps, microseconds\n");
+    for pair in arrivals.windows(2) {
+        let gap_us = pair[1].duration_since(pair[0]).as_nanos() as f64 / 1e3;
+        let _ = writeln!(text, "{gap_us:.3}");
+    }
+    let _ = std::fs::write(path, text);
 }
 
 /// Answer one connection: decode frames, validate, apply admission
@@ -541,6 +573,9 @@ fn admit(
     inflight: &Arc<AtomicI64>,
     ctx: &ReaderCtx<'_>,
 ) {
+    if let Some(log) = ctx.arrivals {
+        log.lock().expect("arrival trace").push(Instant::now());
+    }
     let key = (request.family, request.n, request.dtype, backend.name());
     if ctx.quarantine.is_quarantined(&key) {
         ctx.counters.bump(&ctx.counters.quarantined);

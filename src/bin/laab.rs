@@ -72,7 +72,8 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
     --seed S         stream/operand seed           [default: 6827 (0x1AAB)]
     --backends LIST  comma-separated execution backends to A/B under the
                      same interleaved traffic      [default: engine]
-                     (built-ins: engine, seed, reference; first = baseline)
+                     (built-ins: engine, seed, reference, deferred;
+                     first = baseline)
     --dtype D        pin request precision: f32 | f64 | mixed
                                                    [default: mixed]
     --opt LEVEL      optimizer pipeline: passes | egraph
@@ -83,6 +84,15 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
                      cost vs measured latency, and numerically probes the
                      two pipelines against each other
                                                    [default: passes]
+    --dispatch-us D  modeled launch cost of the deferred backend: every
+                     flushed op group is charged D µs of dispatch before
+                     its kernels run, so the report's dispatch-vs-compute
+                     split (and the win from fusing launches away) is
+                     deterministic                 [default: 5]
+    --no-fusion      keep the deferred tape but launch every op in its
+                     own group: isolates the dispatch-model cost from
+                     the fusion win (the fusion-on/off A/B runs either
+                     way; this flips the serving legs)
     --batch-window N admission window: coalesce up to N pending
                      same-signature requests into one batched (multi-RHS)
                      execution                     [default: 8]
@@ -117,6 +127,11 @@ SERVE OPTIONS (laab serve — compiled-plan cache serving throughput):
     --listen ADDR    serve over a socket instead of benchmarking:
                      unix:<path> or tcp:<host:port>. Runs until a client
                      sends the in-band shutdown frame (see laab loadgen).
+    --record-arrivals PATH
+                     (with --listen) write the observed inter-arrival
+                     gaps to PATH at shutdown, one microsecond gap per
+                     line — the trace format laab loadgen replays with
+                     --arrivals replay:PATH
     --json           print the machine-readable report to stdout
     --out PATH       write the JSON report to PATH (BENCH_serve.json format)
 
@@ -134,7 +149,10 @@ LOADGEN OPTIONS (laab loadgen — drive a --listen server from the outside):
     --backend B      backend each request asks for      [default: engine]
     --dtype D        pin request precision: f32 | f64 | mixed
     --arrivals LIST  comma-separated arrival processes to sweep:
-                     closed | poisson:<rate> | bursty:<rate>x<burst>
+                     closed | poisson:<rate> | bursty:<rate>x<burst> |
+                     replay:<file> (a --record-arrivals trace: requests
+                     are paced to the recorded gaps, wrapping if the
+                     trace is shorter than the run)
                                  [default: closed,poisson:2000,bursty:2000x8]
     --deadline-us D  stamp every request with a D-microsecond deadline;
                      the server answers Expired instead of executing a
@@ -239,6 +257,10 @@ fn main() -> ExitCode {
                 ));
             }
             emit("\nexecution backends (laab serve --backends):");
+            // The deferred backend registers on first use; force it so the
+            // listing shows every built-in, not just the always-registered
+            // eager three.
+            laab::deferred::ensure_registered();
             for reg in laab::backend::registry::all() {
                 emit(&format!("{:<10} {}", reg.name(), reg.description()));
             }
@@ -377,6 +399,7 @@ fn run_bench(args: BenchArgs) -> ExitCode {
 struct ServeArgs {
     cfg: ServeConfig,
     listen: Option<String>,
+    record_arrivals: Option<String>,
     json_stdout: bool,
     out: Option<String>,
 }
@@ -414,6 +437,7 @@ fn parse_list(value: Option<String>, flag: &str) -> Result<Vec<String>, String> 
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeArgs>, String> {
     let mut builder = ServeConfig::builder();
     let mut listen = None;
+    let mut record_arrivals = None;
     let mut json_stdout = false;
     let mut out = None;
     let mut args = args.peekable();
@@ -435,6 +459,10 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
                     .ok_or_else(|| format!("unknown --opt level `{value}` (passes | egraph)"))?;
                 builder = builder.opt(level);
             }
+            "--dispatch-us" => {
+                builder = builder.dispatch_us(parse_num(args.next(), "--dispatch-us")?);
+            }
+            "--no-fusion" => builder = builder.fusion(false),
             "--batch-window" => {
                 builder = builder.batch_window(parse_num(args.next(), "--batch-window")?);
             }
@@ -462,14 +490,20 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<Option<ServeAr
                 builder = builder.faults(Some(plan));
             }
             "--listen" => listen = Some(args.next().ok_or("--listen requires an address")?),
+            "--record-arrivals" => {
+                record_arrivals = Some(args.next().ok_or("--record-arrivals requires a path")?);
+            }
             "--json" => json_stdout = true,
             "--out" => out = Some(args.next().ok_or("--out requires a path")?),
             "--help" | "-h" => return Ok(None),
             flag => return Err(format!("unknown option `{flag}` for `laab serve`")),
         }
     }
+    if record_arrivals.is_some() && listen.is_none() {
+        return Err("--record-arrivals only applies to a --listen server".into());
+    }
     let cfg = builder.build().map_err(|e| e.to_string())?;
-    Ok(Some(ServeArgs { cfg, listen, json_stdout, out }))
+    Ok(Some(ServeArgs { cfg, listen, record_arrivals, json_stdout, out }))
 }
 
 struct LoadgenArgs {
@@ -611,13 +645,17 @@ fn run_loadgen(args: LoadgenArgs) -> ExitCode {
 
 fn run_serve(args: ServeArgs) -> ExitCode {
     if let Some(spec) = &args.listen {
-        let server = match Server::bind(spec, &args.cfg) {
+        let mut server = match Server::bind(spec, &args.cfg) {
             Ok(server) => server,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         };
+        if let Some(path) = &args.record_arrivals {
+            server = server.record_arrivals(path);
+            eprintln!("recording inter-arrival gaps to {path} (written at shutdown)");
+        }
         eprintln!(
             "listening on {} (backends: {}, window {}, deadline {} us); \
              send a shutdown frame (laab loadgen) to stop",
@@ -709,6 +747,44 @@ fn run_serve(args: ServeArgs) -> ExitCode {
                         f.passes_mean_ms,
                         f.egraph_mean_ms,
                         f.egraph_speedup,
+                    ));
+                }
+            }
+        }
+        if report.deferred.enabled {
+            let d = &report.deferred;
+            emit(&format!(
+                "deferred backend (dispatch {} us/group, fusion {}): \
+                 {} tape ops in {} groups ({} fused, {} solo), \
+                 flushes cap/materialize/barrier {}/{}/{}\n\
+                 modeled dispatch {:.3} ms vs compute {:.3} ms; \
+                 {} equivalence probes, {} mismatches",
+                d.dispatch_us,
+                if d.fusion { "on" } else { "off" },
+                d.tape_ops,
+                d.groups,
+                d.fused_ops,
+                d.unfused_ops,
+                d.flush_capacity,
+                d.flush_materialize,
+                d.flush_barrier,
+                d.dispatch_ns as f64 / 1e6,
+                d.compute_ns as f64 / 1e6,
+                d.probes,
+                d.mismatches,
+            ));
+            for f in &d.families {
+                if f.fused_ops > 0 {
+                    emit(&format!(
+                        "  {}: {} of {} ops fused, dispatch share {:.1}%, \
+                         fused {:.3} ms vs unfused {:.3} ms ({:.2}x)",
+                        f.family,
+                        f.fused_ops,
+                        f.tape_ops,
+                        100.0 * f.dispatch_share,
+                        f.fused_mean_ms,
+                        f.unfused_mean_ms,
+                        f.fused_speedup,
                     ));
                 }
             }

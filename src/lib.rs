@@ -12,6 +12,10 @@
 //! * [`backend`] — pluggable execution backends (engine / seed /
 //!   reference) behind one dispatch trait and a process-wide registry,
 //!   the serve-side A/B axis;
+//! * [`deferred`] — the lazy accelerator-model backend: node executions
+//!   append to a per-plan tape, and flushes run a fusion pass (GEMM
+//!   epilogues, same-shape launch coalescing) under an explicit
+//!   dispatch-cost model before touching the engine kernels;
 //! * [`expr`] — the symbolic test-expression layer with a matrix-property
 //!   lattice and FLOP cost models;
 //! * [`graph`] — the computational-graph IR with the Grappler-style
@@ -48,6 +52,7 @@
 pub use laab_backend as backend;
 pub use laab_chain as chain;
 pub use laab_core as suite;
+pub use laab_deferred as deferred;
 pub use laab_dense as dense;
 pub use laab_expr as expr;
 pub use laab_framework as framework;
